@@ -1,0 +1,23 @@
+"""Ablation — server/device compute split (the paper's resource argument).
+
+FedZKT's design goal is that devices only pay for plain local SGD while the
+server absorbs the distillation cost.  This benchmark runs a tiny FedZKT
+session and reports the estimated parameter-gradient work done on each
+side; the expected shape is a server/device ratio well above 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_compute_split
+
+from conftest import run_once
+
+
+def test_ablation_compute_split(benchmark, bench_scale):
+    result = run_once(benchmark, experiment_compute_split, scale=bench_scale, dataset="mnist")
+    print("\n" + result["formatted"])
+    summary = result["summary"]
+    assert summary["server_total_compute"] > 0
+    assert summary["device_total_compute"] > 0
+    # The compute-heavy distillation lives on the server.
+    assert summary["server_to_device_ratio"] > 1.0

@@ -1,0 +1,21 @@
+"""Figure 4 (e–h) — distribution-based label imbalance (Dirichlet β).
+
+Paper: FedZKT outperforms FedMD across β ∈ {0.1, 0.5, 1, 5}; both improve
+as β grows (data becomes closer to IID).  The benchmark sweeps the end
+points β ∈ {0.1, 1.0} on the MNIST stand-in.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig4_dirichlet
+
+from conftest import run_once
+
+
+def test_fig4_dirichlet_label_imbalance(benchmark, bench_scale):
+    result = run_once(benchmark, experiment_fig4_dirichlet, scale=bench_scale, dataset="mnist",
+                      betas=(0.1, 1.0))
+    print("\n" + result["formatted"])
+    assert len(result["fedzkt"]) == len(result["betas"])
+    for value in result["fedzkt"] + result["fedmd"]:
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,27 @@
+"""Figure 5 + Table III — heterogeneous on-device models (CIFAR-10, IID).
+
+Paper: devices running the different architectures of Table V (Models A–E)
+reach different accuracies, and every device's FedZKT accuracy lands close
+to its *upper bound* (the accuracy its architecture reaches when trained on
+everyone's data), far above its *lower bound* (local data only).  The
+benchmark regenerates the per-device curves and the bounds table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig5_table3
+
+from conftest import run_once
+
+
+def test_fig5_table3_heterogeneous_models(benchmark, bench_scale):
+    result = run_once(benchmark, experiment_fig5_table3, scale=bench_scale, dataset="cifar10",
+                      bound_epochs=3)
+    print("\n" + result["formatted"])
+    bounds = result["bounds"]
+    assert len(bounds) >= 1
+    for row in bounds:
+        assert 0.0 <= row["lower_bound"] <= 1.0
+        assert 0.0 <= row["upper_bound"] <= 1.0
+    # Per-device curves exist for every device.
+    assert len(result["curves"]) == len(bounds)

@@ -1,0 +1,22 @@
+"""Figure 6 — straggler effect: only a portion p of devices trains each round.
+
+Paper: FedZKT is stable for p ≥ 0.4; only p = 0.2 slows training visibly.
+The benchmark sweeps p ∈ {0.2, 0.6, 1.0} on the MNIST stand-in and prints
+the average on-device accuracy curves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig6
+
+from conftest import run_once
+
+
+def test_fig6_straggler_effect(benchmark, bench_scale):
+    result = run_once(benchmark, experiment_fig6, scale=bench_scale, dataset="mnist",
+                      portions=(0.2, 0.6, 1.0))
+    print("\n" + result["formatted"])
+    curves = result["curves"]
+    assert set(curves) == {0.2, 0.6, 1.0}
+    for curve in curves.values():
+        assert all(0.0 <= value <= 1.0 for value in curve)

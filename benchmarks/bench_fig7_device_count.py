@@ -1,0 +1,23 @@
+"""Figure 7 — effect of the number of devices K on FedZKT.
+
+Paper: K ∈ {5, 10, 15, 20} changes the average accuracy by only ±2%; fewer
+devices converge slightly faster.  The benchmark sweeps K ∈ {5, 10} on the
+MNIST stand-in (larger K values are available through
+``repro.experiments.experiment_fig7``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig7
+
+from conftest import run_once
+
+
+def test_fig7_device_count(benchmark, bench_scale):
+    result = run_once(benchmark, experiment_fig7, scale=bench_scale, dataset="mnist",
+                      device_counts=(5, 10))
+    print("\n" + result["formatted"])
+    curves = result["curves"]
+    assert set(curves) == {5, 10}
+    for curve in curves.values():
+        assert all(0.0 <= value <= 1.0 for value in curve)

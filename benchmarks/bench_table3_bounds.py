@@ -1,0 +1,45 @@
+"""Table III — standalone lower/upper bounds of the heterogeneous architectures.
+
+Paper: for every device architecture, training on the union of all data
+(upper bound) is far better than training on the local shard alone (lower
+bound); the gap is the head-room federated collaboration can capture.
+This benchmark computes the bounds on the MNIST stand-in (fast) so the
+bounds table itself is exercised independently of the full Fig. 5 run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import compute_bounds
+from repro.datasets import load_dataset
+from repro.experiments import get_scale
+from repro.models import device_specs_for_family, small_image_device_suite
+from repro.partition import IIDPartitioner
+
+from conftest import run_once
+
+
+def _run_bounds(scale_name):
+    scale = get_scale(scale_name)
+    train, test = load_dataset("mnist", train_size=scale.train_size, test_size=scale.test_size,
+                               image_size=scale.image_size, seed=0)
+    num_devices = scale.num_devices
+    models = small_image_device_suite(num_devices, train.input_shape, train.num_classes, seed=0)
+    shards = IIDPartitioner(num_devices, seed=0).partition(train)
+    specs = device_specs_for_family("small", num_devices)
+    return compute_bounds(models, shards, train, test, epochs=3, lr=scale.device_lr,
+                          batch_size=scale.batch_size, seed=0,
+                          labels=[spec.describe() for spec in specs])
+
+
+def test_table3_standalone_bounds(benchmark, bench_scale):
+    bounds = run_once(benchmark, _run_bounds, bench_scale)
+    print("\nTable III (bounds only, MNIST stand-in)")
+    for row in bounds:
+        print(f"  device {row.device_id + 1} [{row.architecture}]: "
+              f"upper {row.upper_bound:.3f} lower {row.lower_bound:.3f}")
+    uppers = np.array([row.upper_bound for row in bounds])
+    lowers = np.array([row.lower_bound for row in bounds])
+    # Shape check: training on everyone's data beats local-only on average.
+    assert uppers.mean() >= lowers.mean()

@@ -1,0 +1,62 @@
+"""Non-IID federated learning: Dirichlet label skew + the ℓ2 proximal regularizer.
+
+Reproduces the paper's non-IID setting (Section IV-A4, Fig. 4 e–h and
+Table IV) at example scale: devices receive label-skewed shards drawn from a
+Dirichlet distribution, and the on-device update adds the ℓ2 proximal term
+of Eq. 9.  The example compares FedZKT with and without the regularizer and
+against the FedMD baseline.
+
+Run with:  python examples/noniid_dirichlet.py
+"""
+
+from repro.baselines import build_fedmd
+from repro.core import build_fedzkt
+from repro.datasets import load_dataset, public_dataset_for
+from repro.federated import FederatedConfig, ServerConfig
+from repro.partition import DirichletPartitioner, partition_summary
+
+
+def make_config(prox_mu: float) -> FederatedConfig:
+    return FederatedConfig(
+        num_devices=5,
+        rounds=2,
+        local_epochs=3,
+        batch_size=32,
+        device_lr=0.05,
+        prox_mu=prox_mu,
+        server=ServerConfig(distillation_iterations=30, batch_size=32,
+                            global_lr=0.05, device_distill_lr=0.02),
+    )
+
+
+def main() -> None:
+    beta = 0.3
+    train, test = load_dataset("mnist", train_size=1000, test_size=250, seed=0)
+    partitioner = DirichletPartitioner(5, beta=beta, seed=0)
+
+    print(f"Dirichlet(beta={beta}) label skew across 5 devices:")
+    print(partition_summary(partitioner.partition(train)))
+
+    results = {}
+    for label, prox_mu in [("FedZKT (no regularization)", 0.0),
+                           ("FedZKT (l2 regularization)", 0.05)]:
+        simulation = build_fedzkt(train, test, make_config(prox_mu), family="small",
+                                  partitioner=DirichletPartitioner(5, beta=beta, seed=0))
+        history = simulation.run(verbose=False)
+        results[label] = history.best_global_accuracy()
+        print(f"{label}: best global accuracy {results[label]:.3f}")
+
+    public = public_dataset_for("mnist", size=400)
+    fedmd = build_fedmd(train, test, public, make_config(0.0), family="small",
+                        partitioner=DirichletPartitioner(5, beta=beta, seed=0))
+    fedmd_history = fedmd.run()
+    results["FedMD"] = fedmd_history.best_mean_device_accuracy()
+    print(f"FedMD (public={public.name}): best mean device accuracy {results['FedMD']:.3f}")
+
+    print("\nSummary (higher is better):")
+    for label, value in results.items():
+        print(f"  {label:35s} {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Straggler study: vary the portion of devices that participate each round.
+
+Reproduces Figure 6 of the paper at example scale.  In every communication
+round only a fraction ``p`` of devices performs local training; the rest are
+stragglers (poor connectivity / low battery).  All devices still receive the
+server-distilled parameters, which is why FedZKT degrades gracefully.
+
+Run with:  python examples/straggler_effect.py
+"""
+
+from repro.core import build_fedzkt
+from repro.datasets import load_dataset
+from repro.federated import FederatedConfig, ServerConfig
+
+
+def main() -> None:
+    train, test = load_dataset("mnist", train_size=1000, test_size=250, seed=0)
+
+    portions = (0.2, 0.6, 1.0)
+    curves = {}
+    for portion in portions:
+        config = FederatedConfig(
+            num_devices=5,
+            rounds=3,
+            local_epochs=2,
+            batch_size=32,
+            device_lr=0.05,
+            participation_fraction=portion,
+            server=ServerConfig(distillation_iterations=25, batch_size=32,
+                                global_lr=0.05, device_distill_lr=0.02),
+        )
+        simulation = build_fedzkt(train, test, config, family="small")
+        history = simulation.run()
+        curves[portion] = history.mean_device_accuracy_curve()
+        print(f"p = {portion:.1f}: mean on-device accuracy per round "
+              f"{[f'{a:.3f}' for a in curves[portion]]}")
+
+    print("\nExpected shape (paper Fig. 6): curves for p >= 0.4 are close together;"
+          " only p = 0.2 lags noticeably.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""FedZKT reproduction library.
+
+Top-level package for the reproduction of *FedZKT: Zero-Shot Knowledge
+Transfer towards Resource-Constrained Federated Learning with Heterogeneous
+On-Device Models* (ICDCS 2022).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy-backed autograd, layers, optimizers, and losses.
+``repro.models``
+    The on-device model zoo (Models A–E) and the server-side generator.
+``repro.datasets``
+    Synthetic stand-ins for MNIST / KMNIST / FASHION / CIFAR-10 /
+    CIFAR-100 / SVHN with the paper's interfaces.
+``repro.partition``
+    IID and non-IID (quantity-skew, Dirichlet) data partitioners.
+``repro.federated``
+    Federated-learning substrate: devices, server, sampling, simulation.
+``repro.core``
+    The FedZKT algorithm (zero-shot bidirectional knowledge transfer).
+``repro.baselines``
+    FedMD, FedAvg, FedProx, and standalone lower/upper bounds.
+``repro.experiments``
+    Configurations and runners reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

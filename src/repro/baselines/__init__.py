@@ -1,0 +1,22 @@
+"""``repro.baselines`` — comparison algorithms and reference bounds.
+
+* FedMD — the paper's primary heterogeneous-model baseline (public-dataset
+  logit consensus);
+* FedAvg / FedProx — classical homogeneous-model references;
+* standalone lower/upper bounds (Table III).
+"""
+
+from .fedavg import FedAvgServer, build_fedavg, build_fedprox
+from .fedmd import FedMDSimulation, build_fedmd
+from .standalone import StandaloneBounds, compute_bounds, train_standalone
+
+__all__ = [
+    "FedAvgServer",
+    "build_fedavg",
+    "build_fedprox",
+    "FedMDSimulation",
+    "build_fedmd",
+    "StandaloneBounds",
+    "compute_bounds",
+    "train_standalone",
+]

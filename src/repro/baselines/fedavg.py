@@ -1,0 +1,126 @@
+"""FedAvg and FedProx baselines (homogeneous on-device models).
+
+The paper positions FedZKT against the classical parameter-averaging
+paradigm, which requires every device to run the *same* architecture.
+These reference implementations reuse the generic Device / Server /
+Simulation substrate: the server element-wise averages the uploaded
+parameters (weighted by shard size) and broadcasts the result.  FedProx is
+FedAvg plus the on-device ℓ2 proximal term (``prox_mu > 0``), the same
+mechanism FedZKT adapts for its non-IID regularizer (Eq. 9).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..federated.config import FederatedConfig
+from ..federated.device import Device
+from ..federated.sampling import DeviceSampler
+from ..federated.server import FederatedServer
+from ..federated.simulation import FederatedSimulation
+from ..models.base import ClassificationModel
+from ..models.registry import ModelSpec, build_model
+from ..partition.base import Partitioner
+from ..partition.iid import IIDPartitioner
+
+__all__ = ["FedAvgServer", "build_fedavg", "build_fedprox"]
+
+
+class FedAvgServer(FederatedServer):
+    """Parameter-averaging server.
+
+    Parameters
+    ----------
+    global_model:
+        The shared-architecture global model; its state is broadcast to all
+        devices every round.
+    device_weights:
+        Per-device aggregation weights (normally the shard sizes).
+    """
+
+    name = "fedavg"
+
+    def __init__(self, global_model: ClassificationModel,
+                 device_weights: Optional[Dict[int, float]] = None) -> None:
+        super().__init__()
+        self._global_model = global_model
+        self.device_weights = dict(device_weights or {})
+        self._payload: Dict[str, np.ndarray] = global_model.state_dict()
+
+    @property
+    def global_model(self) -> ClassificationModel:
+        return self._global_model
+
+    def aggregate(self, round_index: int, active_devices: List[int]) -> None:
+        if not self.uploads:
+            # No active device uploaded (can happen with extreme straggler
+            # settings): keep the current global parameters.
+            self._payload = self._global_model.state_dict()
+            return
+        weights = np.array([
+            self.device_weights.get(device_id, 1.0) for device_id in self.uploads
+        ], dtype=np.float64)
+        weights = weights / weights.sum()
+
+        keys = next(iter(self.uploads.values())).keys()
+        averaged: Dict[str, np.ndarray] = {}
+        for key in keys:
+            stacked = np.stack([state[key] for state in self.uploads.values()], axis=0)
+            shaped = weights.reshape((-1,) + (1,) * (stacked.ndim - 1))
+            averaged[key] = np.sum(stacked * shaped, axis=0)
+        self._global_model.load_state_dict(averaged)
+        self._payload = averaged
+        self.last_metrics = {"aggregated_devices": float(len(self.uploads))}
+
+    def payload_for(self, device_id: int) -> Dict[str, np.ndarray]:
+        return self._payload
+
+
+def _build_homogeneous(train_dataset: ImageDataset, test_dataset: ImageDataset,
+                       config: FederatedConfig, model_spec: ModelSpec,
+                       partitioner: Optional[Partitioner], sampler: Optional[DeviceSampler],
+                       prox_mu: float) -> FederatedSimulation:
+    num_classes = train_dataset.num_classes
+    input_shape = train_dataset.input_shape
+    partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
+    shards = partitioner.partition(train_dataset)
+
+    reference = build_model(model_spec, input_shape, num_classes, seed=config.seed)
+    devices = []
+    for index, shard in enumerate(shards):
+        model = copy.deepcopy(reference)
+        devices.append(Device(device_id=index, model=model, dataset=shard,
+                              lr=config.device_lr, momentum=config.device_momentum,
+                              weight_decay=config.device_weight_decay,
+                              batch_size=config.batch_size, prox_mu=prox_mu,
+                              seed=config.seed + 1000 + index))
+    weights = {device.device_id: float(len(device.dataset)) for device in devices}
+    server = FedAvgServer(copy.deepcopy(reference), device_weights=weights)
+    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler)
+
+
+def build_fedavg(train_dataset: ImageDataset, test_dataset: ImageDataset,
+                 config: FederatedConfig,
+                 model_spec: ModelSpec = ModelSpec("cnn", {"channels": (16, 32)}),
+                 partitioner: Optional[Partitioner] = None,
+                 sampler: Optional[DeviceSampler] = None) -> FederatedSimulation:
+    """FedAvg: homogeneous devices, weighted parameter averaging, no proximal term."""
+    return _build_homogeneous(train_dataset, test_dataset, config, model_spec,
+                              partitioner, sampler, prox_mu=0.0)
+
+
+def build_fedprox(train_dataset: ImageDataset, test_dataset: ImageDataset,
+                  config: FederatedConfig, prox_mu: float = 0.01,
+                  model_spec: ModelSpec = ModelSpec("cnn", {"channels": (16, 32)}),
+                  partitioner: Optional[Partitioner] = None,
+                  sampler: Optional[DeviceSampler] = None) -> FederatedSimulation:
+    """FedProx: FedAvg plus the on-device ℓ2 proximal regularizer."""
+    simulation = _build_homogeneous(train_dataset, test_dataset, config, model_spec,
+                                    partitioner, sampler, prox_mu=prox_mu)
+    simulation.server.name = "fedprox"
+    simulation.history.algorithm = "fedprox"
+    return simulation

@@ -1,0 +1,105 @@
+"""Standalone training bounds (Table III of the paper).
+
+For every device, the paper reports:
+
+* **lower bound** — the accuracy the device's architecture reaches when
+  trained *only* on its own local shard (no collaboration);
+* **upper bound** — the accuracy the same architecture reaches when trained
+  on the union of all devices' data (perfect, centralised collaboration).
+
+FedZKT's per-device accuracy should land close to the upper bound, which is
+the evidence Fig. 5 / Table III present for effective knowledge transfer
+across heterogeneous models.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..datasets.dataloader import DataLoader
+from ..federated.server import evaluate_model
+from ..models.base import ClassificationModel
+from ..nn.losses import cross_entropy
+from ..nn.optim import SGD
+from ..partition.base import Partitioner
+
+__all__ = ["StandaloneBounds", "train_standalone", "compute_bounds"]
+
+
+@dataclass
+class StandaloneBounds:
+    """Lower/upper standalone accuracy for one device's architecture."""
+
+    device_id: int
+    architecture: str
+    lower_bound: float
+    upper_bound: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "device_id": self.device_id,
+            "architecture": self.architecture,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+        }
+
+
+def train_standalone(model: ClassificationModel, dataset: ImageDataset, epochs: int,
+                     lr: float = 0.01, momentum: float = 0.9, weight_decay: float = 0.0,
+                     batch_size: int = 32, seed: int = 0) -> ClassificationModel:
+    """Train ``model`` on ``dataset`` with plain mini-batch SGD (in place)."""
+    model.train()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, seed=seed)
+    for _ in range(epochs):
+        for images, labels in loader:
+            optimizer.zero_grad()
+            loss = cross_entropy(model(images), labels)
+            loss.backward()
+            optimizer.step()
+    return model
+
+
+def compute_bounds(device_models: Sequence[ClassificationModel], shards: Sequence[ImageDataset],
+                   full_train: ImageDataset, test_dataset: ImageDataset, epochs: int,
+                   lr: float = 0.01, batch_size: int = 32, seed: int = 0,
+                   labels: Optional[Sequence[str]] = None) -> List[StandaloneBounds]:
+    """Compute per-device lower/upper bounds.
+
+    Parameters
+    ----------
+    device_models:
+        The heterogeneous on-device models (fresh, untrained instances;
+        they are deep-copied so the originals stay untouched).
+    shards:
+        Per-device private shards (aligned with ``device_models``).
+    full_train:
+        The union of all device data (the centralized training pool).
+    epochs:
+        Training epochs for both bounds.
+    labels:
+        Optional human-readable architecture labels (Model A–E).
+    """
+    if len(device_models) != len(shards):
+        raise ValueError("device_models and shards must be aligned")
+    results: List[StandaloneBounds] = []
+    for index, (model, shard) in enumerate(zip(device_models, shards)):
+        label = labels[index] if labels else model.__class__.__name__
+        lower_model = copy.deepcopy(model)
+        train_standalone(lower_model, shard, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed + index)
+        lower = evaluate_model(lower_model, test_dataset)
+
+        upper_model = copy.deepcopy(model)
+        train_standalone(upper_model, full_train, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed + 100 + index)
+        upper = evaluate_model(upper_model, test_dataset)
+
+        results.append(StandaloneBounds(device_id=index, architecture=label,
+                                        lower_bound=lower, upper_bound=upper))
+    return results

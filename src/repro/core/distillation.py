@@ -1,0 +1,84 @@
+"""Ensemble outputs and disagreement losses for zero-shot distillation.
+
+The server-side distillation (Algorithm 3) measures the disagreement
+between the global model ``F`` and the *ensemble* of on-device models
+``f_ens``.  How the ensemble is formed depends on the loss:
+
+* KL-divergence and SL compare post-softmax distributions, so the ensemble
+  is the mean of per-device softmax outputs;
+* the raw ℓ1 loss compares logits, so the ensemble is the mean of raw
+  logits (Eq. 4 of the paper).
+
+``ensemble_output`` produces the right aggregation inside the autograd
+graph (gradients can flow back to the synthesized inputs), and
+``disagreement_loss`` dispatches to the configured loss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..models.base import ClassificationModel
+from ..nn.losses import get_distillation_loss
+from ..nn.tensor import Tensor
+
+__all__ = ["ensemble_output", "disagreement_loss", "ensemble_mode_for_loss"]
+
+
+def ensemble_mode_for_loss(loss_name: str) -> str:
+    """Return ``"prob"`` or ``"logit"`` depending on what the loss compares."""
+    key = loss_name.lower()
+    if key in ("kl", "sl"):
+        return "prob"
+    if key == "l1":
+        return "logit"
+    raise KeyError(f"unknown distillation loss {loss_name!r}")
+
+
+def ensemble_output(models: Sequence[ClassificationModel], x: Tensor, mode: str = "prob",
+                    weights: Sequence[float] = None) -> Tensor:
+    """Average the outputs of ``models`` on ``x``.
+
+    Parameters
+    ----------
+    models:
+        The on-device models (teachers).  They may have heterogeneous
+        architectures; only their output dimension must agree.
+    x:
+        Input batch (synthetic images from the generator).
+    mode:
+        ``"prob"`` averages softmax outputs; ``"logit"`` averages raw logits.
+    weights:
+        Optional per-model weights (default: uniform ``1/K`` as in the paper).
+    """
+    if not models:
+        raise ValueError("ensemble requires at least one model")
+    if mode not in ("prob", "logit"):
+        raise ValueError("mode must be 'prob' or 'logit'")
+    if weights is None:
+        weights = [1.0 / len(models)] * len(models)
+    if len(weights) != len(models):
+        raise ValueError("weights must match the number of models")
+
+    total: Tensor = None
+    for weight, model in zip(weights, models):
+        logits = model(x)
+        member = logits.softmax(axis=-1) if mode == "prob" else logits
+        term = member * float(weight)
+        total = term if total is None else total + term
+    return total
+
+
+def disagreement_loss(global_model: ClassificationModel, teachers: Sequence[ClassificationModel],
+                      x: Tensor, loss_name: str = "sl") -> Tensor:
+    """Compute ``L(F(x), f_ens(x))`` with the configured disagreement loss.
+
+    Both the global-model branch and the teacher-ensemble branch stay in
+    the autograd graph; the caller decides which parameters to step and
+    zeroes the others' gradients.
+    """
+    loss_fn = get_distillation_loss(loss_name)
+    mode = ensemble_mode_for_loss(loss_name)
+    student_logits = global_model(x)
+    teacher_out = ensemble_output(teachers, x, mode=mode)
+    return loss_fn(student_logits, teacher_out)

@@ -1,0 +1,166 @@
+"""FedZKT server and end-to-end builder (Algorithm 1 of the paper).
+
+``FedZKTServer`` plugs the zero-shot distiller into the generic federated
+round loop:
+
+* ``collect`` stores the parameters uploaded by active devices;
+* ``aggregate`` loads them into the server-side replicas of the on-device
+  models, runs the bidirectional zero-shot knowledge transfer
+  (:class:`repro.core.server_update.ZeroShotDistiller`), and prepares the
+  updated per-device parameter payloads;
+* ``payload_for`` returns each device's updated parameters, which the
+  simulation loop delivers to **all** devices (stragglers included).
+
+``build_fedzkt`` wires datasets, partitioners, heterogeneous device models,
+devices, and the server into a ready-to-run
+:class:`repro.federated.simulation.FederatedSimulation`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..federated.config import FederatedConfig
+from ..federated.device import Device
+from ..federated.sampling import DeviceSampler
+from ..federated.server import FederatedServer
+from ..federated.simulation import FederatedSimulation
+from ..models.base import ClassificationModel
+from ..models.generator import Generator
+from ..models.registry import build_generator, build_global_model, device_suite_for_family
+from ..partition.base import Partitioner
+from ..partition.iid import IIDPartitioner
+from .server_update import ZeroShotDistiller
+
+__all__ = ["FedZKTServer", "build_fedzkt"]
+
+
+class FedZKTServer(FederatedServer):
+    """The FedZKT central server.
+
+    Parameters
+    ----------
+    global_model:
+        The server's knowledge-abundant global model ``F``.
+    generator:
+        The server-side generator ``G`` trained adversarially against the
+        device ensemble.
+    device_models:
+        Server-side replicas of every device's model architecture, keyed by
+        device id.  Uploaded parameters are loaded into these replicas; the
+        distiller updates them; their state is sent back to the devices.
+    config:
+        The federated configuration (its ``server`` section drives the
+        distiller).
+    """
+
+    name = "fedzkt"
+
+    def __init__(self, global_model: ClassificationModel, generator: Generator,
+                 device_models: Dict[int, ClassificationModel], config: FederatedConfig) -> None:
+        super().__init__()
+        if not device_models:
+            raise ValueError("FedZKT requires at least one device model replica")
+        self._global_model = global_model
+        self.generator = generator
+        self.device_models = dict(device_models)
+        self.config = config
+        self.distiller = ZeroShotDistiller(global_model, generator, config.server,
+                                           seed=config.seed + 17)
+        self._payloads: Dict[int, Dict[str, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def global_model(self) -> ClassificationModel:
+        return self._global_model
+
+    def aggregate(self, round_index: int, active_devices: List[int]) -> None:
+        # Load the freshly uploaded parameters into the server-side replicas.
+        # Devices that did not participate keep their last known parameters
+        # (which are the ones the server itself distilled last round).
+        for device_id, state in self.uploads.items():
+            if device_id not in self.device_models:
+                raise KeyError(f"upload from unknown device {device_id}")
+            self.device_models[device_id].load_state_dict(state)
+
+        report = self.distiller.server_update(self.device_models)
+        self.last_metrics = {
+            "generator_loss": report.get("generator_loss", 0.0),
+            "global_loss": report.get("global_loss", 0.0),
+            "transfer_loss": report.get("transfer_loss", 0.0),
+            "input_gradient_norm": report.get("input_gradient_norm", 0.0),
+            "server_parameter_updates": report.get("parameter_updates", 0),
+        }
+
+        # Prepare the payloads: every device receives its updated parameters.
+        self._payloads = {
+            device_id: model.state_dict() for device_id, model in self.device_models.items()
+        }
+
+    def payload_for(self, device_id: int) -> Optional[Dict[str, np.ndarray]]:
+        return self._payloads.get(device_id)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def server_parameter_updates(self) -> int:
+        """Cumulative parameter-gradient evaluations performed by the server."""
+        return self.distiller.parameter_updates_total
+
+
+def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
+                 config: FederatedConfig, family: str = "cifar",
+                 partitioner: Optional[Partitioner] = None,
+                 device_models: Optional[Sequence[ClassificationModel]] = None,
+                 sampler: Optional[DeviceSampler] = None,
+                 generator: Optional[Generator] = None,
+                 global_model: Optional[ClassificationModel] = None) -> FederatedSimulation:
+    """Construct a ready-to-run FedZKT simulation.
+
+    Parameters
+    ----------
+    train_dataset / test_dataset:
+        The global train pool (to be partitioned across devices) and the
+        held-out test set.
+    config:
+        Federated configuration.
+    family:
+        Device-model family: ``"cifar"`` (Models A–E) or ``"small"``.
+    partitioner:
+        Data partitioner; defaults to IID.
+    device_models:
+        Optional explicit per-device models (overrides ``family``).
+    """
+    num_classes = train_dataset.num_classes
+    input_shape = train_dataset.input_shape
+    partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
+    shards = partitioner.partition(train_dataset)
+
+    if device_models is None:
+        device_models = device_suite_for_family(family, config.num_devices, input_shape,
+                                                num_classes, seed=config.seed)
+    device_models = list(device_models)
+    if len(device_models) != config.num_devices:
+        raise ValueError("need exactly one model per device")
+
+    devices = [
+        Device(device_id=index, model=model, dataset=shard,
+               lr=config.device_lr, momentum=config.device_momentum,
+               weight_decay=config.device_weight_decay, batch_size=config.batch_size,
+               prox_mu=config.prox_mu, seed=config.seed + 1000 + index)
+        for index, (model, shard) in enumerate(zip(device_models, shards))
+    ]
+
+    # Server-side replicas share the architectures but are distinct objects:
+    # parameters flow only through the explicit upload/download payloads.
+    replicas = {device.device_id: copy.deepcopy(device.model) for device in devices}
+
+    global_model = global_model or build_global_model(input_shape, num_classes,
+                                                      seed=config.seed + 7)
+    generator = generator or build_generator(input_shape, noise_dim=config.server.noise_dim,
+                                             seed=config.seed + 13)
+    server = FedZKTServer(global_model, generator, replicas, config)
+    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler)

@@ -1,0 +1,107 @@
+"""Gradient probe reproducing Figure 2 of the paper.
+
+Figure 2 plots, over communication rounds, the norm of the gradient of the
+disagreement loss with respect to the input data for the three candidate
+losses (KL divergence, raw-logit ℓ1, and the proposed SL loss).  The probe
+evaluates all three losses on the *same* inputs and models, so the curves
+are directly comparable: it synthesizes a batch with the current generator
+(or accepts real inputs), marks it as requiring gradients, computes each
+loss between the global model and the device ensemble, and records
+``||∇_x L||``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..models.base import ClassificationModel
+from ..models.generator import Generator
+from ..nn.losses import DISTILLATION_LOSSES, get_distillation_loss
+from ..nn.tensor import Tensor
+from .distillation import ensemble_mode_for_loss, ensemble_output
+
+__all__ = ["input_gradient_norms", "GradientNormProbe"]
+
+
+def input_gradient_norms(global_model: ClassificationModel,
+                         teachers: Sequence[ClassificationModel],
+                         inputs: np.ndarray,
+                         losses: Iterable[str] = ("kl", "l1", "sl")) -> Dict[str, float]:
+    """Norm of ``∇_x L(F(x), f_ens(x))`` for each requested loss.
+
+    Parameters
+    ----------
+    global_model:
+        The student/global model ``F``.
+    teachers:
+        The on-device models forming the ensemble.
+    inputs:
+        Input batch as a plain array ``(N, C, H, W)``; gradients are taken
+        with respect to these values.
+    losses:
+        Names of the disagreement losses to probe.
+    """
+    results: Dict[str, float] = {}
+    for name in losses:
+        loss_fn = get_distillation_loss(name)
+        mode = ensemble_mode_for_loss(name)
+        x = Tensor(np.array(inputs, copy=True), requires_grad=True)
+        student_logits = global_model(x)
+        teacher_out = ensemble_output(teachers, x, mode=mode)
+        loss = loss_fn(student_logits, teacher_out)
+        # Clear any stale parameter gradients so the probe is side-effect free.
+        global_model.zero_grad()
+        for teacher in teachers:
+            teacher.zero_grad()
+        loss.backward()
+        results[name] = float(np.linalg.norm(x.grad)) if x.grad is not None else 0.0
+        global_model.zero_grad()
+        for teacher in teachers:
+            teacher.zero_grad()
+    return results
+
+
+class GradientNormProbe:
+    """Collect per-round input-gradient norms during a FedZKT run (Fig. 2).
+
+    Use as the ``round_callback`` of a simulation, or call :meth:`measure`
+    manually after each round.  The probe draws a fresh batch from the
+    server's generator each time (matching the zero-shot setting where the
+    "input data" are synthesized queries).
+    """
+
+    def __init__(self, global_model: ClassificationModel, teachers: Sequence[ClassificationModel],
+                 generator: Generator, batch_size: int = 32, seed: int = 0,
+                 losses: Iterable[str] = tuple(sorted(DISTILLATION_LOSSES))) -> None:
+        self.global_model = global_model
+        self.teachers = list(teachers)
+        self.generator = generator
+        self.batch_size = int(batch_size)
+        self.losses = tuple(losses)
+        self._rng = np.random.default_rng(seed)
+        self.history: Dict[str, list] = {name: [] for name in self.losses}
+
+    def measure(self) -> Dict[str, float]:
+        """Measure the gradient norms on a freshly generated batch."""
+        noise = self.generator.sample_noise(self.batch_size, self._rng)
+        from ..nn import no_grad  # local import avoids a cycle at module load
+
+        with no_grad():
+            synthetic = self.generator(noise)
+        norms = input_gradient_norms(self.global_model, self.teachers, synthetic.data,
+                                     losses=self.losses)
+        for name, value in norms.items():
+            self.history[name].append(value)
+        return norms
+
+    def __call__(self, record) -> None:
+        """Round-callback interface: measure and attach to the round record."""
+        norms = self.measure()
+        for name, value in norms.items():
+            record.server_metrics[f"grad_norm_{name}"] = value
+
+    def curves(self) -> Dict[str, list]:
+        """Per-loss list of measured norms (one entry per measurement)."""
+        return {name: list(values) for name, values in self.history.items()}

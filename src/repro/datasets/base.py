@@ -1,0 +1,108 @@
+"""Dataset containers shared by the whole library.
+
+A :class:`ImageDataset` is an in-memory array of images in NCHW layout plus
+integer labels.  Federated partitioners produce index-based
+:meth:`ImageDataset.subset` views, so device shards never copy pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ImageDataset", "train_test_split"]
+
+
+@dataclass
+class ImageDataset:
+    """In-memory labelled image dataset.
+
+    Attributes
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)`` with values roughly in ``[-1, 1]``.
+    labels:
+        Integer array of shape ``(N,)``.
+    num_classes:
+        Number of distinct classes the labels are drawn from.
+    name:
+        Human-readable dataset name (used in experiment reports).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError("images must have shape (N, C, H, W)")
+        if self.labels.ndim != 1 or self.labels.shape[0] != self.images.shape[0]:
+            raise ValueError("labels must be a 1-D array aligned with images")
+        if self.labels.size and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """``(channels, height, width)`` of a single image."""
+        return tuple(int(s) for s in self.images.shape[1:])
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "ImageDataset":
+        """Return a new dataset restricted to ``indices`` (copy-on-index)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ImageDataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=name or f"{self.name}[subset:{len(indices)}]",
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class (length ``num_classes``)."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def classes_present(self) -> np.ndarray:
+        """Sorted array of class indices that actually occur."""
+        return np.unique(self.labels)
+
+    def iter_class_indices(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(class_index, sample_indices)`` for every class with samples."""
+        for cls in range(self.num_classes):
+            idx = np.where(self.labels == cls)[0]
+            if idx.size:
+                yield cls, idx
+
+    def describe(self) -> str:
+        """One-line summary used by the experiment harness."""
+        return (
+            f"{self.name}: {len(self)} samples, shape {self.input_shape}, "
+            f"{self.num_classes} classes"
+        )
+
+
+def train_test_split(dataset: ImageDataset, test_fraction: float,
+                     rng: np.random.Generator) -> Tuple[ImageDataset, ImageDataset]:
+    """Split a dataset into train/test parts with class-stratified sampling."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    test_indices: list[int] = []
+    for _, indices in dataset.iter_class_indices():
+        permuted = rng.permutation(indices)
+        take = max(1, int(round(len(indices) * test_fraction)))
+        test_indices.extend(permuted[:take].tolist())
+    test_mask = np.zeros(len(dataset), dtype=bool)
+    test_mask[np.asarray(test_indices, dtype=np.int64)] = True
+    train_idx = np.where(~test_mask)[0]
+    test_idx = np.where(test_mask)[0]
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )

@@ -1,0 +1,61 @@
+"""Mini-batch iteration over :class:`ImageDataset` objects."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .base import ImageDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Number of samples per batch (the final batch may be smaller unless
+        ``drop_last`` is set).
+    shuffle:
+        Reshuffle the sample order at the start of every epoch.
+    rng:
+        Random generator controlling the shuffle (defaults to a fresh
+        generator seeded from ``seed``).
+    drop_last:
+        Drop a trailing partial batch.
+    """
+
+    def __init__(self, dataset: ImageDataset, batch_size: int = 32, shuffle: bool = True,
+                 rng: Optional[np.random.Generator] = None, seed: int = 0,
+                 drop_last: bool = False) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[Tensor, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            images = Tensor(self.dataset.images[batch])
+            labels = self.dataset.labels[batch]
+            yield images, labels

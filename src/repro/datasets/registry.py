@@ -1,0 +1,170 @@
+"""Named synthetic datasets mirroring the paper's experimental corpus.
+
+``load_dataset(name)`` returns train and test :class:`ImageDataset` splits
+for any of: ``mnist``, ``kmnist``, ``fashion``, ``cifar10``, ``cifar100``,
+``svhn`` (all synthetic stand-ins; see :mod:`repro.datasets.synthetic` for
+the substitution rationale).  ``public_dataset_for`` encodes the FedMD
+public-dataset pairings used in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from .base import ImageDataset
+from .synthetic import DATASET_FAMILY_SEEDS, SyntheticImageConfig, SyntheticImageGenerator
+
+__all__ = [
+    "DatasetBundle",
+    "available_datasets",
+    "dataset_config",
+    "load_dataset",
+    "public_dataset_for",
+    "dataset_family",
+    "PUBLIC_DATASET_PAIRS",
+]
+
+
+def _small_config(name: str, image_size: int) -> SyntheticImageConfig:
+    return SyntheticImageConfig(
+        name=name,
+        num_classes=10,
+        channels=1,
+        height=image_size,
+        width=image_size,
+        family_seed=DATASET_FAMILY_SEEDS[name],
+        smoothness=3,
+        noise_level=0.35,
+        max_shift=2,
+        contrast_range=(0.7, 1.3),
+        modes_per_class=2,
+        background_strength=0.4,
+    )
+
+
+def _cifar_config(name: str, image_size: int) -> SyntheticImageConfig:
+    jitter = 0.15 if name == "cifar100" else 0.0
+    num_classes = 100 if name == "cifar100" else 10
+    return SyntheticImageConfig(
+        name=name,
+        num_classes=num_classes,
+        channels=3,
+        height=image_size,
+        width=image_size,
+        family_seed=DATASET_FAMILY_SEEDS[name],
+        prototype_jitter=jitter,
+        smoothness=3,
+        noise_level=0.45,
+        max_shift=2,
+        contrast_range=(0.7, 1.3),
+        modes_per_class=3,
+        background_strength=0.5,
+    )
+
+
+def _svhn_config(name: str, image_size: int) -> SyntheticImageConfig:
+    # Independent family seed, sharper (less smooth) textures, stronger noise:
+    # deliberately far from the CIFAR-10 distribution.
+    return SyntheticImageConfig(
+        name=name,
+        num_classes=10,
+        channels=3,
+        height=image_size,
+        width=image_size,
+        family_seed=DATASET_FAMILY_SEEDS["svhn"],
+        smoothness=1,
+        noise_level=0.6,
+        max_shift=3,
+        contrast_range=(0.5, 1.5),
+        modes_per_class=2,
+        background_strength=0.3,
+    )
+
+
+_CONFIG_BUILDERS = {
+    "mnist": _small_config,
+    "kmnist": _small_config,
+    "fashion": _small_config,
+    "cifar10": _cifar_config,
+    "cifar100": _cifar_config,
+    "svhn": _svhn_config,
+}
+
+#: FedMD public-dataset pairings used in the paper (Section IV-A5): the
+#: on-device dataset maps to the public dataset(s) the server may use.
+PUBLIC_DATASET_PAIRS: Dict[str, List[str]] = {
+    "mnist": ["fashion"],
+    "fashion": ["mnist"],
+    "kmnist": ["fashion"],
+    "cifar10": ["cifar100", "svhn"],
+}
+
+
+class DatasetBundle(NamedTuple):
+    """Pair of (train, test) datasets returned by :func:`load_dataset`."""
+
+    train: ImageDataset
+    test: ImageDataset
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_CONFIG_BUILDERS)
+
+
+def dataset_family(name: str) -> str:
+    """Return ``'small'`` for the MNIST-like datasets and ``'cifar'`` otherwise."""
+    key = name.lower()
+    if key in ("mnist", "kmnist", "fashion"):
+        return "small"
+    if key in ("cifar10", "cifar100", "svhn"):
+        return "cifar"
+    raise KeyError(f"unknown dataset {name!r}")
+
+
+def dataset_config(name: str, image_size: int = 16) -> SyntheticImageConfig:
+    """Return the synthetic-generator configuration for a dataset name."""
+    key = name.lower()
+    if key not in _CONFIG_BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return _CONFIG_BUILDERS[key](key, image_size)
+
+
+def load_dataset(name: str, train_size: int = 2000, test_size: int = 500,
+                 image_size: int = 16, seed: int = 0) -> DatasetBundle:
+    """Generate train/test splits of a named synthetic dataset.
+
+    The train and test splits use different sampling seeds but the same
+    class-prototype bank, so they are i.i.d. draws from the same synthetic
+    distribution (the analogue of the official train/test splits).
+    """
+    config = dataset_config(name, image_size=image_size)
+    generator = SyntheticImageGenerator(config)
+    train = generator.sample(train_size, seed=seed * 7919 + 1)
+    test = generator.sample(test_size, seed=seed * 7919 + 2)
+    train.name = f"{config.name}-train"
+    test.name = f"{config.name}-test"
+    return DatasetBundle(train, test)
+
+
+def public_dataset_for(on_device: str, choice: Optional[str] = None,
+                       size: int = 1000, image_size: int = 16, seed: int = 123) -> ImageDataset:
+    """Return the (unlabelled-use) public dataset FedMD pairs with ``on_device``.
+
+    Parameters
+    ----------
+    on_device:
+        Name of the private on-device dataset.
+    choice:
+        Explicit public dataset name; defaults to the paper's primary pairing
+        (the first entry of :data:`PUBLIC_DATASET_PAIRS`).
+    """
+    key = on_device.lower()
+    if key not in PUBLIC_DATASET_PAIRS:
+        raise KeyError(f"no public-dataset pairing defined for {on_device!r}")
+    public_name = (choice or PUBLIC_DATASET_PAIRS[key][0]).lower()
+    config = dataset_config(public_name, image_size=image_size)
+    generator = SyntheticImageGenerator(config)
+    public = generator.sample(size, seed=seed)
+    public.name = f"{public_name}-public"
+    return public

@@ -1,0 +1,63 @@
+"""Lightweight image transforms (normalization, augmentation).
+
+The synthetic datasets are already produced in roughly ``[-1, 1]``; these
+transforms exist so downstream users can plug real data into the same
+pipeline and so the data-augmentation ablations have a substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .base import ImageDataset
+
+__all__ = ["normalize", "random_horizontal_flip", "random_translate", "apply_transforms"]
+
+
+def normalize(dataset: ImageDataset, mean: float = None, std: float = None) -> ImageDataset:
+    """Return a dataset with images standardized to zero mean, unit std.
+
+    When ``mean``/``std`` are not supplied they are computed from the data,
+    which is the usual per-dataset normalization recipe.
+    """
+    images = dataset.images
+    mean = float(images.mean()) if mean is None else float(mean)
+    std = float(images.std()) if std is None else float(std)
+    if std == 0:
+        raise ValueError("cannot normalize a constant dataset (std == 0)")
+    return ImageDataset(images=(images - mean) / std, labels=dataset.labels.copy(),
+                        num_classes=dataset.num_classes, name=f"{dataset.name}-norm")
+
+
+def random_horizontal_flip(dataset: ImageDataset, probability: float = 0.5,
+                           rng: np.random.Generator = None) -> ImageDataset:
+    """Flip each image left-right with the given probability."""
+    rng = rng or np.random.default_rng(0)
+    images = dataset.images.copy()
+    flips = rng.random(len(dataset)) < probability
+    images[flips] = images[flips, :, :, ::-1]
+    return ImageDataset(images=images, labels=dataset.labels.copy(),
+                        num_classes=dataset.num_classes, name=f"{dataset.name}-flip")
+
+
+def random_translate(dataset: ImageDataset, max_shift: int = 2,
+                     rng: np.random.Generator = None) -> ImageDataset:
+    """Randomly roll each image by up to ``max_shift`` pixels in each direction."""
+    rng = rng or np.random.default_rng(0)
+    images = dataset.images.copy()
+    for index in range(len(dataset)):
+        shift_h = int(rng.integers(-max_shift, max_shift + 1))
+        shift_w = int(rng.integers(-max_shift, max_shift + 1))
+        images[index] = np.roll(images[index], (shift_h, shift_w), axis=(1, 2))
+    return ImageDataset(images=images, labels=dataset.labels.copy(),
+                        num_classes=dataset.num_classes, name=f"{dataset.name}-shift")
+
+
+def apply_transforms(dataset: ImageDataset,
+                     transforms: Sequence[Callable[[ImageDataset], ImageDataset]]) -> ImageDataset:
+    """Apply a sequence of dataset-level transforms in order."""
+    for transform in transforms:
+        dataset = transform(dataset)
+    return dataset

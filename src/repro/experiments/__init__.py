@@ -1,0 +1,49 @@
+"""``repro.experiments`` — per-table/figure experiment runners and presets.
+
+``experiment_table1`` … ``experiment_fig7`` reproduce the corresponding
+artifacts of the paper at a configurable scale (``tiny`` for the benchmark
+suite, ``small`` for longer CPU runs, ``paper`` for the published
+hyper-parameters).
+"""
+
+from .configs import SCALES, ExperimentScale, federated_config_for, get_scale
+from .reporting import format_percent, format_run_summary, format_series, format_table
+from .runner import (
+    experiment_compute_split,
+    experiment_fig2,
+    experiment_fig3,
+    experiment_fig4_dirichlet,
+    experiment_fig4_quantity,
+    experiment_fig5_table3,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_table1,
+    experiment_table2,
+    experiment_table4,
+    run_fedmd,
+    run_fedzkt,
+)
+
+__all__ = [
+    "SCALES",
+    "ExperimentScale",
+    "get_scale",
+    "federated_config_for",
+    "format_table",
+    "format_series",
+    "format_percent",
+    "format_run_summary",
+    "run_fedzkt",
+    "run_fedmd",
+    "experiment_table1",
+    "experiment_fig2",
+    "experiment_fig3",
+    "experiment_fig4_quantity",
+    "experiment_fig4_dirichlet",
+    "experiment_table2",
+    "experiment_fig5_table3",
+    "experiment_fig6",
+    "experiment_table4",
+    "experiment_fig7",
+    "experiment_compute_split",
+]

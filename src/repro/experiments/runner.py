@@ -1,0 +1,381 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Every ``experiment_*`` function reproduces the corresponding artifact at a
+requested :class:`~repro.experiments.configs.ExperimentScale` and returns a
+dictionary with the raw numbers plus a ``formatted`` text rendering that
+mirrors the paper's presentation (rows for tables, series for figures).
+The benchmark suite calls these with ``scale="tiny"``; heavier scales can
+be run from the examples or a custom script.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.fedmd import build_fedmd
+from ..baselines.standalone import compute_bounds
+from ..core.fedzkt import build_fedzkt
+from ..core.gradient_probe import GradientNormProbe
+from ..datasets.registry import dataset_family, load_dataset, public_dataset_for
+from ..federated.history import TrainingHistory
+from ..federated.metrics import resource_split_summary
+from ..models.registry import device_specs_for_family, device_suite_for_family
+from ..partition import make_partitioner
+from .configs import ExperimentScale, federated_config_for, get_scale
+from .reporting import format_percent, format_series, format_table
+
+__all__ = [
+    "run_fedzkt",
+    "run_fedmd",
+    "experiment_table1",
+    "experiment_fig2",
+    "experiment_fig3",
+    "experiment_fig4_quantity",
+    "experiment_fig4_dirichlet",
+    "experiment_table2",
+    "experiment_fig5_table3",
+    "experiment_fig6",
+    "experiment_table4",
+    "experiment_fig7",
+    "experiment_compute_split",
+]
+
+
+def _resolve_scale(scale) -> ExperimentScale:
+    return scale if isinstance(scale, ExperimentScale) else get_scale(str(scale))
+
+
+def _partitioner_from_spec(spec: Tuple[str, Dict], num_devices: int, seed: int):
+    kind, kwargs = spec
+    return make_partitioner(kind, num_devices, seed=seed, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Single-run helpers
+# --------------------------------------------------------------------------- #
+def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
+               seed: int = 0, num_devices: Optional[int] = None,
+               participation_fraction: float = 1.0, prox_mu: float = 0.0,
+               distillation_loss: str = "sl", rounds: Optional[int] = None,
+               probe_gradients: bool = False, verbose: bool = False) -> TrainingHistory:
+    """Run FedZKT on a named dataset and return its training history."""
+    scale = _resolve_scale(scale)
+    family = dataset_family(dataset_name)
+    config = federated_config_for(scale, family, num_devices=num_devices,
+                                  participation_fraction=participation_fraction,
+                                  prox_mu=prox_mu, distillation_loss=distillation_loss,
+                                  seed=seed, rounds=rounds)
+    train, test = load_dataset(dataset_name, train_size=scale.train_size,
+                               test_size=scale.test_size, image_size=scale.image_size, seed=seed)
+    partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
+    simulation = build_fedzkt(train, test, config, family=family, partitioner=partitioner)
+
+    if probe_gradients:
+        server = simulation.server
+        probe = GradientNormProbe(server.global_model, list(server.device_models.values()),
+                                  server.generator, batch_size=min(32, config.server.batch_size),
+                                  seed=seed + 99)
+        simulation.round_callback = probe
+    history = simulation.run(verbose=verbose)
+    history.config["dataset"] = dataset_name
+    history.config["partition"] = f"{partition[0]}{partition[1] or ''}"
+    return history
+
+
+def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tiny",
+              partition: Tuple[str, Dict] = ("iid", {}), seed: int = 0,
+              num_devices: Optional[int] = None, participation_fraction: float = 1.0,
+              prox_mu: float = 0.0, rounds: Optional[int] = None,
+              verbose: bool = False) -> TrainingHistory:
+    """Run the FedMD baseline with the paper's public-dataset pairing."""
+    scale = _resolve_scale(scale)
+    family = dataset_family(dataset_name)
+    config = federated_config_for(scale, family, num_devices=num_devices,
+                                  participation_fraction=participation_fraction,
+                                  prox_mu=prox_mu, seed=seed, rounds=rounds)
+    train, test = load_dataset(dataset_name, train_size=scale.train_size,
+                               test_size=scale.test_size, image_size=scale.image_size, seed=seed)
+    public = public_dataset_for(dataset_name, choice=public_choice, size=scale.public_size,
+                                image_size=scale.image_size, seed=seed + 321)
+    partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
+    simulation = build_fedmd(train, test, public, config, family=family, partitioner=partitioner)
+    history = simulation.run(verbose=verbose)
+    history.config["dataset"] = dataset_name
+    history.config["public_dataset"] = public.name
+    history.config["partition"] = f"{partition[0]}{partition[1] or ''}"
+    return history
+
+
+def _headline_accuracy(history: TrainingHistory) -> float:
+    """The paper reports the best accuracy reached; global model if present,
+    otherwise the mean on-device accuracy (FedMD has no global model)."""
+    best_global = history.best_global_accuracy()
+    return best_global if best_global is not None else history.best_mean_device_accuracy()
+
+
+# --------------------------------------------------------------------------- #
+# Table I — IID accuracy, FedZKT vs FedMD (two public datasets for CIFAR-10)
+# --------------------------------------------------------------------------- #
+def experiment_table1(scale="tiny", datasets: Optional[Sequence[str]] = None,
+                      seed: int = 0) -> Dict[str, object]:
+    """FedZKT vs FedMD under IID data, one row per (dataset, public dataset)."""
+    scale = _resolve_scale(scale)
+    datasets = list(datasets) if datasets is not None else ["mnist", "fashion", "kmnist", "cifar10"]
+    rows: List[List[str]] = []
+    results: Dict[str, Dict[str, float]] = {}
+    for name in datasets:
+        fedzkt_history = run_fedzkt(name, scale, seed=seed)
+        fedzkt_acc = _headline_accuracy(fedzkt_history)
+        public_choices = ["cifar100", "svhn"] if name == "cifar10" else [None]
+        for choice in public_choices:
+            fedmd_history = run_fedmd(name, public_choice=choice, scale=scale, seed=seed)
+            fedmd_acc = _headline_accuracy(fedmd_history)
+            public_name = fedmd_history.config["public_dataset"]
+            rows.append([name, public_name, format_percent(fedmd_acc), format_percent(fedzkt_acc)])
+            results[f"{name}|{public_name}"] = {"fedmd": fedmd_acc, "fedzkt": fedzkt_acc}
+    formatted = format_table(
+        ["On-Device Dataset", "Public Dataset (FedMD)", "FedMD Accuracy", "FedZKT Accuracy"],
+        rows, title="Table I — IID on-device data")
+    return {"rows": rows, "results": results, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2 — norm of gradients w.r.t. input data for the three losses
+# --------------------------------------------------------------------------- #
+def experiment_fig2(scale="tiny", dataset: str = "mnist", seed: int = 0) -> Dict[str, object]:
+    """Per-round input-gradient norms of the SL / KL / ℓ1 losses (MNIST, IID)."""
+    scale = _resolve_scale(scale)
+    history = run_fedzkt(dataset, scale, seed=seed, probe_gradients=True)
+    curves = {
+        name: history.server_metric_curve(f"grad_norm_{name}")
+        for name in ("kl", "l1", "sl")
+    }
+    rounds = history.rounds()
+    lines = [format_series(f"{name} loss", rounds, values, y_format=lambda v: f"{v:.4g}")
+             for name, values in curves.items()]
+    formatted = "Figure 2 — norm of disagreement gradients w.r.t. input data\n" + "\n".join(lines)
+    return {"rounds": rounds, "curves": curves, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3 — learning curves of FedZKT and FedMD (CIFAR-10, IID)
+# --------------------------------------------------------------------------- #
+def experiment_fig3(scale="tiny", dataset: str = "cifar10", seed: int = 0) -> Dict[str, object]:
+    """Accuracy-per-round curves for FedZKT and FedMD (public = CIFAR-100)."""
+    scale = _resolve_scale(scale)
+    fedzkt_history = run_fedzkt(dataset, scale, seed=seed)
+    fedmd_history = run_fedmd(dataset, public_choice="cifar100", scale=scale, seed=seed)
+    fedzkt_curve = fedzkt_history.global_accuracy_curve()
+    fedmd_curve = fedmd_history.mean_device_accuracy_curve()
+    formatted = "Figure 3 — learning curves (CIFAR-10, IID)\n" + "\n".join([
+        format_series("FedZKT (global model)", fedzkt_history.rounds(), fedzkt_curve),
+        format_series("FedMD (mean device)", fedmd_history.rounds(), fedmd_curve),
+    ])
+    return {
+        "fedzkt": fedzkt_curve,
+        "fedmd": fedmd_curve,
+        "rounds": fedzkt_history.rounds(),
+        "formatted": formatted,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — non-IID label imbalance sweeps
+# --------------------------------------------------------------------------- #
+def experiment_fig4_quantity(scale="tiny", dataset: str = "mnist",
+                             classes_per_device: Sequence[int] = (2, 5), prox_mu: float = 0.05,
+                             seed: int = 0) -> Dict[str, object]:
+    """Quantity-based label imbalance: accuracy vs classes-per-device (Fig. 4 a–d)."""
+    scale = _resolve_scale(scale)
+    fedzkt_points, fedmd_points = [], []
+    for c in classes_per_device:
+        partition = ("quantity", {"classes_per_device": int(c)})
+        fedzkt_points.append(_headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
+                                                           prox_mu=prox_mu, seed=seed)))
+        fedmd_points.append(_headline_accuracy(run_fedmd(dataset, scale=scale, partition=partition,
+                                                         seed=seed)))
+    formatted = (f"Figure 4 (quantity-based label imbalance, {dataset})\n"
+                 + format_series("FedZKT", classes_per_device, fedzkt_points) + "\n"
+                 + format_series("FedMD", classes_per_device, fedmd_points))
+    return {"classes_per_device": list(classes_per_device), "fedzkt": fedzkt_points,
+            "fedmd": fedmd_points, "formatted": formatted}
+
+
+def experiment_fig4_dirichlet(scale="tiny", dataset: str = "mnist",
+                              betas: Sequence[float] = (0.1, 1.0), prox_mu: float = 0.05,
+                              seed: int = 0) -> Dict[str, object]:
+    """Distribution-based label imbalance: accuracy vs Dirichlet β (Fig. 4 e–h)."""
+    scale = _resolve_scale(scale)
+    fedzkt_points, fedmd_points = [], []
+    for beta in betas:
+        partition = ("dirichlet", {"beta": float(beta)})
+        fedzkt_points.append(_headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
+                                                           prox_mu=prox_mu, seed=seed)))
+        fedmd_points.append(_headline_accuracy(run_fedmd(dataset, scale=scale, partition=partition,
+                                                         seed=seed)))
+    formatted = (f"Figure 4 (distribution-based label imbalance, {dataset})\n"
+                 + format_series("FedZKT", betas, fedzkt_points) + "\n"
+                 + format_series("FedMD", betas, fedmd_points))
+    return {"betas": list(betas), "fedzkt": fedzkt_points, "fedmd": fedmd_points,
+            "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Table II — loss-function ablation under non-IID data
+# --------------------------------------------------------------------------- #
+def experiment_table2(scale="tiny", dataset: str = "cifar10", classes_per_device: int = 5,
+                      beta: float = 0.5, prox_mu: float = 0.05, seed: int = 0) -> Dict[str, object]:
+    """Compare KL / ℓ1 / SL distillation losses in the two non-IID scenarios."""
+    scale = _resolve_scale(scale)
+    scenarios = {
+        f"C = {classes_per_device}": ("quantity", {"classes_per_device": classes_per_device}),
+        f"beta = {beta}": ("dirichlet", {"beta": beta}),
+    }
+    results: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for label, partition in scenarios.items():
+        row = [label]
+        results[label] = {}
+        for loss_name in ("kl", "l1", "sl"):
+            history = run_fedzkt(dataset, scale, partition=partition, prox_mu=prox_mu,
+                                 distillation_loss=loss_name, seed=seed)
+            acc = _headline_accuracy(history)
+            results[label][loss_name] = acc
+            row.append(format_percent(acc))
+        rows.append(row)
+    formatted = format_table(["Non-IID scenario", "KL-divergence", "l1 norm", "SL loss"], rows,
+                             title=f"Table II — loss ablation ({dataset}, non-IID)")
+    return {"results": results, "rows": rows, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 + Table III — heterogeneous on-device models, per-device curves and bounds
+# --------------------------------------------------------------------------- #
+def experiment_fig5_table3(scale="tiny", dataset: str = "cifar10", seed: int = 0,
+                           bound_epochs: Optional[int] = None) -> Dict[str, object]:
+    """Per-device learning curves (Fig. 5) and standalone bounds (Table III)."""
+    scale = _resolve_scale(scale)
+    family = dataset_family(dataset)
+    history = run_fedzkt(dataset, scale, seed=seed)
+    num_devices = history.config["num_devices"]
+    specs = device_specs_for_family(family, num_devices)
+
+    # Standalone bounds use the same architectures and shards.
+    train, test = load_dataset(dataset, train_size=scale.train_size, test_size=scale.test_size,
+                               image_size=scale.image_size, seed=seed)
+    partitioner = make_partitioner("iid", num_devices, seed=seed)
+    shards = partitioner.partition(train)
+    models = device_suite_for_family(family, num_devices, train.input_shape,
+                                     train.num_classes, seed=seed)
+    epochs = bound_epochs if bound_epochs is not None else max(
+        1, scale.local_epochs_for(family) * scale.rounds_for(family))
+    bounds = compute_bounds(models, shards, train, test, epochs=epochs, lr=scale.device_lr,
+                            batch_size=scale.batch_size, seed=seed,
+                            labels=[spec.describe() for spec in specs])
+
+    curves = {device_id: history.device_accuracy_curve(device_id)
+              for device_id in range(num_devices)}
+    final = history.final_device_accuracies()
+    rows = [
+        [f"Device {b.device_id + 1}: {b.architecture}", format_percent(b.upper_bound),
+         format_percent(b.lower_bound), format_percent(final.get(b.device_id))]
+        for b in bounds
+    ]
+    formatted = (
+        format_table(["Model Architecture", "Upper Bound", "Lower Bound", "FedZKT (final)"], rows,
+                     title=f"Table III — standalone bounds vs FedZKT ({dataset}, IID)")
+        + "\n\nFigure 5 — per-device learning curves\n"
+        + "\n".join(format_series(f"Device {device_id + 1}", history.rounds(), curve)
+                    for device_id, curve in curves.items())
+    )
+    return {"bounds": [b.as_dict() for b in bounds], "curves": curves,
+            "final_accuracies": final, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — straggler effect (participation fraction sweep)
+# --------------------------------------------------------------------------- #
+def experiment_fig6(scale="tiny", dataset: str = "mnist",
+                    portions: Sequence[float] = (0.2, 0.6, 1.0), seed: int = 0) -> Dict[str, object]:
+    """Average on-device accuracy per round for different active portions ``p``."""
+    scale = _resolve_scale(scale)
+    curves: Dict[float, List[float]] = {}
+    for portion in portions:
+        history = run_fedzkt(dataset, scale, participation_fraction=float(portion), seed=seed)
+        curves[float(portion)] = history.mean_device_accuracy_curve()
+    rounds = list(range(1, len(next(iter(curves.values()))) + 1))
+    formatted = (f"Figure 6 — straggler effect ({dataset}, IID)\n"
+                 + "\n".join(format_series(f"p = {portion}", rounds, curve)
+                             for portion, curve in curves.items()))
+    return {"portions": list(portions), "curves": curves, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Table IV — effect of the ℓ2 regularizer under non-IID data
+# --------------------------------------------------------------------------- #
+def experiment_table4(scale="tiny", dataset: str = "cifar10", classes_per_device: int = 5,
+                      beta: float = 0.5, prox_mu: float = 0.05, seed: int = 0) -> Dict[str, object]:
+    """FedZKT with and without the on-device ℓ2 proximal term (Eq. 9)."""
+    scale = _resolve_scale(scale)
+    scenarios = {
+        f"C = {classes_per_device}": ("quantity", {"classes_per_device": classes_per_device}),
+        f"beta = {beta}": ("dirichlet", {"beta": beta}),
+    }
+    rows = []
+    results: Dict[str, Dict[str, float]] = {}
+    for label, partition in scenarios.items():
+        without = _headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
+                                                prox_mu=0.0, seed=seed))
+        with_reg = _headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
+                                                 prox_mu=prox_mu, seed=seed))
+        rows.append([label, format_percent(without), format_percent(with_reg)])
+        results[label] = {"no_regularization": without, "l2_regularization": with_reg}
+    formatted = format_table(["Non-IID scenario", "no regularization", "l2 regularization"], rows,
+                             title=f"Table IV — effect of l2 regularization ({dataset}, non-IID)")
+    return {"results": results, "rows": rows, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7 — effect of the number of devices
+# --------------------------------------------------------------------------- #
+def experiment_fig7(scale="tiny", dataset: str = "mnist",
+                    device_counts: Sequence[int] = (5, 10), seed: int = 0) -> Dict[str, object]:
+    """Average on-device accuracy per round for different device counts K."""
+    scale = _resolve_scale(scale)
+    curves: Dict[int, List[float]] = {}
+    for count in device_counts:
+        history = run_fedzkt(dataset, scale, num_devices=int(count), seed=seed)
+        curves[int(count)] = history.mean_device_accuracy_curve()
+    rounds = list(range(1, len(next(iter(curves.values()))) + 1))
+    formatted = (f"Figure 7 — effect of device number ({dataset}, IID)\n"
+                 + "\n".join(format_series(f"{count} devices", rounds, curve)
+                             for count, curve in curves.items()))
+    return {"device_counts": list(device_counts), "curves": curves, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Extension ablation — server/device compute split (the resource argument)
+# --------------------------------------------------------------------------- #
+def experiment_compute_split(scale="tiny", dataset: str = "mnist", seed: int = 0) -> Dict[str, object]:
+    """Quantify how much of the total work FedZKT places on the server."""
+    scale = _resolve_scale(scale)
+    family = dataset_family(dataset)
+    config = federated_config_for(scale, family, seed=seed)
+    train, test = load_dataset(dataset, train_size=scale.train_size, test_size=scale.test_size,
+                               image_size=scale.image_size, seed=seed)
+    simulation = build_fedzkt(train, test, config, family=family)
+    simulation.run()
+    summary = resource_split_summary(simulation.devices,
+                                     simulation.server.server_parameter_updates,
+                                     rounds=config.rounds, local_epochs=config.local_epochs)
+    rows = [[entry["device_id"], entry["model_parameters"], entry["compute_estimate"]]
+            for entry in summary["per_device"]]
+    formatted = (
+        format_table(["Device", "Model parameters", "Device compute (param-grads)"], rows,
+                     title=f"Compute-split ablation ({dataset})")
+        + f"\nServer compute (param-grads): {summary['server_total_compute']}"
+        + f"\nServer/device compute ratio: {summary['server_to_device_ratio']:.1f}x"
+    )
+    return {"summary": summary, "formatted": formatted}

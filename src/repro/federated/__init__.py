@@ -1,0 +1,40 @@
+"""``repro.federated`` — the federated-learning substrate.
+
+Devices (local training, parameter exchange), the abstract server
+interface, active-device sampling (stragglers), the round loop of
+Algorithm 1, per-round history, and resource accounting.
+"""
+
+from .config import FederatedConfig, ServerConfig
+from .device import Device, LocalTrainingReport
+from .history import RoundRecord, TrainingHistory
+from .metrics import (
+    CommunicationReport,
+    communication_report,
+    device_compute_estimate,
+    model_size_bytes,
+    resource_split_summary,
+)
+from .sampling import DeviceSampler, FixedSampler, UniformSampler
+from .server import FederatedServer, evaluate_model
+from .simulation import FederatedSimulation
+
+__all__ = [
+    "FederatedConfig",
+    "ServerConfig",
+    "Device",
+    "LocalTrainingReport",
+    "RoundRecord",
+    "TrainingHistory",
+    "DeviceSampler",
+    "UniformSampler",
+    "FixedSampler",
+    "FederatedServer",
+    "evaluate_model",
+    "FederatedSimulation",
+    "CommunicationReport",
+    "communication_report",
+    "model_size_bytes",
+    "device_compute_estimate",
+    "resource_split_summary",
+]

@@ -1,0 +1,144 @@
+"""Configuration dataclasses for federated experiments.
+
+A single :class:`FederatedConfig` captures every knob of the paper's
+federated setting (Section IV-A3): number of devices, communication rounds,
+local epochs, batch size, learning rates, participation fraction (straggler
+portion ``p``), distillation iterations, and the on-device ℓ2 proximal
+coefficient.  The experiment harness builds these from per-table presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+__all__ = ["FederatedConfig", "ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server-side (distillation) hyper-parameters.
+
+    Attributes
+    ----------
+    distillation_iterations:
+        Number of adversarial generator/global-model iterations per round
+        (``n_D`` in Algorithm 3); the paper uses 200 for the small datasets
+        and 500 for CIFAR-10.
+    transfer_iterations:
+        Number of back-transfer iterations distilling the global model into
+        the on-device models; defaults to ``distillation_iterations``.
+    batch_size:
+        Batch size of generated samples per distillation step (paper: 256).
+    generator_lr:
+        Adam learning rate for the generator (paper: 0.001).
+    global_lr:
+        SGD learning rate for the global model (paper: 0.01).
+    device_distill_lr:
+        SGD learning rate used when distilling back into on-device models.
+    lr_decay_gamma / lr_decay_milestones:
+        Learning-rate decay applied at fractions of the total iterations
+        (paper: ×0.3 at 1/2 and 3/4).
+    noise_dim:
+        Latent dimension of the generator input noise.
+    distillation_loss:
+        Disagreement loss between the global model and the ensemble:
+        ``"sl"`` (paper default), ``"kl"``, or ``"l1"``.
+    global_steps_per_generator_step:
+        How many global-model (student) updates are performed per generator
+        update.  Algorithm 3 alternates 1:1; giving the student several
+        steps per generator step keeps the adversarial game from saturating
+        at small iteration budgets (an implementation detail documented in
+        DESIGN.md; set to 1 for the literal algorithm).
+    """
+
+    distillation_iterations: int = 20
+    transfer_iterations: Optional[int] = None
+    batch_size: int = 32
+    generator_lr: float = 1e-3
+    global_lr: float = 0.01
+    device_distill_lr: float = 0.01
+    lr_decay_gamma: float = 0.3
+    lr_decay_milestones: tuple = (0.5, 0.75)
+    noise_dim: int = 64
+    distillation_loss: str = "sl"
+    global_steps_per_generator_step: int = 5
+
+    @property
+    def effective_transfer_iterations(self) -> int:
+        return self.transfer_iterations if self.transfer_iterations is not None else self.distillation_iterations
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Full configuration of a federated learning run.
+
+    Attributes
+    ----------
+    num_devices:
+        Number of participating devices (K); the paper sweeps {5,10,15,20}.
+    rounds:
+        Total communication rounds (T); paper: 50 small / 100 CIFAR-10.
+    local_epochs:
+        On-device training epochs per round (T_l); paper: 5 small / 10 CIFAR.
+    batch_size:
+        On-device mini-batch size (paper: 256; scaled down here).
+    device_lr:
+        On-device SGD learning rate (paper: 0.01).
+    device_momentum / device_weight_decay:
+        On-device SGD momentum and weight decay (paper: 0 / 5e-4 for CIFAR).
+    participation_fraction:
+        Fraction ``p`` of devices active each round (straggler study, Fig 6).
+    prox_mu:
+        Coefficient of the ℓ2 proximal regularizer of Eq. 9 (0 disables it).
+    seed:
+        Master seed; all randomness (partitioning, sampling, init) derives
+        from it.
+    server:
+        Server-side distillation configuration.
+    """
+
+    num_devices: int = 10
+    rounds: int = 10
+    local_epochs: int = 2
+    batch_size: int = 32
+    device_lr: float = 0.01
+    device_momentum: float = 0.9
+    device_weight_decay: float = 0.0
+    participation_fraction: float = 1.0
+    prox_mu: float = 0.0
+    seed: int = 0
+    server: ServerConfig = field(default_factory=ServerConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if not 0.0 < self.participation_fraction <= 1.0:
+            raise ValueError("participation_fraction must be in (0, 1]")
+        if self.rounds < 1:
+            raise ValueError("rounds must be at least 1")
+        if self.local_epochs < 0:
+            raise ValueError("local_epochs must be non-negative")
+        if self.prox_mu < 0:
+            raise ValueError("prox_mu must be non-negative")
+
+    def with_overrides(self, **kwargs) -> "FederatedConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dictionary of the configuration (for experiment reports)."""
+        summary = {
+            "num_devices": self.num_devices,
+            "rounds": self.rounds,
+            "local_epochs": self.local_epochs,
+            "batch_size": self.batch_size,
+            "device_lr": self.device_lr,
+            "participation_fraction": self.participation_fraction,
+            "prox_mu": self.prox_mu,
+            "seed": self.seed,
+            "distillation_iterations": self.server.distillation_iterations,
+            "distillation_loss": self.server.distillation_loss,
+            "server_batch_size": self.server.batch_size,
+        }
+        return summary

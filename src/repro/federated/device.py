@@ -1,0 +1,176 @@
+"""On-device participant: local training and parameter exchange.
+
+A :class:`Device` owns a private dataset shard and an independently chosen
+model architecture.  Its only heavy operation is :meth:`Device.local_train`,
+which implements Algorithm 2 of the paper (mini-batch SGD on the private
+data with cross-entropy), optionally augmented with the ℓ2 proximal
+regularizer of Eq. 9 anchored at the parameters last received from the
+server.  Everything compute-intensive (distillation) happens on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..datasets.dataloader import DataLoader
+from ..models.base import ClassificationModel
+from ..nn import no_grad
+from ..nn.functional import accuracy
+from ..nn.losses import cross_entropy, l2_proximal
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+
+__all__ = ["Device", "LocalTrainingReport"]
+
+
+@dataclass
+class LocalTrainingReport:
+    """Statistics returned by one call to :meth:`Device.local_train`."""
+
+    device_id: int
+    epochs: int
+    batches: int
+    final_loss: float
+    mean_loss: float
+    samples_seen: int
+    parameter_updates: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "device_id": self.device_id,
+            "epochs": self.epochs,
+            "batches": self.batches,
+            "final_loss": self.final_loss,
+            "mean_loss": self.mean_loss,
+            "samples_seen": self.samples_seen,
+            "parameter_updates": self.parameter_updates,
+        }
+
+
+class Device:
+    """A federated device with an independently designed on-device model.
+
+    Parameters
+    ----------
+    device_id:
+        Integer identifier (0-based).
+    model:
+        The on-device model; architectures may differ across devices.
+    dataset:
+        Private local data shard; never leaves the device.
+    lr, momentum, weight_decay, batch_size:
+        Local SGD hyper-parameters (Algorithm 2).
+    prox_mu:
+        Coefficient of the ℓ2 proximal term of Eq. 9.  When positive, the
+        local loss becomes ``CE + prox_mu * ||w - w_received||²`` where
+        ``w_received`` are the parameters last received from the server.
+    seed:
+        Seed for the local data shuffling.
+    """
+
+    def __init__(self, device_id: int, model: ClassificationModel, dataset: ImageDataset,
+                 lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0,
+                 batch_size: int = 32, prox_mu: float = 0.0, seed: int = 0) -> None:
+        self.device_id = int(device_id)
+        self.model = model
+        self.dataset = dataset
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.batch_size = int(batch_size)
+        self.prox_mu = float(prox_mu)
+        self._rng = np.random.default_rng(seed)
+        self._anchor: Optional[List[np.ndarray]] = None
+        # Communication accounting (floats exchanged with the server).
+        self.uploaded_parameters = 0
+        self.downloaded_parameters = 0
+
+    # ------------------------------------------------------------------ #
+    # Parameter exchange
+    # ------------------------------------------------------------------ #
+    def send_parameters(self) -> Dict[str, np.ndarray]:
+        """Upload the current on-device parameters ŵ_k to the server."""
+        state = self.model.state_dict()
+        self.uploaded_parameters += int(sum(v.size for v in state.values()))
+        return state
+
+    def receive_parameters(self, state: Dict[str, np.ndarray]) -> None:
+        """Absorb the server-distilled parameters w_k (Algorithm 1, line 12).
+
+        The received parameters also become the anchor of the ℓ2 proximal
+        term for the next local update (Eq. 9 uses w_k^{t-1}).
+        """
+        self.model.load_state_dict(state)
+        self.downloaded_parameters += int(sum(v.size for v in state.values()))
+        self._anchor = [param.data.copy() for param in self.model.parameters()]
+
+    @property
+    def has_anchor(self) -> bool:
+        """Whether the device has received server parameters at least once."""
+        return self._anchor is not None
+
+    # ------------------------------------------------------------------ #
+    # Local training (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def local_train(self, epochs: int) -> LocalTrainingReport:
+        """Run ``epochs`` of local SGD on the private shard."""
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        self.model.train()
+        optimizer = SGD(self.model.parameters(), lr=self.lr, momentum=self.momentum,
+                        weight_decay=self.weight_decay)
+        loader = DataLoader(self.dataset, batch_size=self.batch_size, shuffle=True, rng=self._rng)
+        losses: List[float] = []
+        batches = 0
+        samples = 0
+        for _ in range(epochs):
+            for images, labels in loader:
+                optimizer.zero_grad()
+                logits = self.model(images)
+                loss = cross_entropy(logits, labels)
+                if self.prox_mu > 0 and self._anchor is not None:
+                    loss = loss + l2_proximal(self.model.parameters(), self._anchor, mu=self.prox_mu)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                batches += 1
+                samples += len(labels)
+        final_loss = losses[-1] if losses else 0.0
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        return LocalTrainingReport(
+            device_id=self.device_id,
+            epochs=epochs,
+            batches=batches,
+            final_loss=final_loss,
+            mean_loss=mean_loss,
+            samples_seen=samples,
+            parameter_updates=batches * self.model.num_parameters(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, dataset: ImageDataset, batch_size: int = 256) -> float:
+        """Top-1 accuracy of the on-device model on ``dataset``."""
+        self.model.eval()
+        correct = 0
+        total = 0
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                images = Tensor(dataset.images[start:start + batch_size])
+                labels = dataset.labels[start:start + batch_size]
+                correct += accuracy(self.model(images), labels) * len(labels)
+                total += len(labels)
+        self.model.train()
+        return float(correct / total) if total else 0.0
+
+    def describe(self) -> str:
+        """One-line description used in experiment logs (Fig. 5 / Table III)."""
+        return (
+            f"device {self.device_id}: {self.model.__class__.__name__} "
+            f"({self.model.num_parameters()} params, {len(self.dataset)} samples)"
+        )

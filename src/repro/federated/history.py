@@ -1,0 +1,136 @@
+"""Training history: per-round metrics collected by the simulation loop.
+
+The paper reports several different curves and tables from the same runs —
+global-model accuracy (Table I), per-device accuracy (Fig. 5), average
+on-device accuracy (Figs. 6/7), and diagnostic quantities such as the norm
+of gradients with respect to the generator inputs (Fig. 2).  The history
+object records all of them per round so the experiment harness can derive
+any table or series afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics for one communication round."""
+
+    round_index: int
+    global_accuracy: Optional[float] = None
+    device_accuracies: Dict[int, float] = field(default_factory=dict)
+    active_devices: List[int] = field(default_factory=list)
+    local_loss: Optional[float] = None
+    server_metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_device_accuracy(self) -> float:
+        """Average accuracy over all devices evaluated this round."""
+        if not self.device_accuracies:
+            return 0.0
+        return float(np.mean(list(self.device_accuracies.values())))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round_index,
+            "global_accuracy": self.global_accuracy,
+            "mean_device_accuracy": self.mean_device_accuracy,
+            "device_accuracies": dict(self.device_accuracies),
+            "active_devices": list(self.active_devices),
+            "local_loss": self.local_loss,
+            "server_metrics": dict(self.server_metrics),
+        }
+
+
+class TrainingHistory:
+    """Ordered collection of :class:`RoundRecord` with convenience accessors."""
+
+    def __init__(self, algorithm: str = "", config: Optional[Dict[str, object]] = None) -> None:
+        self.algorithm = algorithm
+        self.config = dict(config or {})
+        self.records: List[RoundRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Series accessors (the paper's learning curves)
+    # ------------------------------------------------------------------ #
+    def rounds(self) -> List[int]:
+        return [record.round_index for record in self.records]
+
+    def global_accuracy_curve(self) -> List[float]:
+        """Global-model accuracy per round (Figure 3-style learning curve)."""
+        return [record.global_accuracy for record in self.records
+                if record.global_accuracy is not None]
+
+    def mean_device_accuracy_curve(self) -> List[float]:
+        """Average on-device accuracy per round (Figures 5–7)."""
+        return [record.mean_device_accuracy for record in self.records]
+
+    def device_accuracy_curve(self, device_id: int) -> List[float]:
+        """Accuracy curve of one device (Figure 5)."""
+        return [record.device_accuracies.get(device_id) for record in self.records
+                if device_id in record.device_accuracies]
+
+    def server_metric_curve(self, key: str) -> List[float]:
+        """Curve of an arbitrary server-side metric (e.g. gradient norms, Fig. 2)."""
+        return [record.server_metrics[key] for record in self.records
+                if key in record.server_metrics]
+
+    # ------------------------------------------------------------------ #
+    # Scalar summaries (the paper's tables)
+    # ------------------------------------------------------------------ #
+    def final_global_accuracy(self) -> Optional[float]:
+        curve = self.global_accuracy_curve()
+        return curve[-1] if curve else None
+
+    def best_global_accuracy(self) -> Optional[float]:
+        curve = self.global_accuracy_curve()
+        return max(curve) if curve else None
+
+    def final_mean_device_accuracy(self) -> float:
+        curve = self.mean_device_accuracy_curve()
+        return curve[-1] if curve else 0.0
+
+    def best_mean_device_accuracy(self) -> float:
+        curve = self.mean_device_accuracy_curve()
+        return max(curve) if curve else 0.0
+
+    def final_device_accuracies(self) -> Dict[int, float]:
+        if not self.records:
+            return {}
+        return dict(self.records[-1].device_accuracies)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Serializable representation (used by EXPERIMENTS.md generation)."""
+        return {
+            "algorithm": self.algorithm,
+            "config": dict(self.config),
+            "rounds": [record.as_dict() for record in self.records],
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary of the run's headline numbers."""
+        return {
+            "algorithm": self.algorithm,
+            "rounds": len(self.records),
+            "final_global_accuracy": self.final_global_accuracy(),
+            "best_global_accuracy": self.best_global_accuracy(),
+            "final_mean_device_accuracy": self.final_mean_device_accuracy(),
+            "best_mean_device_accuracy": self.best_mean_device_accuracy(),
+        }

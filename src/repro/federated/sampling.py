@@ -1,0 +1,62 @@
+"""Active-device sampling (straggler simulation).
+
+Each communication round the server selects a random subset of devices as
+active participants (Algorithm 1, line 3).  The straggler study of Fig. 6
+varies the active portion ``p``; inactive devices skip local training that
+round but still receive the distilled parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["DeviceSampler", "UniformSampler", "FixedSampler"]
+
+
+class DeviceSampler:
+    """Base class: pick the active device ids for a given round."""
+
+    def sample(self, round_index: int, num_devices: int) -> List[int]:
+        raise NotImplementedError
+
+
+class UniformSampler(DeviceSampler):
+    """Sample ``ceil(p * K)`` devices uniformly at random each round.
+
+    Parameters
+    ----------
+    participation_fraction:
+        Portion ``p`` of devices active per round; ``1.0`` means full
+        participation (no stragglers).
+    seed:
+        Seed of the sampling RNG; rounds draw sequentially from one stream
+        so different ``p`` values remain comparable.
+    """
+
+    def __init__(self, participation_fraction: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 < participation_fraction <= 1.0:
+            raise ValueError("participation_fraction must be in (0, 1]")
+        self.participation_fraction = float(participation_fraction)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, round_index: int, num_devices: int) -> List[int]:
+        count = max(1, int(np.ceil(self.participation_fraction * num_devices)))
+        chosen = self._rng.choice(num_devices, size=min(count, num_devices), replace=False)
+        return sorted(int(c) for c in chosen)
+
+
+class FixedSampler(DeviceSampler):
+    """Always activate the same fixed set of devices (useful in tests)."""
+
+    def __init__(self, active_devices: Sequence[int]) -> None:
+        self.active_devices = sorted(int(d) for d in active_devices)
+        if not self.active_devices:
+            raise ValueError("active_devices must not be empty")
+
+    def sample(self, round_index: int, num_devices: int) -> List[int]:
+        out_of_range = [d for d in self.active_devices if d >= num_devices or d < 0]
+        if out_of_range:
+            raise ValueError(f"active devices {out_of_range} out of range for {num_devices} devices")
+        return list(self.active_devices)

@@ -1,0 +1,99 @@
+"""Abstract federated server interface.
+
+Algorithms (FedZKT, FedMD, FedAvg, FedProx) differ only in what the server
+does between collecting device uploads and broadcasting updates.  The
+simulation loop (:mod:`repro.federated.simulation`) drives any
+:class:`FederatedServer` through the same three-phase round:
+
+1. ``collect``    — receive uploaded parameters from the active devices;
+2. ``aggregate``  — algorithm-specific server computation;
+3. ``broadcast``  — return the per-device payloads to deliver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..models.base import ClassificationModel
+from ..nn import no_grad
+from ..nn.functional import accuracy
+from ..nn.tensor import Tensor
+
+__all__ = ["FederatedServer", "evaluate_model"]
+
+
+def evaluate_model(model: ClassificationModel, dataset: ImageDataset,
+                   batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (in eval mode, no gradients)."""
+    was_training = model.training
+    model.eval()
+    correct = 0.0
+    total = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            images = Tensor(dataset.images[start:start + batch_size])
+            labels = dataset.labels[start:start + batch_size]
+            correct += accuracy(model(images), labels) * len(labels)
+            total += len(labels)
+    if was_training:
+        model.train()
+    return float(correct / total) if total else 0.0
+
+
+class FederatedServer:
+    """Base class for federated servers.
+
+    Subclasses implement :meth:`aggregate` (the algorithm-specific central
+    computation) and may override :meth:`payload_for` to control what each
+    device receives back.
+    """
+
+    #: Human-readable algorithm name recorded in training histories.
+    name = "base"
+
+    def __init__(self) -> None:
+        self._uploads: Dict[int, Dict[str, np.ndarray]] = {}
+        self.last_metrics: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Round phases
+    # ------------------------------------------------------------------ #
+    def collect(self, device_id: int, state: Dict[str, np.ndarray]) -> None:
+        """Receive an uploaded parameter set from an active device."""
+        self._uploads[device_id] = state
+
+    def aggregate(self, round_index: int, active_devices: List[int]) -> None:
+        """Run the server-side computation for this round."""
+        raise NotImplementedError
+
+    def payload_for(self, device_id: int) -> Optional[Dict[str, np.ndarray]]:
+        """Parameters to send back to ``device_id`` (None = nothing to send)."""
+        raise NotImplementedError
+
+    def finish_round(self) -> None:
+        """Clear per-round upload buffers (called by the simulation loop)."""
+        self._uploads.clear()
+
+    # ------------------------------------------------------------------ #
+    # Optional global model
+    # ------------------------------------------------------------------ #
+    @property
+    def global_model(self) -> Optional[ClassificationModel]:
+        """The server's global model ``F`` if the algorithm maintains one."""
+        return None
+
+    def evaluate_global(self, dataset: ImageDataset) -> Optional[float]:
+        """Accuracy of the global model, or None for algorithms without one."""
+        model = self.global_model
+        if model is None:
+            return None
+        return evaluate_model(model, dataset)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def uploads(self) -> Dict[int, Dict[str, np.ndarray]]:
+        """Device uploads collected so far this round."""
+        return self._uploads

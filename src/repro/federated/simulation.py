@@ -1,0 +1,120 @@
+"""The federated simulation loop (Algorithm 1 of the paper).
+
+``FederatedSimulation`` wires together devices, a server, a device sampler,
+and a test set, and runs the communication rounds:
+
+1. the sampler picks the active devices for the round;
+2. active devices run local training (Algorithm 2) and upload parameters;
+3. the server aggregates (FedZKT: Algorithm 3; baselines: their own rules);
+4. the server broadcasts per-device payloads to **all** devices
+   (Algorithm 1, lines 11–13 — inactive devices also receive updates);
+5. the loop evaluates the global model and every on-device model on the
+   held-out test set and appends a :class:`RoundRecord`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from .config import FederatedConfig
+from .device import Device
+from .history import RoundRecord, TrainingHistory
+from .sampling import DeviceSampler, UniformSampler
+from .server import FederatedServer
+
+__all__ = ["FederatedSimulation"]
+
+
+class FederatedSimulation:
+    """Run a federated algorithm end to end.
+
+    Parameters
+    ----------
+    devices:
+        The federated devices (with their heterogeneous models and shards).
+    server:
+        The algorithm-specific server.
+    config:
+        Federated configuration (rounds, local epochs, participation, ...).
+    test_dataset:
+        Held-out test set used for per-round evaluation.
+    sampler:
+        Device sampler; defaults to :class:`UniformSampler` with the
+        config's participation fraction.
+    evaluate_devices:
+        Whether to evaluate every on-device model each round (needed for
+        Figs. 5–7; can be disabled to speed up global-model-only studies).
+    round_callback:
+        Optional hook invoked with each completed :class:`RoundRecord`
+        (used by diagnostics such as the Fig. 2 gradient probe).
+    """
+
+    def __init__(self, devices: Sequence[Device], server: FederatedServer,
+                 config: FederatedConfig, test_dataset: ImageDataset,
+                 sampler: Optional[DeviceSampler] = None,
+                 evaluate_devices: bool = True,
+                 round_callback: Optional[Callable[[RoundRecord], None]] = None) -> None:
+        if not devices:
+            raise ValueError("at least one device is required")
+        self.devices = list(devices)
+        self.server = server
+        self.config = config
+        self.test_dataset = test_dataset
+        self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
+        self.evaluate_devices = evaluate_devices
+        self.round_callback = round_callback
+        self.history = TrainingHistory(algorithm=server.name, config=config.describe())
+
+    # ------------------------------------------------------------------ #
+    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
+        """Execute ``rounds`` communication rounds (defaults to the config)."""
+        total_rounds = rounds if rounds is not None else self.config.rounds
+        for round_index in range(1, total_rounds + 1):
+            record = self.run_round(round_index)
+            if verbose:
+                global_part = (
+                    f"global={record.global_accuracy:.3f} " if record.global_accuracy is not None else ""
+                )
+                print(
+                    f"[{self.server.name}] round {round_index}/{total_rounds} "
+                    f"{global_part}mean_device={record.mean_device_accuracy:.3f}"
+                )
+        return self.history
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Run a single communication round and record its metrics."""
+        active = self.sampler.sample(round_index, len(self.devices))
+
+        # --- On-device updates (Algorithm 2) --------------------------------
+        local_losses: List[float] = []
+        for device_id in active:
+            device = self.devices[device_id]
+            report = device.local_train(self.config.local_epochs)
+            local_losses.append(report.mean_loss)
+            self.server.collect(device_id, device.send_parameters())
+
+        # --- Server update (Algorithm 3 / baseline-specific) ----------------
+        self.server.aggregate(round_index, active)
+
+        # --- Broadcast to all devices ----------------------------------------
+        for device in self.devices:
+            payload = self.server.payload_for(device.device_id)
+            if payload is not None:
+                device.receive_parameters(payload)
+        self.server.finish_round()
+
+        # --- Evaluation -------------------------------------------------------
+        record = RoundRecord(round_index=round_index, active_devices=list(active))
+        record.local_loss = float(np.mean(local_losses)) if local_losses else None
+        record.global_accuracy = self.server.evaluate_global(self.test_dataset)
+        if self.evaluate_devices:
+            for device in self.devices:
+                record.device_accuracies[device.device_id] = device.evaluate(self.test_dataset)
+        record.server_metrics = dict(self.server.last_metrics)
+        self.history.append(record)
+        if self.round_callback is not None:
+            self.round_callback(record)
+        return record

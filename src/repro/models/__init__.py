@@ -1,0 +1,52 @@
+"""``repro.models`` — the on-device model zoo and the server-side generator.
+
+Architectures match the families used in the paper's evaluation:
+ShuffleNetV2- and MobileNetV2-style compact networks (Models A–D),
+LeNet-like networks (Model E and the small-dataset variants), a simple CNN,
+and a fully-connected model, plus the DCGAN-style generator the server
+trains adversarially for zero-shot distillation.
+"""
+
+from .base import ClassificationModel
+from .generator import Generator
+from .mobilenet import InvertedResidual, MobileNetV2
+from .registry import (
+    CIFAR_MODEL_SPECS,
+    GLOBAL_MODEL_SPEC,
+    SMALL_IMAGE_MODEL_SPECS,
+    ModelSpec,
+    available_architectures,
+    build_generator,
+    build_global_model,
+    build_model,
+    cifar_device_suite,
+    device_specs_for_family,
+    device_suite_for_family,
+    small_image_device_suite,
+)
+from .shufflenet import ShuffleNetV2, ShuffleUnit
+from .simple import FullyConnected, LeNet, SimpleCNN
+
+__all__ = [
+    "ClassificationModel",
+    "Generator",
+    "FullyConnected",
+    "SimpleCNN",
+    "LeNet",
+    "ShuffleNetV2",
+    "ShuffleUnit",
+    "MobileNetV2",
+    "InvertedResidual",
+    "ModelSpec",
+    "build_model",
+    "build_generator",
+    "build_global_model",
+    "available_architectures",
+    "cifar_device_suite",
+    "small_image_device_suite",
+    "device_suite_for_family",
+    "device_specs_for_family",
+    "CIFAR_MODEL_SPECS",
+    "SMALL_IMAGE_MODEL_SPECS",
+    "GLOBAL_MODEL_SPEC",
+]

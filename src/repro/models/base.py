@@ -1,0 +1,58 @@
+"""Common base class for on-device and server classification models.
+
+Every classifier in the zoo exposes the same interface used by the
+federated substrate and the distillation core:
+
+* ``forward(x) -> logits`` — raw, pre-softmax scores of shape ``(N, C)``;
+* ``input_shape`` / ``num_classes`` metadata;
+* parameter counting (used in the resource-budget reporting of the
+  compute-split ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["ClassificationModel"]
+
+
+class ClassificationModel(Module):
+    """Base class for image classifiers producing logits.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of the expected input images.
+    num_classes:
+        Number of output classes.
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int], num_classes: int) -> None:
+        super().__init__()
+        if len(input_shape) != 3:
+            raise ValueError("input_shape must be (channels, height, width)")
+        if num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        self.input_shape = tuple(int(s) for s in input_shape)
+        self.num_classes = int(num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def validate_input(self, x: Tensor) -> None:
+        """Raise a descriptive error if ``x`` does not match ``input_shape``."""
+        if x.ndim != 4 or tuple(x.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"{self.__class__.__name__} expects inputs of shape (N, {self.input_shape[0]}, "
+                f"{self.input_shape[1]}, {self.input_shape[2]}); got {tuple(x.shape)}"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable description used in experiment logs."""
+        return (
+            f"{self.__class__.__name__}(input={self.input_shape}, classes={self.num_classes}, "
+            f"params={self.num_parameters()})"
+        )

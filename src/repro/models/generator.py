@@ -1,0 +1,93 @@
+"""Server-side generative model for zero-shot knowledge distillation.
+
+The generator maps Gaussian noise ``z ~ N(0, I)`` to synthetic images that
+are adversarially optimized to maximize the disagreement between the global
+model and the on-device ensemble (Eq. 2 of the paper).  It follows the
+DCGAN/DAFL-style recipe used by data-free distillation work: a linear
+projection of the noise to a low-resolution feature map, then alternating
+nearest-neighbour up-sampling and convolution stages with batch
+normalization, and a ``tanh`` output so images live in ``[-1, 1]`` — the
+same range the synthetic datasets are normalized to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import layers
+from ..nn.module import Module, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["Generator"]
+
+
+class Generator(Module):
+    """Noise-to-image generator used by the FedZKT server.
+
+    Parameters
+    ----------
+    noise_dim:
+        Dimension of the latent Gaussian noise vector.
+    output_shape:
+        ``(channels, height, width)`` of the generated images; must match
+        the on-device datasets.  Height and width must be divisible by 4
+        because the generator starts from a 4×-downscaled feature map.
+    base_channels:
+        Width of the first feature map; later stages halve it.
+    """
+
+    def __init__(self, noise_dim: int, output_shape: Tuple[int, int, int],
+                 base_channels: int = 32, seed: Optional[int] = None) -> None:
+        super().__init__()
+        channels, height, width = (int(s) for s in output_shape)
+        if height % 4 != 0 or width % 4 != 0:
+            raise ValueError("generator output height/width must be divisible by 4")
+        self.noise_dim = int(noise_dim)
+        self.output_shape = (channels, height, width)
+        self.base_channels = int(base_channels)
+        init_h, init_w = height // 4, width // 4
+
+        def seeded(offset: int) -> Optional[int]:
+            return None if seed is None else seed + offset
+
+        self.project = Sequential(
+            layers.Linear(self.noise_dim, base_channels * init_h * init_w, seed=seeded(0)),
+            layers.Reshape(base_channels, init_h, init_w),
+            layers.BatchNorm2d(base_channels),
+        )
+        self.blocks = Sequential(
+            layers.UpsampleNearest2d(2),
+            layers.Conv2d(base_channels, base_channels, 3, padding=1, seed=seeded(1)),
+            layers.BatchNorm2d(base_channels),
+            layers.LeakyReLU(0.2),
+            layers.UpsampleNearest2d(2),
+            layers.Conv2d(base_channels, max(base_channels // 2, 4), 3, padding=1, seed=seeded(2)),
+            layers.BatchNorm2d(max(base_channels // 2, 4)),
+            layers.LeakyReLU(0.2),
+            layers.Conv2d(max(base_channels // 2, 4), channels, 3, padding=1, seed=seeded(3)),
+            layers.Tanh(),
+        )
+
+    def forward(self, z: Tensor) -> Tensor:
+        if z.ndim != 2 or z.shape[1] != self.noise_dim:
+            raise ValueError(f"generator expects noise of shape (N, {self.noise_dim}); got {tuple(z.shape)}")
+        return self.blocks(self.project(z))
+
+    def sample_noise(self, batch_size: int, rng: np.random.Generator) -> Tensor:
+        """Draw a batch of standard-normal latent vectors."""
+        return Tensor(rng.standard_normal((batch_size, self.noise_dim)))
+
+    def generate(self, batch_size: int, rng: np.random.Generator,
+                 requires_input_grad: bool = False) -> Tensor:
+        """Sample noise and run the generator.
+
+        ``requires_input_grad`` marks the noise tensor as requiring
+        gradients, which is only needed by diagnostic probes; normal
+        training differentiates with respect to the generator parameters.
+        """
+        noise = self.sample_noise(batch_size, rng)
+        if requires_input_grad:
+            noise.requires_grad = True
+        return self.forward(noise)

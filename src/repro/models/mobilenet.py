@@ -1,0 +1,116 @@
+"""MobileNetV2-style compact classifier (Models C and D of Table V).
+
+Implements the inverted-residual bottleneck: a 1×1 expansion convolution, a
+depthwise 3×3 convolution, and a linear 1×1 projection, with an identity
+shortcut when the spatial size and channel count are preserved.  The
+``width_multiplier`` scales every stage, matching the paper's 0.8 / 0.6
+variants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..nn import layers
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.tensor import Tensor
+from .base import ClassificationModel
+
+__all__ = ["MobileNetV2", "InvertedResidual"]
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 inverted-residual block with linear bottleneck."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 expand_ratio: int = 2, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        self.use_residual = stride == 1 and in_channels == out_channels
+        hidden = max(4, int(round(in_channels * expand_ratio)))
+
+        def seeded(offset: int) -> Optional[int]:
+            return None if seed is None else seed + offset
+
+        blocks = []
+        if expand_ratio != 1:
+            blocks.extend([
+                layers.Conv2d(in_channels, hidden, 1, seed=seeded(0)),
+                layers.BatchNorm2d(hidden),
+                layers.ReLU(),
+            ])
+        else:
+            hidden = in_channels
+        blocks.extend([
+            layers.DepthwiseConv2d(hidden, 3, stride=stride, padding=1, seed=seeded(1)),
+            layers.BatchNorm2d(hidden),
+            layers.ReLU(),
+            # Linear projection: no activation after the bottleneck.
+            layers.Conv2d(hidden, out_channels, 1, seed=seeded(2)),
+            layers.BatchNorm2d(out_channels),
+        ])
+        self.block = Sequential(*blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(ClassificationModel):
+    """Compact MobileNetV2 classifier.
+
+    Parameters
+    ----------
+    width_multiplier:
+        Scales every stage's channel count; the paper uses 0.8 (Model C) and
+        0.6 (Model D).
+    stage_channels:
+        Base output channels of each inverted-residual stage.
+    expand_ratio:
+        Expansion factor inside each block (6 in the full-size network; a
+        smaller default keeps the compact models CPU-friendly).
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int], num_classes: int,
+                 width_multiplier: float = 1.0, stage_channels: Sequence[int] = (16, 32, 64),
+                 expand_ratio: int = 2, seed: Optional[int] = None) -> None:
+        super().__init__(input_shape, num_classes)
+        self.width_multiplier = float(width_multiplier)
+        in_channels = self.input_shape[0]
+
+        def seeded(offset: int) -> Optional[int]:
+            return None if seed is None else seed + offset
+
+        def scaled(channels: int) -> int:
+            return max(4, int(round(channels * self.width_multiplier)))
+
+        stem_channels = scaled(16)
+        self.stem = Sequential(
+            layers.Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, seed=seeded(0)),
+            layers.BatchNorm2d(stem_channels),
+            layers.ReLU(),
+        )
+
+        blocks = ModuleList()
+        previous = stem_channels
+        for index, base in enumerate(stage_channels):
+            width = scaled(base)
+            stride = 2 if index > 0 else 1
+            blocks.append(InvertedResidual(previous, width, stride=stride,
+                                           expand_ratio=expand_ratio, seed=seeded(100 * (index + 1))))
+            blocks.append(InvertedResidual(width, width, stride=1,
+                                           expand_ratio=expand_ratio, seed=seeded(100 * (index + 1) + 50)))
+            previous = width
+        self.blocks = blocks
+        self.pool = layers.GlobalAvgPool2d()
+        self.classifier = layers.Linear(previous, num_classes, seed=seeded(999))
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        return self.classifier(self.pool(out))

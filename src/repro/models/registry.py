@@ -1,0 +1,158 @@
+"""Model registry: named architectures and the paper's device-model suites.
+
+The registry serves three needs of the experiment harness:
+
+* build any named architecture from a :class:`ModelSpec` (name + kwargs);
+* reproduce the paper's heterogeneous on-device suites — Models A–E for
+  CIFAR-10 (Table V) and the CNN / FC / three-LeNet suite for the small
+  datasets — assigning a model to each device in round-robin order exactly
+  like Table III (device 1..10 cycles A..E);
+* build the server-side global model and generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .base import ClassificationModel
+from .generator import Generator
+from .mobilenet import MobileNetV2
+from .shufflenet import ShuffleNetV2
+from .simple import FullyConnected, LeNet, SimpleCNN
+
+__all__ = [
+    "ModelSpec",
+    "build_model",
+    "build_generator",
+    "build_global_model",
+    "available_architectures",
+    "cifar_device_suite",
+    "small_image_device_suite",
+    "device_suite_for_family",
+    "GLOBAL_MODEL_SPEC",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Declarative description of a model: architecture name plus keyword arguments."""
+
+    architecture: str
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    label: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-liner (used in Table III / Fig. 5 reporting)."""
+        name = self.label or self.architecture
+        if not self.kwargs:
+            return name
+        args = ", ".join(f"{key}={value}" for key, value in sorted(self.kwargs.items()))
+        return f"{name}({args})"
+
+
+_BUILDERS: Dict[str, Callable[..., ClassificationModel]] = {
+    "fc": FullyConnected,
+    "cnn": SimpleCNN,
+    "lenet": LeNet,
+    "shufflenetv2": ShuffleNetV2,
+    "mobilenetv2": MobileNetV2,
+}
+
+
+def available_architectures() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_BUILDERS)
+
+
+def build_model(spec: ModelSpec, input_shape: Sequence[int], num_classes: int,
+                seed: Optional[int] = None) -> ClassificationModel:
+    """Instantiate the architecture described by ``spec``."""
+    name = spec.architecture.lower()
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown architecture {spec.architecture!r}; available: {available_architectures()}")
+    builder = _BUILDERS[name]
+    return builder(tuple(input_shape), num_classes, seed=seed, **spec.kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Paper device suites
+# --------------------------------------------------------------------------- #
+
+#: Models A–E for CIFAR-10 (Table V of the paper): two ShuffleNetV2 variants,
+#: two MobileNetV2 variants, and a LeNet-like model.
+CIFAR_MODEL_SPECS: Tuple[ModelSpec, ...] = (
+    ModelSpec("shufflenetv2", {"net_size": 0.5}, label="Model A (ShuffleNetV2 x0.5)"),
+    ModelSpec("shufflenetv2", {"net_size": 1.0}, label="Model B (ShuffleNetV2 x1.0)"),
+    ModelSpec("mobilenetv2", {"width_multiplier": 0.8}, label="Model C (MobileNetV2 x0.8)"),
+    ModelSpec("mobilenetv2", {"width_multiplier": 0.6}, label="Model D (MobileNetV2 x0.6)"),
+    ModelSpec("lenet", {}, label="Model E (LeNet)"),
+)
+
+#: The suite for MNIST / KMNIST / FASHION: a CNN, a fully-connected model,
+#: and three LeNet-like models with different channel sizes and depths.
+SMALL_IMAGE_MODEL_SPECS: Tuple[ModelSpec, ...] = (
+    ModelSpec("cnn", {"channels": (16, 32)}, label="CNN"),
+    ModelSpec("fc", {"hidden_sizes": (128, 64)}, label="FC"),
+    ModelSpec("lenet", {"conv_channels": (4, 8), "fc_sizes": (32,)}, label="LeNet-S"),
+    ModelSpec("lenet", {"conv_channels": (6, 16), "fc_sizes": (64, 32)}, label="LeNet-M"),
+    ModelSpec("lenet", {"conv_channels": (8, 24), "fc_sizes": (96, 48)}, label="LeNet-L"),
+)
+
+#: Architecture of the server-side global model: a wider CNN than any
+#: on-device model (the server is assumed to be resource-rich).
+GLOBAL_MODEL_SPEC = ModelSpec("cnn", {"channels": (32, 64), "hidden_size": 128}, label="GlobalCNN")
+
+
+def cifar_device_suite(num_devices: int, input_shape: Sequence[int], num_classes: int,
+                       seed: int = 0) -> List[ClassificationModel]:
+    """Build ``num_devices`` heterogeneous models cycling through Models A–E."""
+    return _build_suite(CIFAR_MODEL_SPECS, num_devices, input_shape, num_classes, seed)
+
+
+def small_image_device_suite(num_devices: int, input_shape: Sequence[int], num_classes: int,
+                             seed: int = 0) -> List[ClassificationModel]:
+    """Build ``num_devices`` heterogeneous models for the small image datasets."""
+    return _build_suite(SMALL_IMAGE_MODEL_SPECS, num_devices, input_shape, num_classes, seed)
+
+
+def device_suite_for_family(family: str, num_devices: int, input_shape: Sequence[int],
+                            num_classes: int, seed: int = 0) -> List[ClassificationModel]:
+    """Build the device suite matching a dataset family (``cifar`` or ``small``)."""
+    family = family.lower()
+    if family == "cifar":
+        return cifar_device_suite(num_devices, input_shape, num_classes, seed)
+    if family in ("small", "mnist", "kmnist", "fashion"):
+        return small_image_device_suite(num_devices, input_shape, num_classes, seed)
+    raise KeyError(f"unknown dataset family {family!r}; expected 'cifar' or 'small'")
+
+
+def device_specs_for_family(family: str, num_devices: int) -> List[ModelSpec]:
+    """Return the cycled :class:`ModelSpec` list without instantiating models."""
+    family = family.lower()
+    specs = CIFAR_MODEL_SPECS if family == "cifar" else SMALL_IMAGE_MODEL_SPECS
+    return [specs[index % len(specs)] for index in range(num_devices)]
+
+
+def _build_suite(specs: Sequence[ModelSpec], num_devices: int, input_shape: Sequence[int],
+                 num_classes: int, seed: int) -> List[ClassificationModel]:
+    if num_devices < 1:
+        raise ValueError("num_devices must be at least 1")
+    models: List[ClassificationModel] = []
+    for index in range(num_devices):
+        spec = specs[index % len(specs)]
+        models.append(build_model(spec, input_shape, num_classes, seed=seed + 31 * index))
+    return models
+
+
+def build_global_model(input_shape: Sequence[int], num_classes: int,
+                       seed: Optional[int] = None,
+                       spec: ModelSpec = GLOBAL_MODEL_SPEC) -> ClassificationModel:
+    """Instantiate the server-side global model ``F``."""
+    return build_model(spec, input_shape, num_classes, seed=seed)
+
+
+def build_generator(input_shape: Sequence[int], noise_dim: int = 64,
+                    base_channels: int = 32, seed: Optional[int] = None) -> Generator:
+    """Instantiate the server-side generator ``G`` matching the image shape."""
+    return Generator(noise_dim, tuple(input_shape), base_channels=base_channels, seed=seed)

@@ -1,0 +1,137 @@
+"""ShuffleNetV2-style compact classifier (Models A and B of Table V).
+
+A faithful-at-small-scale rendition of the ShuffleNetV2 building blocks:
+channel split, pointwise convolutions, depthwise 3×3 convolutions, channel
+concatenation, and channel shuffle.  The ``net_size`` multiplier scales
+stage widths exactly like the paper's "net size 0.5 / 1.0" variants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..nn import conv as conv_ops
+from ..nn import layers
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.tensor import Tensor, concatenate
+from .base import ClassificationModel
+
+__all__ = ["ShuffleNetV2", "ShuffleUnit"]
+
+
+class ShuffleUnit(Module):
+    """Basic ShuffleNetV2 unit.
+
+    For ``stride == 1`` the input channels are split in half: one half is
+    passed through untouched, the other through a 1×1 → depthwise 3×3 → 1×1
+    branch; the halves are concatenated and shuffled.  For ``stride == 2``
+    both branches process the full input and spatial resolution is halved.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        if out_channels % 2 != 0:
+            raise ValueError("out_channels must be even (channel split)")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        branch_channels = out_channels // 2
+
+        def seeded(offset: int) -> Optional[int]:
+            return None if seed is None else seed + offset
+
+        if stride == 1:
+            if in_channels != out_channels:
+                raise ValueError("stride-1 shuffle units require in_channels == out_channels")
+            branch_in = in_channels // 2
+        else:
+            branch_in = in_channels
+            # Shortcut branch used only when downsampling.
+            self.shortcut = Sequential(
+                layers.DepthwiseConv2d(branch_in, 3, stride=2, padding=1, seed=seeded(10)),
+                layers.BatchNorm2d(branch_in),
+                layers.Conv2d(branch_in, branch_channels, 1, seed=seeded(11)),
+                layers.BatchNorm2d(branch_channels),
+                layers.ReLU(),
+            )
+
+        self.branch = Sequential(
+            layers.Conv2d(branch_in, branch_channels, 1, seed=seeded(0)),
+            layers.BatchNorm2d(branch_channels),
+            layers.ReLU(),
+            layers.DepthwiseConv2d(branch_channels, 3, stride=stride, padding=1, seed=seeded(1)),
+            layers.BatchNorm2d(branch_channels),
+            layers.Conv2d(branch_channels, branch_channels, 1, seed=seeded(2)),
+            layers.BatchNorm2d(branch_channels),
+            layers.ReLU(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.stride == 1:
+            half = self.in_channels // 2
+            passthrough = x[:, :half]
+            processed = self.branch(x[:, half:])
+            out = concatenate([passthrough, processed], axis=1)
+        else:
+            out = concatenate([self.shortcut(x), self.branch(x)], axis=1)
+        return conv_ops.channel_shuffle(out, groups=2)
+
+
+class ShuffleNetV2(ClassificationModel):
+    """Compact ShuffleNetV2 classifier.
+
+    Parameters
+    ----------
+    net_size:
+        Width multiplier applied to the stage channel counts; the paper uses
+        0.5 (Model A) and 1.0 (Model B).
+    stage_channels:
+        Base channel counts for each stage before applying ``net_size``.
+    units_per_stage:
+        Number of stride-1 units following the stride-2 unit in each stage.
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int], num_classes: int,
+                 net_size: float = 1.0, stage_channels: Sequence[int] = (32, 64),
+                 units_per_stage: int = 1, seed: Optional[int] = None) -> None:
+        super().__init__(input_shape, num_classes)
+        self.net_size = float(net_size)
+        in_channels = self.input_shape[0]
+
+        def seeded(offset: int) -> Optional[int]:
+            return None if seed is None else seed + offset
+
+        def scaled(channels: int) -> int:
+            value = max(4, int(round(channels * self.net_size)))
+            return value + (value % 2)  # keep even for the channel split
+
+        stem_channels = scaled(16)
+        self.stem = Sequential(
+            layers.Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, seed=seeded(0)),
+            layers.BatchNorm2d(stem_channels),
+            layers.ReLU(),
+        )
+
+        stages = ModuleList()
+        previous = stem_channels
+        for stage_index, base in enumerate(stage_channels):
+            width = scaled(base)
+            units = [ShuffleUnit(previous, width, stride=2, seed=seeded(100 * (stage_index + 1)))]
+            for unit_index in range(units_per_stage):
+                units.append(ShuffleUnit(width, width, stride=1,
+                                         seed=seeded(100 * (stage_index + 1) + 10 * (unit_index + 1))))
+            stages.append(Sequential(*units))
+            previous = width
+        self.stages = stages
+        self.pool = layers.GlobalAvgPool2d()
+        self.classifier = layers.Linear(previous, num_classes, seed=seeded(999))
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        out = self.stem(x)
+        for stage in self.stages:
+            out = stage(out)
+        return self.classifier(self.pool(out))

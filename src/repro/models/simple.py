@@ -1,0 +1,153 @@
+"""Compact fully-connected, CNN, and LeNet-like classifiers.
+
+These are the on-device architectures the paper uses for the small image
+datasets (MNIST, KMNIST, FASHION): one CNN model, one fully-connected
+model, and three LeNet-like models with different channel sizes and numbers
+of layers.  ``LeNet`` is also Model E for CIFAR-10 (Table V).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..nn import layers
+from ..nn.module import Sequential
+from ..nn.tensor import Tensor
+from .base import ClassificationModel
+
+__all__ = ["FullyConnected", "SimpleCNN", "LeNet"]
+
+
+def _pooled_size(size: int, times: int) -> int:
+    """Spatial size after ``times`` applications of a stride-2 pool."""
+    for _ in range(times):
+        size //= 2
+    return size
+
+
+class FullyConnected(ClassificationModel):
+    """Multi-layer perceptron over flattened pixels.
+
+    The smallest-footprint on-device model; suitable for MCU-class devices
+    the paper's introduction motivates.
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int], num_classes: int,
+                 hidden_sizes: Sequence[int] = (128, 64), seed: Optional[int] = None) -> None:
+        super().__init__(input_shape, num_classes)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        channels, height, width = self.input_shape
+        in_features = channels * height * width
+        blocks = [layers.Flatten()]
+        previous = in_features
+        for index, hidden in enumerate(self.hidden_sizes):
+            blocks.append(layers.Linear(previous, hidden, seed=None if seed is None else seed + index))
+            blocks.append(layers.ReLU())
+            previous = hidden
+        blocks.append(layers.Linear(previous, num_classes,
+                                    seed=None if seed is None else seed + len(self.hidden_sizes)))
+        self.network = Sequential(*blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        return self.network(x)
+
+
+class SimpleCNN(ClassificationModel):
+    """Conv/batch-norm/pool stages followed by a small fully-connected head.
+
+    Parameters
+    ----------
+    channels:
+        Output channels of each conv stage; each stage halves the spatial
+        resolution with a max-pool.
+    hidden_size:
+        Width of the hidden fully-connected layer before the logits.
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int], num_classes: int,
+                 channels: Sequence[int] = (16, 32), hidden_size: int = 64,
+                 seed: Optional[int] = None) -> None:
+        super().__init__(input_shape, num_classes)
+        self.channels = tuple(int(c) for c in channels)
+        self.hidden_size = int(hidden_size)
+        in_channels, height, width = self.input_shape
+        blocks = []
+        previous = in_channels
+        for index, width_c in enumerate(self.channels):
+            blocks.extend([
+                layers.Conv2d(previous, width_c, 3, padding=1,
+                              seed=None if seed is None else seed + index),
+                layers.BatchNorm2d(width_c),
+                layers.ReLU(),
+                layers.MaxPool2d(2),
+            ])
+            previous = width_c
+        self.features = Sequential(*blocks)
+        out_h = _pooled_size(height, len(self.channels))
+        out_w = _pooled_size(width, len(self.channels))
+        if out_h == 0 or out_w == 0:
+            raise ValueError("input spatial size too small for the number of conv stages")
+        self.classifier = Sequential(
+            layers.Flatten(),
+            layers.Linear(previous * out_h * out_w, self.hidden_size,
+                          seed=None if seed is None else seed + 100),
+            layers.ReLU(),
+            layers.Linear(self.hidden_size, num_classes,
+                          seed=None if seed is None else seed + 200),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        return self.classifier(self.features(x))
+
+
+class LeNet(ClassificationModel):
+    """LeNet-like network: two conv/pool stages followed by fully-connected layers.
+
+    ``conv_channels`` and ``fc_sizes`` control the channel sizes and the
+    number of layers, which is how the paper derives its three LeNet
+    variants for the small datasets; the default configuration is Model E
+    of Table V (CIFAR-10).
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int], num_classes: int,
+                 conv_channels: Sequence[int] = (6, 16), fc_sizes: Sequence[int] = (120, 84),
+                 seed: Optional[int] = None) -> None:
+        super().__init__(input_shape, num_classes)
+        self.conv_channels = tuple(int(c) for c in conv_channels)
+        self.fc_sizes = tuple(int(f) for f in fc_sizes)
+        channels, height, width = self.input_shape
+
+        feature_blocks = []
+        previous = channels
+        for index, out_channels in enumerate(self.conv_channels):
+            feature_blocks.extend([
+                layers.Conv2d(previous, out_channels, 3, padding=1,
+                              seed=None if seed is None else seed + index),
+                layers.ReLU(),
+                layers.MaxPool2d(2),
+            ])
+            previous = out_channels
+        self.features = Sequential(*feature_blocks)
+
+        out_h = _pooled_size(height, len(self.conv_channels))
+        out_w = _pooled_size(width, len(self.conv_channels))
+        if out_h == 0 or out_w == 0:
+            raise ValueError("input spatial size too small for the number of pooling stages")
+        flat = previous * out_h * out_w
+
+        fc_blocks = [layers.Flatten()]
+        previous = flat
+        for index, size in enumerate(self.fc_sizes):
+            fc_blocks.append(layers.Linear(previous, size,
+                                           seed=None if seed is None else seed + 100 + index))
+            fc_blocks.append(layers.ReLU())
+            previous = size
+        fc_blocks.append(layers.Linear(previous, num_classes,
+                                       seed=None if seed is None else seed + 200))
+        self.classifier = Sequential(*fc_blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.validate_input(x)
+        return self.classifier(self.features(x))

@@ -1,0 +1,69 @@
+"""``repro.nn`` — a compact, numpy-backed deep-learning substrate.
+
+The package mirrors the small subset of PyTorch the paper relies on:
+reverse-mode autodiff (:mod:`repro.nn.tensor`), modules and layers
+(:mod:`repro.nn.module`, :mod:`repro.nn.layers`), convolution primitives
+(:mod:`repro.nn.conv`), optimizers and schedules (:mod:`repro.nn.optim`),
+and the classification / distillation losses (:mod:`repro.nn.losses`).
+"""
+
+from . import conv, functional, init, losses, optim
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    Tanh,
+    UpsampleNearest2d,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, MultiStepLR, StepLR
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Reshape",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "UpsampleNearest2d",
+    "SGD",
+    "Adam",
+    "MultiStepLR",
+    "StepLR",
+    "conv",
+    "functional",
+    "init",
+    "losses",
+    "optim",
+]

@@ -1,0 +1,278 @@
+"""Convolution, pooling, and up-sampling primitives for the autograd engine.
+
+All spatial operations follow the NCHW layout used throughout the library:
+``(batch, channels, height, width)``.  Convolution is implemented with
+im2col / col2im so that the heavy lifting stays inside numpy's BLAS-backed
+matrix multiplication, which keeps CPU training of the paper's compact
+on-device models practical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "upsample_nearest2d",
+    "channel_shuffle",
+]
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``images`` (N, C, H, W) into columns of shape (N, C*k*k, L).
+
+    Returns the column matrix along with the output height and width.
+    """
+    batch, channels, height, width = images.shape
+    out_h = _out_size(height, kernel, stride, padding)
+    out_w = _out_size(width, kernel, stride, padding)
+    if padding > 0:
+        images = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, C, kh, kw, out_h, out_w) -> (N, C*k*k, out_h*out_w)
+    columns = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kernel * kernel, out_h * out_w
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold column gradients back into image gradients (adjoint of im2col)."""
+    batch, channels, height, width = image_shape
+    out_h = _out_size(height, kernel, stride, padding)
+    out_w = _out_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64
+    )
+    cols = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    for kh in range(kernel):
+        h_end = kh + stride * out_h
+        for kw in range(kernel):
+            w_end = kw + stride * out_w
+            padded[:, :, kh:h_end:stride, kw:w_end:stride] += cols[:, :, kh, kw, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation.
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Tensor of shape ``(C_out, C_in, k, k)``.
+    bias:
+        Optional tensor of shape ``(C_out,)``.
+    """
+    x, w = as_tensor(inputs), as_tensor(weight)
+    batch = x.data.shape[0]
+    out_channels, in_channels, kernel, _ = w.data.shape
+    if x.data.shape[1] != in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {x.data.shape[1]}, weight expects {in_channels}"
+        )
+    columns, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    w_mat = w.data.reshape(out_channels, -1)
+    out_data = np.einsum("of,nfl->nol", w_mat, columns, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1)
+    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
+
+    parents = (x, w) if bias is None else (x, w, bias)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, out_channels, -1)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2)))
+            if w.requires_grad:
+                grad_w = np.einsum("nol,nfl->of", grad, columns, optimize=True)
+                w._accumulate(grad_w.reshape(w.data.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("of,nol->nfl", w_mat, grad, optimize=True)
+                x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, padding))
+
+        return backward
+
+    return Tensor._make(out_data, parents, factory)
+
+
+def depthwise_conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Depthwise 2-D convolution (one filter per input channel).
+
+    ``weight`` has shape ``(C, 1, k, k)``.  Used by the MobileNetV2-style
+    inverted-residual blocks.  Implemented via grouped im2col where the
+    channel dimension is kept separate.
+    """
+    x, w = as_tensor(inputs), as_tensor(weight)
+    batch, channels, height, width = x.data.shape
+    w_channels, one, kernel, _ = w.data.shape
+    if w_channels != channels or one != 1:
+        raise ValueError("depthwise_conv2d expects weight of shape (C, 1, k, k)")
+    columns, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    # columns: (N, C*k*k, L) -> (N, C, k*k, L)
+    cols = columns.reshape(batch, channels, kernel * kernel, -1)
+    w_mat = w.data.reshape(channels, kernel * kernel)
+    out_data = np.einsum("cf,ncfl->ncl", w_mat, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1)
+    out_data = out_data.reshape(batch, channels, out_h, out_w)
+
+    parents = (x, w) if bias is None else (x, w, bias)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, -1)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2)))
+            if w.requires_grad:
+                grad_w = np.einsum("ncl,ncfl->cf", grad, cols, optimize=True)
+                w._accumulate(grad_w.reshape(w.data.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("cf,ncl->ncfl", w_mat, grad, optimize=True)
+                grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
+                x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, padding))
+
+        return backward
+
+    return Tensor._make(out_data, parents, factory)
+
+
+def max_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    x = as_tensor(inputs)
+    batch, channels, height, width = x.data.shape
+    columns, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    cols = columns.reshape(batch, channels, kernel * kernel, out_h * out_w)
+    arg = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
+    out_data = out_data.reshape(batch, channels, out_h, out_w)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            if not x.requires_grad:
+                return
+            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, 1, -1)
+            grad_cols = np.zeros_like(cols)
+            np.put_along_axis(grad_cols, arg[:, :, None, :], grad, axis=2)
+            grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
+            x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0))
+
+        return backward
+
+    return Tensor._make(out_data, (x,), factory)
+
+
+def avg_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
+    """Average pooling over windows."""
+    stride = stride or kernel
+    x = as_tensor(inputs)
+    batch, channels, height, width = x.data.shape
+    columns, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    cols = columns.reshape(batch, channels, kernel * kernel, out_h * out_w)
+    out_data = cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            if not x.requires_grad:
+                return
+            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, 1, -1)
+            grad_cols = np.broadcast_to(grad / (kernel * kernel), cols.shape).copy()
+            grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
+            x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0))
+
+        return backward
+
+    return Tensor._make(out_data, (x,), factory)
+
+
+def global_avg_pool2d(inputs: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    x = as_tensor(inputs)
+    return x.mean(axis=(2, 3))
+
+
+def upsample_nearest2d(inputs: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour spatial up-sampling by an integer factor.
+
+    Used by the server-side generator to grow noise projections to image
+    resolution without needing transposed convolutions.
+    """
+    x = as_tensor(inputs)
+    out_data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            if not x.requires_grad:
+                return
+            grad = np.asarray(out.grad, dtype=np.float64)
+            batch, channels, height, width = x.data.shape
+            grad = grad.reshape(batch, channels, height, scale, width, scale)
+            x._accumulate(grad.sum(axis=(3, 5)))
+
+        return backward
+
+    return Tensor._make(out_data, (x,), factory)
+
+
+def channel_shuffle(inputs: Tensor, groups: int) -> Tensor:
+    """ShuffleNet channel shuffle: interleave channels across groups."""
+    x = as_tensor(inputs)
+    batch, channels, height, width = x.data.shape
+    if channels % groups != 0:
+        raise ValueError(f"channels ({channels}) must be divisible by groups ({groups})")
+    reshaped = x.reshape(batch, groups, channels // groups, height, width)
+    transposed = reshaped.transpose((0, 2, 1, 3, 4))
+    return transposed.reshape(batch, channels, height, width)

@@ -1,0 +1,162 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains on-device models with SGD (lr 0.01, optional weight decay
+5e-4) and the server-side generator with Adam (lr 0.001), and reduces the
+server learning rates by a factor of 0.3 at 1/2 and 3/4 of the distillation
+iterations.  All of those pieces are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "LRScheduler", "MultiStepLR", "StepLR"]
+
+
+class Optimizer:
+    """Base optimizer: holds a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of tensors to update.
+    lr:
+        Learning rate.
+    momentum:
+        Classical momentum coefficient (0 disables the velocity buffer).
+    weight_decay:
+        L2 penalty added to the gradient (`grad + weight_decay * param`).
+    """
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if momentum < 0:
+            raise ValueError("momentum must be non-negative")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(param.data)
+                self._velocity[index] = self.momentum * self._velocity[index] + grad
+                grad = self._velocity[index]
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), used for the server-side generator."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.001,
+                 betas: Sequence[float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        self._step += 1
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self._m[index] is None:
+                self._m[index] = np.zeros_like(param.data)
+                self._v[index] = np.zeros_like(param.data)
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[index] / (1 - self.beta1 ** self._step)
+            v_hat = self._v[index] / (1 - self.beta2 ** self._step)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRScheduler:
+    """Base class for learning-rate schedules attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_step = 0
+
+    def get_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance the schedule by one step and apply the new learning rate."""
+        self.last_step += 1
+        new_lr = self.get_lr(self.last_step)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each milestone step.
+
+    The paper's server schedule — decay by 0.3 at 1/2 and 3/4 of the total
+    distillation iterations — corresponds to
+    ``MultiStepLR(opt, milestones=[n//2, 3*n//4], gamma=0.3)``.
+    """
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.3) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        passed = sum(1 for milestone in self.milestones if step >= milestone)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * (self.gamma ** (step // self.step_size))

@@ -1,0 +1,693 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module provides the :class:`Tensor` class, the foundation of the
+``repro.nn`` substrate.  The paper's algorithms (adversarial generator
+training, knowledge distillation, gradient probes with respect to input
+data) all require gradients to flow through arbitrary compositions of
+differentiable operations, including *through* frozen models and *into*
+generated inputs.  A small reverse-mode autodiff engine gives us exactly
+the same code paths PyTorch would, at laptop scale.
+
+Design notes
+------------
+* Each operation builds a new :class:`Tensor` whose ``_backward`` closure
+  reads the output tensor's ``grad`` and accumulates into the operands'
+  ``grad`` buffers (micrograd-style).
+* ``backward()`` runs an iterative topological sort over the recorded graph
+  and calls the closures in reverse order.
+* Broadcasting is supported for elementwise arithmetic; gradients are
+  "unbroadcast" (summed) back to the operand shapes.
+* Intermediate tensors are created fresh on every forward pass, so their
+  gradients never leak across steps.  Parameters and probed inputs are
+  long-lived leaves; zero them with :meth:`Tensor.zero_grad` or via an
+  optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "concatenate", "stack"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+# Global autograd switch (mirrors ``torch.no_grad``).  Manipulated only
+# through the ``no_grad`` context manager below.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block every operation produces constant
+    tensors (no recorded parents), which keeps inference and evaluation
+    cheap.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting.
+
+    Broadcasting may both prepend dimensions and stretch size-1 axes; the
+    gradient of a broadcast operand is the sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value: ArrayLike) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy for existing tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+class Tensor:
+    """A numpy-backed array that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating payloads are stored as ``float64``;
+        integer payloads (e.g. label arrays) keep their dtype.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.  Leaf
+        tensors created by the user (parameters, probed inputs) set this;
+        intermediate tensors inherit the need for gradients from their
+        parents.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype.kind == "f" and array.dtype != np.float64:
+            array = array.astype(np.float64)
+        elif array.dtype.kind not in "fiub":
+            array = array.astype(np.float64)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar payload of a single-element tensor."""
+        if self.data.size != 1:
+            raise ValueError("item() requires a single-element tensor")
+        return float(self.data.reshape(())[()])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a graph-detached deep copy of this tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction / backward pass
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward_factory: Callable[["Tensor"], Callable[[], None]],
+    ) -> "Tensor":
+        """Create a result tensor, wiring it into the graph when needed.
+
+        ``backward_factory`` receives the freshly created output tensor and
+        returns the zero-argument closure that propagates ``out.grad`` to the
+        parents.  The factory is only invoked when gradients are enabled and
+        at least one parent requires them, so inference pays no graph cost.
+        """
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward_factory(out)
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` (unbroadcast to our shape) into ``.grad``."""
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective with respect to this tensor.
+            Defaults to ones, which is the usual seed for a scalar loss.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        # Iterative topological sort (avoids recursion limits on deep nets).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None:
+                node._backward()
+        # Release intermediate graph references so memory is reclaimed and the
+        # same leaves can participate in a fresh graph next step.
+        for node in topo:
+            if node is not self and node._backward is not None:
+                node._parents = ()
+                node._backward = None
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad)
+                if b.requires_grad:
+                    b._accumulate(out.grad)
+
+            return backward
+
+        return Tensor._make(a.data + b.data, (a, b), factory)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(-out.grad)
+
+            return backward
+
+        return Tensor._make(-a.data, (a,), factory)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad)
+                if b.requires_grad:
+                    b._accumulate(-out.grad)
+
+            return backward
+
+        return Tensor._make(a.data - b.data, (a, b), factory)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * b.data)
+                if b.requires_grad:
+                    b._accumulate(out.grad * a.data)
+
+            return backward
+
+        return Tensor._make(a.data * b.data, (a, b), factory)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad / b.data)
+                if b.requires_grad:
+                    b._accumulate(-out.grad * a.data / (b.data ** 2))
+
+            return backward
+
+        return Tensor._make(a.data / b.data, (a, b), factory)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * exponent * a.data ** (exponent - 1))
+
+            return backward
+
+        return Tensor._make(a.data ** exponent, (a,), factory)
+
+    def exp(self) -> "Tensor":
+        a = self
+        value = np.exp(a.data)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * value)
+
+            return backward
+
+        return Tensor._make(value, (a,), factory)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad / a.data)
+
+            return backward
+
+        return Tensor._make(np.log(a.data), (a,), factory)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(a.data)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * sign)
+
+            return backward
+
+        return Tensor._make(np.abs(a.data), (a,), factory)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+        a = self
+        mask = ((a.data >= low) & (a.data <= high)).astype(np.float64)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * mask)
+
+            return backward
+
+        return Tensor._make(np.clip(a.data, low, high), (a,), factory)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        value = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if not a.requires_grad:
+                    return
+                g = np.asarray(out.grad, dtype=np.float64)
+                if axis is not None and not keepdims:
+                    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                    axes = tuple(ax % a.data.ndim for ax in axes)
+                    g = np.expand_dims(g, axis=axes)
+                a._accumulate(np.broadcast_to(g, a.data.shape))
+
+            return backward
+
+        return Tensor._make(np.asarray(value), (a,), factory)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance (divides by N), matching batch-norm statistics."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        value = a.data.max(axis=axis, keepdims=keepdims)
+        max_keep = a.data.max(axis=axis, keepdims=True)
+        mask = (a.data == max_keep).astype(np.float64)
+        mask /= mask.sum(axis=axis, keepdims=True)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if not a.requires_grad:
+                    return
+                g = np.asarray(out.grad, dtype=np.float64)
+                if axis is not None and not keepdims:
+                    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                    axes = tuple(ax % a.data.ndim for ax in axes)
+                    g = np.expand_dims(g, axis=axes)
+                elif axis is None:
+                    g = np.broadcast_to(g, a.data.shape)
+                a._accumulate(mask * g)
+
+            return backward
+
+        return Tensor._make(np.asarray(value), (a,), factory)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        original = a.data.shape
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(np.asarray(out.grad).reshape(original))
+
+            return backward
+
+        return Tensor._make(a.data.reshape(shape), (a,), factory)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        """Flatten trailing dimensions starting at ``start_dim`` (keeps batch by default)."""
+        shape = self.data.shape
+        tail = int(np.prod(shape[start_dim:])) if shape[start_dim:] else 1
+        return self.reshape(shape[:start_dim] + (tail,))
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        if axes is None:
+            axes = tuple(reversed(range(self.data.ndim)))
+        axes = tuple(axes)
+        inverse = tuple(int(i) for i in np.argsort(axes))
+        a = self
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(np.asarray(out.grad).transpose(inverse))
+
+            return backward
+
+        return Tensor._make(a.data.transpose(axes), (a,), factory)
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    full = np.zeros(a.data.shape, dtype=np.float64)
+                    np.add.at(full, index, out.grad)
+                    a._accumulate(full)
+
+            return backward
+
+        return Tensor._make(a.data[index], (a,), factory)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions symmetrically."""
+        if padding == 0:
+            return self
+        a = self
+        pad_width = [(0, 0)] * (a.data.ndim - 2) + [(padding, padding), (padding, padding)]
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    slicer = [slice(None)] * (a.data.ndim - 2) + [
+                        slice(padding, -padding),
+                        slice(padding, -padding),
+                    ]
+                    a._accumulate(np.asarray(out.grad)[tuple(slicer)])
+
+            return backward
+
+        return Tensor._make(np.pad(a.data, pad_width), (a,), factory)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                grad = np.asarray(out.grad, dtype=np.float64)
+                if a.requires_grad:
+                    a._accumulate(grad @ np.swapaxes(b.data, -1, -2))
+                if b.requires_grad:
+                    b._accumulate(np.swapaxes(a.data, -1, -2) @ grad)
+
+            return backward
+
+        return Tensor._make(a.data @ b.data, (a, b), factory)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        a = self
+        mask = (a.data > 0).astype(np.float64)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * mask)
+
+            return backward
+
+        return Tensor._make(a.data * mask, (a,), factory)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        a = self
+        mask = np.where(a.data > 0, 1.0, negative_slope)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * mask)
+
+            return backward
+
+        return Tensor._make(a.data * mask, (a,), factory)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        value = 1.0 / (1.0 + np.exp(-a.data))
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * value * (1.0 - value))
+
+            return backward
+
+        return Tensor._make(value, (a,), factory)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        value = np.tanh(a.data)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    a._accumulate(out.grad * (1.0 - value ** 2))
+
+            return backward
+
+        return Tensor._make(value, (a,), factory)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis`` with exact gradient."""
+        a = self
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        value = exps / exps.sum(axis=axis, keepdims=True)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    grad = np.asarray(out.grad, dtype=np.float64)
+                    dot = (grad * value).sum(axis=axis, keepdims=True)
+                    a._accumulate(value * (grad - dot))
+
+            return backward
+
+        return Tensor._make(value, (a,), factory)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax with exact gradient."""
+        a = self
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_sum
+        softmax_value = np.exp(value)
+
+        def factory(out: "Tensor") -> Callable[[], None]:
+            def backward() -> None:
+                if a.requires_grad:
+                    grad = np.asarray(out.grad, dtype=np.float64)
+                    a._accumulate(grad - softmax_value * grad.sum(axis=axis, keepdims=True))
+
+            return backward
+
+        return Tensor._make(value, (a,), factory)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            grad = np.asarray(out.grad)
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(int(start), int(stop))
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        return backward
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), factory)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            grad = np.asarray(out.grad)
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.squeeze(piece, axis=axis))
+
+        return backward
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), factory)

@@ -1,0 +1,39 @@
+"""``repro.partition`` — IID and non-IID federated data partitioners.
+
+Implements the three data-heterogeneity settings of the paper's evaluation:
+IID (random shards), quantity-based label imbalance (each device holds
+``c`` classes), and distribution-based label imbalance (Dirichlet ``beta``).
+"""
+
+from .base import Partitioner, partition_summary
+from .dirichlet import DirichletPartitioner
+from .iid import IIDPartitioner
+from .quantity_label_skew import QuantityLabelSkewPartitioner
+
+__all__ = [
+    "Partitioner",
+    "partition_summary",
+    "IIDPartitioner",
+    "QuantityLabelSkewPartitioner",
+    "DirichletPartitioner",
+    "make_partitioner",
+]
+
+
+def make_partitioner(kind: str, num_devices: int, seed: int = 0, **kwargs) -> Partitioner:
+    """Factory used by the experiment harness.
+
+    Parameters
+    ----------
+    kind:
+        ``"iid"``, ``"quantity"`` (requires ``classes_per_device``), or
+        ``"dirichlet"`` (requires ``beta``).
+    """
+    key = kind.lower()
+    if key == "iid":
+        return IIDPartitioner(num_devices, seed=seed)
+    if key in ("quantity", "quantity_label_skew", "label_skew"):
+        return QuantityLabelSkewPartitioner(num_devices, seed=seed, **kwargs)
+    if key == "dirichlet":
+        return DirichletPartitioner(num_devices, seed=seed, **kwargs)
+    raise KeyError(f"unknown partitioner kind {kind!r}; expected iid, quantity, or dirichlet")

@@ -1,0 +1,82 @@
+"""Partitioner interface: split a dataset across federated devices.
+
+A partitioner maps an :class:`ImageDataset` to a list of per-device index
+arrays.  All partitioners guarantee that (a) every device receives at least
+``min_samples_per_device`` samples and (b) the union of device shards
+covers every sample at most once.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+
+__all__ = ["Partitioner", "partition_summary"]
+
+
+class Partitioner:
+    """Base class for dataset partitioners.
+
+    Parameters
+    ----------
+    num_devices:
+        Number of federated devices (K in the paper).
+    seed:
+        Seed for the partitioning RNG.
+    min_samples_per_device:
+        Lower bound enforced by rebalancing: devices below the bound steal
+        samples from the largest shards.
+    """
+
+    def __init__(self, num_devices: int, seed: int = 0, min_samples_per_device: int = 2) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        self.num_devices = int(num_devices)
+        self.seed = int(seed)
+        self.min_samples_per_device = int(min_samples_per_device)
+
+    # ------------------------------------------------------------------ #
+    def partition_indices(self, dataset: ImageDataset) -> List[np.ndarray]:
+        """Return one index array per device.  Implemented by subclasses."""
+        raise NotImplementedError
+
+    def partition(self, dataset: ImageDataset) -> List[ImageDataset]:
+        """Split ``dataset`` into per-device :class:`ImageDataset` shards."""
+        shards = self.partition_indices(dataset)
+        shards = self._rebalance(shards)
+        return [
+            dataset.subset(indices, name=f"{dataset.name}[device-{device}]")
+            for device, indices in enumerate(shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _rebalance(self, shards: List[np.ndarray]) -> List[np.ndarray]:
+        """Move samples from the largest shards to any shard below the minimum."""
+        shards = [np.asarray(s, dtype=np.int64) for s in shards]
+        total = sum(len(s) for s in shards)
+        needed = self.min_samples_per_device * self.num_devices
+        if total < needed:
+            raise ValueError(
+                f"dataset too small to give every device {self.min_samples_per_device} samples"
+            )
+        for device in range(self.num_devices):
+            while len(shards[device]) < self.min_samples_per_device:
+                donor = int(np.argmax([len(s) for s in shards]))
+                if donor == device or len(shards[donor]) <= self.min_samples_per_device:
+                    break
+                shards[device] = np.concatenate([shards[device], shards[donor][-1:]])
+                shards[donor] = shards[donor][:-1]
+        return shards
+
+
+def partition_summary(shards: List[ImageDataset]) -> str:
+    """Human-readable per-device class distribution summary (for logs)."""
+    lines = []
+    for device, shard in enumerate(shards):
+        counts = shard.class_counts()
+        present = ", ".join(f"{cls}:{count}" for cls, count in enumerate(counts) if count)
+        lines.append(f"device {device}: {len(shard)} samples ({present})")
+    return "\n".join(lines)

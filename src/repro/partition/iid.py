@@ -1,0 +1,26 @@
+"""IID partitioning: uniformly random, equally sized device shards."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from .base import Partitioner
+
+__all__ = ["IIDPartitioner"]
+
+
+class IIDPartitioner(Partitioner):
+    """Shuffle the dataset and deal samples to devices round-robin.
+
+    This matches the paper's IID setting: every on-device dataset is a
+    uniform random draw from the global dataset, so all devices see the
+    same class distribution in expectation.
+    """
+
+    def partition_indices(self, dataset: ImageDataset) -> List[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(dataset))
+        return [order[device::self.num_devices].copy() for device in range(self.num_devices)]

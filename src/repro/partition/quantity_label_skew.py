@@ -1,0 +1,69 @@
+"""Quantity-based label-imbalance partitioning (non-IID scenario 1).
+
+Each device owns data from exactly ``classes_per_device`` classes, the
+standard "#C = c" label-skew protocol from the federated non-IID literature
+the paper follows (Section IV-A4).  Class-to-device assignment keeps the
+per-class device counts balanced, and each class's samples are split evenly
+among the devices that own the class.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from .base import Partitioner
+
+__all__ = ["QuantityLabelSkewPartitioner"]
+
+
+class QuantityLabelSkewPartitioner(Partitioner):
+    """Give every device samples from exactly ``classes_per_device`` classes."""
+
+    def __init__(self, num_devices: int, classes_per_device: int, seed: int = 0,
+                 min_samples_per_device: int = 2) -> None:
+        super().__init__(num_devices, seed=seed, min_samples_per_device=min_samples_per_device)
+        if classes_per_device < 1:
+            raise ValueError("classes_per_device must be at least 1")
+        self.classes_per_device = int(classes_per_device)
+
+    def partition_indices(self, dataset: ImageDataset) -> List[np.ndarray]:
+        num_classes = dataset.num_classes
+        if self.classes_per_device > num_classes:
+            raise ValueError(
+                f"classes_per_device ({self.classes_per_device}) exceeds the number of "
+                f"classes in the dataset ({num_classes})"
+            )
+        rng = np.random.default_rng(self.seed)
+
+        # Assign classes to devices while keeping per-class load balanced:
+        # repeatedly pick, for each device, the least-assigned classes.
+        assignment_counts = np.zeros(num_classes, dtype=np.int64)
+        device_classes: List[np.ndarray] = []
+        for _ in range(self.num_devices):
+            noise = rng.random(num_classes)  # random tie-breaking
+            order = np.lexsort((noise, assignment_counts))
+            chosen = order[: self.classes_per_device]
+            assignment_counts[chosen] += 1
+            device_classes.append(np.sort(chosen))
+
+        shards: List[List[int]] = [[] for _ in range(self.num_devices)]
+        for cls, class_indices in dataset.iter_class_indices():
+            owners = [device for device in range(self.num_devices)
+                      if cls in device_classes[device]]
+            if not owners:
+                # No device drew this class; give it to the device with the
+                # fewest samples so no data is silently dropped.
+                owners = [int(np.argmin([len(s) for s in shards]))]
+            permuted = rng.permutation(class_indices)
+            pieces = np.array_split(permuted, len(owners))
+            for owner, piece in zip(owners, pieces):
+                shards[owner].extend(piece.tolist())
+
+        return [np.asarray(sorted(shard), dtype=np.int64) for shard in shards]
+
+    def describe(self) -> str:
+        """Summary string used in experiment configuration logs."""
+        return f"quantity-label-skew(c={self.classes_per_device}, K={self.num_devices})"

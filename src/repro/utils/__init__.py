@@ -1,0 +1,7 @@
+"""``repro.utils`` — small shared utilities (seeding, timing, serialization)."""
+
+from .seeding import derive_seed, seed_everything
+from .serialization import load_history_json, save_history_json
+from .timing import Timer
+
+__all__ = ["seed_everything", "derive_seed", "Timer", "save_history_json", "load_history_json"]

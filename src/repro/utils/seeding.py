@@ -1,0 +1,37 @@
+"""Deterministic seeding helpers.
+
+All stochastic components in the library accept explicit seeds or
+``numpy.random.Generator`` objects; these helpers derive well-separated
+child seeds from a master seed so that independent components (partitioning,
+model init, device shuffling, server noise) never share a stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["seed_everything", "derive_seed"]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python's and numpy's global RNGs and return a fresh Generator.
+
+    The library itself only uses explicit generators, but third-party code
+    (and the hypothesis test suite) may rely on the global state.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return np.random.default_rng(seed)
+
+
+def derive_seed(master_seed: int, *components: object) -> int:
+    """Derive a child seed from a master seed and arbitrary component labels.
+
+    Uses ``numpy.random.SeedSequence`` entropy spawning so children are
+    statistically independent even for adjacent master seeds.
+    """
+    digest = abs(hash(tuple(str(c) for c in components))) % (2 ** 31)
+    sequence = np.random.SeedSequence([master_seed, digest])
+    return int(sequence.generate_state(1)[0])

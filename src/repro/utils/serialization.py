@@ -1,0 +1,39 @@
+"""JSON serialization of training histories (for offline analysis/plots)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..federated.history import RoundRecord, TrainingHistory
+
+__all__ = ["save_history_json", "load_history_json"]
+
+
+def save_history_json(history: TrainingHistory, path: Union[str, Path]) -> Path:
+    """Write a training history to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(history.to_dict(), handle, indent=2, default=float)
+    return path
+
+
+def load_history_json(path: Union[str, Path]) -> TrainingHistory:
+    """Read a training history previously written by :func:`save_history_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload: Dict = json.load(handle)
+    history = TrainingHistory(algorithm=payload.get("algorithm", ""),
+                              config=payload.get("config", {}))
+    for row in payload.get("rounds", []):
+        record = RoundRecord(
+            round_index=int(row["round"]),
+            global_accuracy=row.get("global_accuracy"),
+            device_accuracies={int(k): float(v) for k, v in row.get("device_accuracies", {}).items()},
+            active_devices=[int(d) for d in row.get("active_devices", [])],
+            local_loss=row.get("local_loss"),
+            server_metrics={k: v for k, v in row.get("server_metrics", {}).items()},
+        )
+        history.append(record)
+    return history

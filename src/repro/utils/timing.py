@@ -1,0 +1,36 @@
+"""Wall-clock timing helper used by examples and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    def __repr__(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        return f"{prefix}{self.elapsed:.3f}s"

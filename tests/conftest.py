@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use tiny geometries (8×8 images, 3–4 classes, a few
+dozen samples) so the full suite stays fast while still exercising every
+code path of the substrate and the algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImageDataset, SyntheticImageConfig, SyntheticImageGenerator
+from repro.federated import FederatedConfig, ServerConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_gray_dataset() -> ImageDataset:
+    """A small, learnable 1-channel dataset (4 classes, 8x8)."""
+    config = SyntheticImageConfig(name="tiny-gray", num_classes=4, channels=1, height=8, width=8,
+                                  family_seed=3, noise_level=0.2, max_shift=1,
+                                  modes_per_class=1, background_strength=0.2)
+    return SyntheticImageGenerator(config).sample(120, seed=7)
+
+
+@pytest.fixture
+def tiny_rgb_dataset() -> ImageDataset:
+    """A small 3-channel dataset (4 classes, 8x8)."""
+    config = SyntheticImageConfig(name="tiny-rgb", num_classes=4, channels=3, height=8, width=8,
+                                  family_seed=5, noise_level=0.2, max_shift=1,
+                                  modes_per_class=1, background_strength=0.2)
+    return SyntheticImageGenerator(config).sample(120, seed=11)
+
+
+@pytest.fixture
+def tiny_test_dataset() -> ImageDataset:
+    """Held-out split drawn from the same distribution as ``tiny_rgb_dataset``."""
+    config = SyntheticImageConfig(name="tiny-rgb", num_classes=4, channels=3, height=8, width=8,
+                                  family_seed=5, noise_level=0.2, max_shift=1,
+                                  modes_per_class=1, background_strength=0.2)
+    return SyntheticImageGenerator(config).sample(60, seed=13)
+
+
+@pytest.fixture
+def micro_config() -> FederatedConfig:
+    """A federated configuration small enough for integration tests."""
+    return FederatedConfig(
+        num_devices=3,
+        rounds=1,
+        local_epochs=1,
+        batch_size=16,
+        device_lr=0.05,
+        participation_fraction=1.0,
+        seed=0,
+        server=ServerConfig(distillation_iterations=2, batch_size=8, noise_dim=16),
+    )

@@ -1,0 +1,133 @@
+"""Tests for the experiment configuration presets, reporting, and runners.
+
+Runner smoke tests use a custom micro scale (1 round, a handful of
+distillation iterations) so the whole module stays fast while still
+exercising the exact code paths the benchmark suite uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ExperimentScale,
+    experiment_compute_split,
+    experiment_fig2,
+    experiment_fig4_quantity,
+    experiment_table4,
+    federated_config_for,
+    format_percent,
+    format_run_summary,
+    format_series,
+    format_table,
+    get_scale,
+    run_fedmd,
+    run_fedzkt,
+)
+
+MICRO_SCALE = ExperimentScale(
+    name="micro",
+    rounds_small=1, rounds_cifar=1,
+    local_epochs_small=1, local_epochs_cifar=1,
+    distillation_iterations_small=3, distillation_iterations_cifar=3,
+    num_devices=2,
+    train_size=90, test_size=40, public_size=40,
+    batch_size=16, server_batch_size=8,
+    device_lr=0.05, global_lr=0.05, device_distill_lr=0.02, generator_lr=1e-3,
+    image_size=8,
+)
+
+
+class TestScalesAndConfigs:
+    def test_builtin_scales_exist(self):
+        assert {"tiny", "small", "paper"} <= set(SCALES)
+        assert get_scale("TINY").name == "tiny"
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_published_hyperparameters(self):
+        paper = get_scale("paper")
+        assert paper.rounds_small == 50 and paper.rounds_cifar == 100
+        assert paper.local_epochs_small == 5 and paper.local_epochs_cifar == 10
+        assert paper.distillation_iterations_small == 200
+        assert paper.distillation_iterations_cifar == 500
+        assert paper.batch_size == 256
+        assert paper.num_devices == 10
+
+    def test_family_dependent_accessors(self):
+        tiny = get_scale("tiny")
+        assert tiny.rounds_for("small") == tiny.rounds_small
+        assert tiny.rounds_for("cifar") == tiny.rounds_cifar
+        assert tiny.distillation_iterations_for("cifar") == tiny.distillation_iterations_cifar
+
+    def test_federated_config_for_overrides(self):
+        config = federated_config_for(MICRO_SCALE, "small", num_devices=3, prox_mu=0.1,
+                                      distillation_loss="kl", rounds=2)
+        assert config.num_devices == 3
+        assert config.rounds == 2
+        assert config.prox_mu == 0.1
+        assert config.server.distillation_loss == "kl"
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(0.123456) == "12.35%"
+        assert format_percent(None) == "n/a"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "long header"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_format_series(self):
+        text = format_series("curve", [1, 2], [0.5, 0.75])
+        assert "1:50.00%" in text and "2:75.00%" in text
+
+    def test_format_run_summary(self):
+        text = format_run_summary({"algorithm": "fedzkt", "rounds": 3,
+                                   "final_global_accuracy": 0.5})
+        assert "fedzkt" in text and "50.00%" in text
+
+
+class TestRunnersSmoke:
+    def test_run_fedzkt_micro(self):
+        history = run_fedzkt("mnist", MICRO_SCALE, seed=0)
+        assert len(history) == 1
+        assert history.config["dataset"] == "mnist"
+        assert history.final_global_accuracy() is not None
+
+    def test_run_fedzkt_with_noniid_partition_and_probe(self):
+        history = run_fedzkt("mnist", MICRO_SCALE, partition=("dirichlet", {"beta": 0.5}),
+                             prox_mu=0.1, probe_gradients=True, seed=1)
+        record = history.records[-1]
+        assert "grad_norm_sl" in record.server_metrics
+        assert history.config["partition"].startswith("dirichlet")
+
+    def test_run_fedmd_micro(self):
+        history = run_fedmd("mnist", scale=MICRO_SCALE, seed=0)
+        assert len(history) == 1
+        assert history.config["public_dataset"].startswith("fashion")
+        assert history.final_mean_device_accuracy() >= 0.0
+
+    def test_experiment_fig2_micro(self):
+        result = experiment_fig2(MICRO_SCALE, dataset="mnist")
+        assert set(result["curves"]) == {"kl", "l1", "sl"}
+        assert "Figure 2" in result["formatted"]
+
+    def test_experiment_fig4_quantity_micro(self):
+        result = experiment_fig4_quantity(MICRO_SCALE, dataset="mnist", classes_per_device=(2,))
+        assert len(result["fedzkt"]) == 1 and len(result["fedmd"]) == 1
+        assert "FedZKT" in result["formatted"]
+
+    def test_experiment_table4_micro(self):
+        result = experiment_table4(MICRO_SCALE, dataset="mnist", classes_per_device=2, beta=0.5)
+        assert len(result["results"]) == 2
+        for accs in result["results"].values():
+            assert {"no_regularization", "l2_regularization"} == set(accs)
+
+    def test_experiment_compute_split_micro(self):
+        result = experiment_compute_split(MICRO_SCALE, dataset="mnist")
+        assert result["summary"]["server_total_compute"] > 0
+        assert "Server compute" in result["formatted"]

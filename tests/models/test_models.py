@@ -1,0 +1,190 @@
+"""Tests for the model zoo: shapes, gradients, heterogeneity, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    CIFAR_MODEL_SPECS,
+    SMALL_IMAGE_MODEL_SPECS,
+    FullyConnected,
+    Generator,
+    LeNet,
+    MobileNetV2,
+    ModelSpec,
+    ShuffleNetV2,
+    SimpleCNN,
+    available_architectures,
+    build_generator,
+    build_global_model,
+    build_model,
+    cifar_device_suite,
+    device_specs_for_family,
+    device_suite_for_family,
+    small_image_device_suite,
+)
+from repro.models.shufflenet import ShuffleUnit
+from repro.models.mobilenet import InvertedResidual
+from repro.nn import Tensor
+from repro.nn.losses import cross_entropy
+
+RGB_SHAPE = (3, 8, 8)
+GRAY_SHAPE = (1, 8, 8)
+
+
+def _batch(shape, n=4, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=(n,) + shape))
+
+
+@pytest.mark.parametrize("builder,shape", [
+    (lambda: FullyConnected(GRAY_SHAPE, 5, seed=0), GRAY_SHAPE),
+    (lambda: SimpleCNN(RGB_SHAPE, 5, seed=0), RGB_SHAPE),
+    (lambda: LeNet(RGB_SHAPE, 5, seed=0), RGB_SHAPE),
+    (lambda: ShuffleNetV2(RGB_SHAPE, 5, net_size=0.5, seed=0), RGB_SHAPE),
+    (lambda: MobileNetV2(RGB_SHAPE, 5, width_multiplier=0.6, seed=0), RGB_SHAPE),
+])
+class TestClassifierContracts:
+    def test_output_shape_is_logits(self, builder, shape):
+        model = builder()
+        out = model(_batch(shape))
+        assert out.shape == (4, 5)
+
+    def test_backward_reaches_every_parameter(self, builder, shape):
+        model = builder()
+        loss = cross_entropy(model(_batch(shape)), np.zeros(4, dtype=int))
+        loss.backward()
+        missing = [name for name, param in model.named_parameters() if param.grad is None]
+        assert not missing, f"parameters without gradients: {missing}"
+
+    def test_input_shape_validation(self, builder, shape):
+        model = builder()
+        wrong = Tensor(np.zeros((2, shape[0], shape[1] + 2, shape[2])))
+        with pytest.raises(ValueError):
+            model(wrong)
+
+    def test_state_dict_roundtrip_preserves_outputs(self, builder, shape):
+        model_a, model_b = builder(), builder()
+        x = _batch(shape, seed=3)
+        model_a.eval(), model_b.eval()
+        model_b.load_state_dict(model_a.state_dict())
+        np.testing.assert_allclose(model_a(x).data, model_b(x).data, atol=1e-12)
+
+
+class TestArchitectureDetails:
+    def test_shuffle_unit_stride1_requires_matching_channels(self):
+        with pytest.raises(ValueError):
+            ShuffleUnit(8, 16, stride=1)
+        with pytest.raises(ValueError):
+            ShuffleUnit(8, 9, stride=2)
+
+    def test_shuffle_unit_downsamples(self):
+        unit = ShuffleUnit(8, 16, stride=2, seed=0)
+        out = unit(Tensor(np.random.default_rng(0).normal(size=(2, 8, 8, 8))))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_inverted_residual_uses_skip_connection(self):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=2, seed=0)
+        assert block.use_residual
+        out = block(Tensor(np.random.default_rng(0).normal(size=(2, 8, 4, 4))))
+        assert out.shape == (2, 8, 4, 4)
+        assert not InvertedResidual(8, 12, stride=1, seed=0).use_residual
+
+    def test_net_size_scales_parameter_count(self):
+        small = ShuffleNetV2(RGB_SHAPE, 10, net_size=0.5, seed=0)
+        large = ShuffleNetV2(RGB_SHAPE, 10, net_size=1.0, seed=0)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_width_multiplier_scales_parameter_count(self):
+        narrow = MobileNetV2(RGB_SHAPE, 10, width_multiplier=0.6, seed=0)
+        wide = MobileNetV2(RGB_SHAPE, 10, width_multiplier=0.8, seed=0)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_lenet_depth_configuration(self):
+        shallow = LeNet(RGB_SHAPE, 10, conv_channels=(4,), fc_sizes=(16,), seed=0)
+        deep = LeNet(RGB_SHAPE, 10, conv_channels=(8, 16), fc_sizes=(64, 32), seed=0)
+        assert deep.num_parameters() > shallow.num_parameters()
+        with pytest.raises(ValueError):
+            LeNet((3, 4, 4), 10, conv_channels=(4, 8, 16, 32))
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            SimpleCNN(RGB_SHAPE, 1)
+
+    def test_describe_mentions_parameters(self):
+        model = FullyConnected(GRAY_SHAPE, 4, seed=0)
+        assert str(model.num_parameters()) in model.describe()
+
+
+class TestGenerator:
+    def test_output_shape_and_range(self):
+        generator = Generator(noise_dim=16, output_shape=RGB_SHAPE, base_channels=8, seed=0)
+        rng = np.random.default_rng(0)
+        images = generator.generate(6, rng)
+        assert images.shape == (6,) + RGB_SHAPE
+        assert images.data.min() >= -1.0 and images.data.max() <= 1.0
+
+    def test_noise_shape_validation(self):
+        generator = Generator(noise_dim=16, output_shape=RGB_SHAPE, base_channels=8, seed=0)
+        with pytest.raises(ValueError):
+            generator(Tensor(np.zeros((2, 8))))
+        with pytest.raises(ValueError):
+            Generator(noise_dim=8, output_shape=(3, 10, 10))
+
+    def test_generator_is_trainable(self):
+        generator = Generator(noise_dim=8, output_shape=GRAY_SHAPE, base_channels=8, seed=0)
+        rng = np.random.default_rng(1)
+        out = generator.generate(4, rng)
+        (out * out).mean().backward()
+        assert all(param.grad is not None for param in generator.parameters())
+
+
+class TestRegistry:
+    def test_available_architectures(self):
+        names = available_architectures()
+        assert {"fc", "cnn", "lenet", "shufflenetv2", "mobilenetv2"} <= set(names)
+
+    def test_build_model_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            build_model(ModelSpec("resnet152"), RGB_SHAPE, 10)
+
+    def test_cifar_suite_cycles_models_a_to_e(self):
+        suite = cifar_device_suite(7, RGB_SHAPE, 10, seed=0)
+        assert len(suite) == 7
+        # Devices 0 and 5 both use Model A (ShuffleNetV2 x0.5).
+        assert type(suite[0]) is type(suite[5])
+        assert isinstance(suite[4], LeNet)
+
+    def test_small_suite_contains_cnn_fc_and_lenets(self):
+        suite = small_image_device_suite(5, GRAY_SHAPE, 10, seed=0)
+        kinds = {type(model).__name__ for model in suite}
+        assert kinds == {"SimpleCNN", "FullyConnected", "LeNet"}
+
+    def test_suites_are_heterogeneous_in_size(self):
+        suite = cifar_device_suite(5, RGB_SHAPE, 10, seed=0)
+        sizes = {model.num_parameters() for model in suite}
+        assert len(sizes) == 5
+
+    def test_device_suite_for_family_dispatch(self):
+        assert len(device_suite_for_family("cifar", 3, RGB_SHAPE, 10)) == 3
+        assert len(device_suite_for_family("mnist", 3, GRAY_SHAPE, 10)) == 3
+        with pytest.raises(KeyError):
+            device_suite_for_family("imagenet", 3, RGB_SHAPE, 10)
+        with pytest.raises(ValueError):
+            device_suite_for_family("cifar", 0, RGB_SHAPE, 10)
+
+    def test_device_specs_for_family_labels(self):
+        specs = device_specs_for_family("cifar", 10)
+        assert len(specs) == 10
+        assert specs[0].describe().startswith("Model A")
+        assert specs[9] == CIFAR_MODEL_SPECS[4]
+        assert len(SMALL_IMAGE_MODEL_SPECS) == 5
+
+    def test_global_model_is_larger_than_typical_device_model(self):
+        global_model = build_global_model(RGB_SHAPE, 10, seed=0)
+        device_model = build_model(CIFAR_MODEL_SPECS[0], RGB_SHAPE, 10, seed=0)
+        assert global_model.num_parameters() > device_model.num_parameters()
+
+    def test_build_generator_matches_image_shape(self):
+        generator = build_generator(RGB_SHAPE, noise_dim=16, seed=0)
+        assert generator.output_shape == RGB_SHAPE

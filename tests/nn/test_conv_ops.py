@@ -1,0 +1,185 @@
+"""Tests for convolution, pooling, up-sampling, and channel shuffle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.conv import (
+    avg_pool2d,
+    channel_shuffle,
+    col2im,
+    conv2d,
+    depthwise_conv2d,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+    upsample_nearest2d,
+)
+from repro.nn.functional import numerical_gradient
+
+
+def _reference_conv2d(images, weight, bias, stride, padding):
+    """Naive direct convolution used as the ground truth."""
+    batch, in_c, height, width = images.shape
+    out_c, _, kernel, _ = weight.shape
+    if padding:
+        images = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (images.shape[2] - kernel) // stride + 1
+    out_w = (images.shape[3] - kernel) // stride + 1
+    out = np.zeros((batch, out_c, out_h, out_w))
+    for n in range(batch):
+        for oc in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = images[n, :, i * stride:i * stride + kernel, j * stride:j * stride + kernel]
+                    out[n, oc, i, j] = np.sum(patch * weight[oc])
+            if bias is not None:
+                out[n, oc] += bias[oc]
+    return out
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self, rng):
+        images = rng.normal(size=(2, 3, 6, 6))
+        cols, out_h, out_w = im2col(images, kernel=3, stride=1, padding=1)
+        assert cols.shape == (2, 27, 36)
+        assert (out_h, out_w) == (6, 6)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        images = rng.normal(size=(1, 2, 5, 5))
+        cols, _, _ = im2col(images, kernel=3, stride=2, padding=1)
+        cotangent = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * cotangent)
+        back = col2im(cotangent, images.shape, kernel=3, stride=2, padding=1)
+        rhs = np.sum(images * back)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_forward_matches_naive(self, rng, stride, padding):
+        images = rng.normal(size=(2, 3, 7, 7))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=(4,))
+        out = conv2d(Tensor(images), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+        expected = _reference_conv2d(images, weight, bias, stride, padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_gradients_match_numerical(self, rng):
+        images = rng.normal(size=(2, 2, 5, 5))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        bias = rng.normal(size=(3,))
+        x = Tensor(images, requires_grad=True)
+        w = Tensor(weight, requires_grad=True)
+        b = Tensor(bias, requires_grad=True)
+        out = conv2d(x, w, b, stride=1, padding=1)
+        (out * out).sum().backward()
+
+        def loss_wrt_images(arr):
+            val = conv2d(Tensor(arr), Tensor(weight), Tensor(bias), stride=1, padding=1)
+            return float((val.data ** 2).sum())
+
+        def loss_wrt_weight(arr):
+            val = conv2d(Tensor(images), Tensor(arr), Tensor(bias), stride=1, padding=1)
+            return float((val.data ** 2).sum())
+
+        np.testing.assert_allclose(x.grad, numerical_gradient(loss_wrt_images, images.copy(), 1e-5),
+                                   rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(w.grad, numerical_gradient(loss_wrt_weight, weight.copy(), 1e-5),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(rng.normal(size=(1, 2, 4, 4))), Tensor(rng.normal(size=(3, 5, 3, 3))))
+
+
+class TestDepthwiseConv2d:
+    def test_forward_matches_per_channel_conv(self, rng):
+        images = rng.normal(size=(2, 3, 6, 6))
+        weight = rng.normal(size=(3, 1, 3, 3))
+        out = depthwise_conv2d(Tensor(images), Tensor(weight), stride=1, padding=1)
+        for channel in range(3):
+            expected = _reference_conv2d(images[:, channel:channel + 1], weight[channel:channel + 1],
+                                         None, 1, 1)
+            np.testing.assert_allclose(out.data[:, channel:channel + 1], expected, atol=1e-10)
+
+    def test_gradient_matches_numerical(self, rng):
+        images = rng.normal(size=(1, 2, 5, 5))
+        weight = rng.normal(size=(2, 1, 3, 3))
+        w = Tensor(weight, requires_grad=True)
+        out = depthwise_conv2d(Tensor(images), w, stride=2, padding=1)
+        (out * out).sum().backward()
+
+        def loss(arr):
+            val = depthwise_conv2d(Tensor(images), Tensor(arr), stride=2, padding=1)
+            return float((val.data ** 2).sum())
+
+        np.testing.assert_allclose(w.grad, numerical_gradient(loss, weight.copy(), 1e-5),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_bad_weight_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            depthwise_conv2d(Tensor(rng.normal(size=(1, 3, 4, 4))),
+                             Tensor(rng.normal(size=(3, 2, 3, 3))))
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        images = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(images), kernel=2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_max(self):
+        images = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        x = Tensor(images, requires_grad=True)
+        max_pool2d(x, kernel=2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_forward_and_grad(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4))
+        out = avg_pool2d(Tensor(images), kernel=2)
+        expected = images.reshape(2, 3, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+        x = Tensor(images, requires_grad=True)
+        avg_pool2d(x, kernel=2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(images, 0.25))
+
+    def test_global_avg_pool(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4))
+        out = global_avg_pool2d(Tensor(images))
+        np.testing.assert_allclose(out.data, images.mean(axis=(2, 3)))
+
+
+class TestUpsampleAndShuffle:
+    def test_upsample_forward(self):
+        images = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = upsample_nearest2d(Tensor(images), scale=2)
+        np.testing.assert_allclose(out.data[0, 0],
+                                   [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]])
+
+    def test_upsample_grad_sums_over_window(self):
+        images = np.ones((1, 1, 2, 2))
+        x = Tensor(images, requires_grad=True)
+        upsample_nearest2d(x, scale=3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(images, 9.0))
+
+    def test_channel_shuffle_permutes_channels(self):
+        images = np.zeros((1, 4, 1, 1))
+        images[0, :, 0, 0] = [0, 1, 2, 3]
+        out = channel_shuffle(Tensor(images), groups=2)
+        np.testing.assert_allclose(out.data[0, :, 0, 0], [0, 2, 1, 3])
+
+    def test_channel_shuffle_invalid_groups(self, rng):
+        with pytest.raises(ValueError):
+            channel_shuffle(Tensor(rng.normal(size=(1, 3, 2, 2))), groups=2)
+
+    def test_channel_shuffle_is_differentiable(self, rng):
+        images = rng.normal(size=(2, 4, 3, 3))
+        x = Tensor(images, requires_grad=True)
+        (channel_shuffle(x, 2) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * images)

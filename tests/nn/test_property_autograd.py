@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the autograd engine and losses.
+
+These check algebraic invariants that must hold for *any* input: linearity
+of gradients, softmax simplex membership, loss bounds, and the adjointness
+of im2col/col2im.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn.conv import col2im, im2col
+from repro.nn.losses import kl_divergence_loss, logit_l1_loss, one_hot, softmax_l1_loss
+
+_FINITE = {"allow_nan": False, "allow_infinity": False, "width": 64}
+
+
+def small_arrays(min_dims=1, max_dims=2, max_side=6, min_value=-5.0, max_value=5.0):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=st.floats(min_value=min_value, max_value=max_value, **_FINITE),
+    )
+
+
+class TestAutogradProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays())
+    def test_sum_gradient_is_ones(self, values):
+        x = Tensor(values, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(), st.floats(min_value=-3.0, max_value=3.0, **_FINITE))
+    def test_gradient_scales_linearly(self, values, scale):
+        x = Tensor(values, requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(values, scale))
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2))
+    def test_softmax_is_on_simplex(self, values):
+        probs = Tensor(values).softmax(axis=-1).data
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(values.shape[0]), atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2))
+    def test_relu_output_nonnegative_and_idempotent(self, values):
+        once = Tensor(values).relu()
+        twice = once.relu()
+        assert (once.data >= 0).all()
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2), small_arrays(min_dims=2, max_dims=2))
+    def test_addition_gradient_is_shared(self, a, b):
+        if a.shape != b.shape:
+            b = np.resize(b, a.shape)
+        xa = Tensor(a, requires_grad=True)
+        xb = Tensor(b, requires_grad=True)
+        (xa + xb).sum().backward()
+        np.testing.assert_allclose(xa.grad, np.ones_like(a))
+        np.testing.assert_allclose(xb.grad, np.ones_like(a))
+
+
+class TestLossProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2, max_side=6))
+    def test_sl_loss_bounded_by_two(self, logits):
+        if logits.ndim != 2 or logits.shape[1] < 2:
+            return
+        teacher = Tensor(np.roll(logits, 1, axis=0)).softmax(-1)
+        value = softmax_l1_loss(Tensor(logits), teacher).item()
+        assert 0.0 <= value <= 2.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2, max_side=6))
+    def test_kl_loss_nonnegative(self, logits):
+        if logits.ndim != 2 or logits.shape[1] < 2:
+            return
+        teacher = Tensor(np.roll(logits, 1, axis=1)).softmax(-1)
+        assert kl_divergence_loss(Tensor(logits), teacher).item() >= -1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(min_dims=2, max_dims=2, max_side=6))
+    def test_losses_are_zero_on_self(self, logits):
+        if logits.ndim != 2 or logits.shape[1] < 2:
+            return
+        probs = Tensor(logits).softmax(-1)
+        assert softmax_l1_loss(Tensor(logits), probs).item() <= 1e-9
+        assert logit_l1_loss(Tensor(logits), Tensor(logits)).item() <= 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=30))
+    def test_one_hot_rows_sum_to_one(self, num_classes, count):
+        labels = np.arange(count) % num_classes
+        encoded = one_hot(labels, num_classes)
+        np.testing.assert_allclose(encoded.sum(axis=1), np.ones(count))
+        assert encoded.shape == (count, num_classes)
+
+
+class TestConvProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=2),   # batch
+        st.integers(min_value=1, max_value=3),   # channels
+        st.integers(min_value=4, max_value=7),   # spatial size
+        st.integers(min_value=1, max_value=2),   # stride
+        st.integers(min_value=0, max_value=1),   # padding
+    )
+    def test_im2col_col2im_adjoint(self, batch, channels, size, stride, padding):
+        rng = np.random.default_rng(batch * 100 + channels * 10 + size)
+        images = rng.normal(size=(batch, channels, size, size))
+        kernel = 3
+        if size + 2 * padding < kernel:
+            return
+        cols, _, _ = im2col(images, kernel, stride, padding)
+        cotangent = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * cotangent))
+        rhs = float(np.sum(images * col2im(cotangent, images.shape, kernel, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+import pytest  # noqa: E402  (used inside the property test above)

