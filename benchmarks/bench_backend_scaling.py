@@ -1,0 +1,114 @@
+"""Backend scaling benchmark: serial vs process-pool device training.
+
+Runs the same FedAvg workload (device-side work dominates: no server
+distillation) through the ``SerialBackend`` and through
+``ProcessPoolBackend`` with 1/2/4 workers, and writes the wall-clock
+numbers and speedups to ``BENCH_backend_scaling.json`` so the performance
+trajectory of the execution engine accumulates across PRs.
+
+On a multicore runner the 4-worker configuration is expected to reach
+>=1.5x over serial; on a single-core container the speedup will hover
+around (or below) 1.0x — the JSON records ``cpu_count`` so results are
+interpretable either way.
+
+Not a pytest file on purpose (no ``test_`` prefix): run it directly with
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines import build_fedavg  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.federated import (  # noqa: E402
+    FederatedConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    ServerConfig,
+)
+from repro.models import ModelSpec  # noqa: E402
+
+
+def _workload(quick: bool):
+    """FedAvg workload where per-round device training dominates wall clock."""
+    if quick:
+        return dict(num_devices=4, rounds=1, local_epochs=1, train_size=400, test_size=100)
+    return dict(num_devices=8, rounds=2, local_epochs=2, train_size=2400, test_size=300)
+
+
+def run_once(backend, params, seed: int = 0) -> float:
+    train, test = load_dataset("mnist", train_size=params["train_size"],
+                               test_size=params["test_size"], image_size=16, seed=seed)
+    config = FederatedConfig(
+        num_devices=params["num_devices"], rounds=params["rounds"],
+        local_epochs=params["local_epochs"], batch_size=32, device_lr=0.05,
+        device_momentum=0.9, seed=seed, server=ServerConfig(),
+    )
+    simulation = build_fedavg(train, test, config,
+                              model_spec=ModelSpec("cnn", {"channels": (8, 16),
+                                                           "hidden_size": 32}),
+                              backend=backend)
+    start = time.perf_counter()
+    try:
+        simulation.run()
+    finally:
+        simulation.close()
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (sanity check, not a real measurement)")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="process-pool worker counts to measure (default: 1 2 4)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_backend_scaling.json"))
+    args = parser.parse_args(argv)
+
+    params = _workload(args.quick)
+    print(f"workload: {params}")
+
+    serial_seconds = run_once(SerialBackend(), params)
+    print(f"serial: {serial_seconds:.2f}s")
+
+    process_seconds = {}
+    for workers in args.workers:
+        backend = ProcessPoolBackend(max_workers=workers)
+        seconds = run_once(backend, params)
+        process_seconds[workers] = seconds
+        print(f"process x{workers}: {seconds:.2f}s "
+              f"(speedup {serial_seconds / seconds:.2f}x)")
+
+    payload = {
+        "benchmark": "backend_scaling",
+        "workload": params,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "serial_seconds": serial_seconds,
+        "process_seconds": {str(workers): seconds
+                            for workers, seconds in process_seconds.items()},
+        "speedup": {str(workers): serial_seconds / seconds
+                    for workers, seconds in process_seconds.items()},
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

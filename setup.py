@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All package metadata lives in pyproject.toml; this file only exists so
+that editable installs keep working on older toolchains without the
+``wheel`` package (``pip install -e . --no-use-pep517``) where the PEP 660
+build_editable hook is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

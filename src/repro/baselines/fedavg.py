@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..datasets.base import ImageDataset
+from ..federated.backend import ExecutionBackend
 from ..federated.config import FederatedConfig
 from ..federated.device import Device
 from ..federated.sampling import DeviceSampler
@@ -83,7 +84,8 @@ class FedAvgServer(FederatedServer):
 def _build_homogeneous(train_dataset: ImageDataset, test_dataset: ImageDataset,
                        config: FederatedConfig, model_spec: ModelSpec,
                        partitioner: Optional[Partitioner], sampler: Optional[DeviceSampler],
-                       prox_mu: float) -> FederatedSimulation:
+                       prox_mu: float,
+                       backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
     num_classes = train_dataset.num_classes
     input_shape = train_dataset.input_shape
     partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
@@ -100,27 +102,30 @@ def _build_homogeneous(train_dataset: ImageDataset, test_dataset: ImageDataset,
                               seed=config.seed + 1000 + index))
     weights = {device.device_id: float(len(device.dataset)) for device in devices}
     server = FedAvgServer(copy.deepcopy(reference), device_weights=weights)
-    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler)
+    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler,
+                               backend=backend)
 
 
 def build_fedavg(train_dataset: ImageDataset, test_dataset: ImageDataset,
                  config: FederatedConfig,
                  model_spec: ModelSpec = ModelSpec("cnn", {"channels": (16, 32)}),
                  partitioner: Optional[Partitioner] = None,
-                 sampler: Optional[DeviceSampler] = None) -> FederatedSimulation:
+                 sampler: Optional[DeviceSampler] = None,
+                 backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
     """FedAvg: homogeneous devices, weighted parameter averaging, no proximal term."""
     return _build_homogeneous(train_dataset, test_dataset, config, model_spec,
-                              partitioner, sampler, prox_mu=0.0)
+                              partitioner, sampler, prox_mu=0.0, backend=backend)
 
 
 def build_fedprox(train_dataset: ImageDataset, test_dataset: ImageDataset,
                   config: FederatedConfig, prox_mu: float = 0.01,
                   model_spec: ModelSpec = ModelSpec("cnn", {"channels": (16, 32)}),
                   partitioner: Optional[Partitioner] = None,
-                  sampler: Optional[DeviceSampler] = None) -> FederatedSimulation:
+                  sampler: Optional[DeviceSampler] = None,
+                  backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
     """FedProx: FedAvg plus the on-device ℓ2 proximal regularizer."""
     simulation = _build_homogeneous(train_dataset, test_dataset, config, model_spec,
-                                    partitioner, sampler, prox_mu=prox_mu)
+                                    partitioner, sampler, prox_mu=prox_mu, backend=backend)
     simulation.server.name = "fedprox"
     simulation.history.algorithm = "fedprox"
     return simulation

@@ -18,7 +18,12 @@ SVHN pairing (reproduced here with the synthetic close/far datasets).
 
 The implementation keeps the same Device / Server / Simulation interfaces
 as FedZKT, but the exchanged payloads are logit matrices rather than model
-parameters; the devices keep their own parameters throughout.
+parameters; the devices keep their own parameters throughout.  All
+device-side phases (logit computation, digest + revisit, evaluation) are
+dispatched as picklable tasks through an
+:class:`~repro.federated.backend.ExecutionBackend`, so the round fans out
+across worker processes when a parallel backend is selected — with
+bit-identical results to the serial path.
 """
 
 from __future__ import annotations
@@ -28,17 +33,20 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
-from ..datasets.dataloader import DataLoader
+from ..federated.backend import (
+    DigestSpec,
+    ExecutionBackend,
+    PublicLogitsTask,
+    SerialBackend,
+    WorkerContext,
+    build_worker_context,
+)
 from ..federated.config import FederatedConfig
 from ..federated.device import Device
 from ..federated.history import RoundRecord, TrainingHistory
 from ..federated.sampling import DeviceSampler, UniformSampler
-from ..federated.server import evaluate_model
+from ..federated.trainer import compute_public_logits, digest_on_public
 from ..models.base import ClassificationModel
-from ..nn import no_grad
-from ..nn.losses import cross_entropy, mse_loss
-from ..nn.optim import SGD
-from ..nn.tensor import Tensor
 from ..partition.base import Partitioner
 from ..partition.iid import IIDPartitioner
 
@@ -62,13 +70,16 @@ class FedMDSimulation:
         Held-out test set for per-round evaluation.
     digest_epochs:
         Passes over the public dataset during the digest phase.
+    backend:
+        Execution backend for device-side work (default: serial).
     """
 
     name = "fedmd"
 
     def __init__(self, devices: Sequence[Device], public_dataset: ImageDataset,
                  config: FederatedConfig, test_dataset: ImageDataset,
-                 sampler: Optional[DeviceSampler] = None, digest_epochs: int = 1) -> None:
+                 sampler: Optional[DeviceSampler] = None, digest_epochs: int = 1,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         if not devices:
             raise ValueError("at least one device is required")
         self.devices = list(devices)
@@ -77,59 +88,78 @@ class FedMDSimulation:
         self.test_dataset = test_dataset
         self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
         self.digest_epochs = int(digest_epochs)
+        self.backend = backend or SerialBackend()
+        self._context: Optional[WorkerContext] = None
         self.history = TrainingHistory(algorithm=self.name, config=config.describe())
 
     # ------------------------------------------------------------------ #
+    # Backend plumbing
+    # ------------------------------------------------------------------ #
+    def _ensure_backend(self) -> None:
+        if self._context is None:
+            self._context = build_worker_context(self.devices, eval_dataset=self.test_dataset,
+                                                 public_dataset=self.public_dataset)
+        self.backend.start(self._context)
+
+    def close(self) -> None:
+        """Shut down the execution backend (pool workers, if any)."""
+        self.backend.shutdown()
+
+    def _digest_seed(self, device_id: int) -> int:
+        return self.config.seed + 500 + device_id
+
+    # ------------------------------------------------------------------ #
+    # In-process helpers (kept for direct use and tests; same code paths
+    # the backend tasks execute in workers)
+    # ------------------------------------------------------------------ #
     def _public_logits(self, model: ClassificationModel, batch_size: int = 256) -> np.ndarray:
         """Class scores of ``model`` on the whole public dataset (no gradients)."""
-        model.eval()
-        outputs: List[np.ndarray] = []
-        with no_grad():
-            for start in range(0, len(self.public_dataset), batch_size):
-                images = Tensor(self.public_dataset.images[start:start + batch_size])
-                outputs.append(model(images).data.copy())
-        model.train()
-        return np.concatenate(outputs, axis=0)
+        return compute_public_logits(model, self.public_dataset, batch_size=batch_size)
 
     def _digest(self, device: Device, consensus: np.ndarray) -> float:
         """Train the device model to match the consensus scores on public data."""
-        model = device.model
-        model.train()
-        optimizer = SGD(model.parameters(), lr=self.config.server.device_distill_lr, momentum=0.9)
-        losses: List[float] = []
-        rng = np.random.default_rng(self.config.seed + 500 + device.device_id)
-        indices = np.arange(len(self.public_dataset))
-        batch = self.config.batch_size
-        for _ in range(self.digest_epochs):
-            order = rng.permutation(indices)
-            for start in range(0, len(order), batch):
-                chosen = order[start:start + batch]
-                images = Tensor(self.public_dataset.images[chosen])
-                targets = Tensor(consensus[chosen])
-                optimizer.zero_grad()
-                loss = mse_loss(model(images), targets)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-        return float(np.mean(losses)) if losses else 0.0
+        return digest_on_public(
+            device.model, self.public_dataset, consensus,
+            lr=self.config.server.device_distill_lr,
+            batch_size=self.config.batch_size, epochs=self.digest_epochs,
+            rng=np.random.default_rng(self._digest_seed(device.device_id)))
 
     # ------------------------------------------------------------------ #
     def run_round(self, round_index: int) -> RoundRecord:
         """One FedMD communication round: communicate, aggregate, digest, revisit."""
+        self._ensure_backend()
         active = self.sampler.sample(round_index, len(self.devices))
 
         # Communicate: per-device class scores on the public dataset.
-        scores = {device_id: self._public_logits(self.devices[device_id].model)
-                  for device_id in active}
+        logit_tasks = [
+            PublicLogitsTask(device_id=device_id,
+                             state=self.devices[device_id].model.state_dict())
+            for device_id in active
+        ]
+        uploaded = self.backend.run_tasks(logit_tasks)
         # Aggregate: consensus is the mean of the uploaded scores.
-        consensus = np.mean(np.stack(list(scores.values()), axis=0), axis=0)
+        consensus = np.mean(np.stack(uploaded, axis=0), axis=0)
+
+        # Digest + revisit, shipped as one task per active device.
+        train_tasks = []
+        for device_id in active:
+            task = self.devices[device_id].local_train_task(self.config.local_epochs)
+            task.digest = DigestSpec(
+                consensus=consensus,
+                epochs=self.digest_epochs,
+                lr=self.config.server.device_distill_lr,
+                batch_size=self.config.batch_size,
+                seed=self._digest_seed(device_id),
+            )
+            train_tasks.append(task)
+        results = self.backend.run_tasks(train_tasks)
 
         digest_losses: List[float] = []
         revisit_losses: List[float] = []
-        for device_id in active:
-            device = self.devices[device_id]
-            digest_losses.append(self._digest(device, consensus))
-            report = device.local_train(self.config.local_epochs)
+        for result in results:
+            device = self.devices[result.device_id]
+            report = device.absorb_training_result(result)
+            digest_losses.append(result.digest_loss if result.digest_loss is not None else 0.0)
             revisit_losses.append(report.mean_loss)
 
         record = RoundRecord(round_index=round_index, active_devices=list(active))
@@ -138,8 +168,10 @@ class FedMDSimulation:
             "digest_loss": float(np.mean(digest_losses)) if digest_losses else 0.0,
             "public_dataset": self.public_dataset.name,
         }
-        for device in self.devices:
-            record.device_accuracies[device.device_id] = device.evaluate(self.test_dataset)
+        eval_tasks = [device.evaluate_task() for device in self.devices]
+        accuracies = self.backend.run_tasks(eval_tasks)
+        for device, accuracy in zip(self.devices, accuracies):
+            record.device_accuracies[device.device_id] = accuracy
         self.history.append(record)
         return record
 
@@ -148,11 +180,14 @@ class FedMDSimulation:
 
         FedMD's transfer-learning protocol first trains each device on its
         private data before any communication; one warm-up pass of local
-        epochs reproduces that step.
+        epochs reproduces that step (also fanned out through the backend).
         """
         total_rounds = rounds if rounds is not None else self.config.rounds
-        for device in self.devices:
-            device.local_train(self.config.local_epochs)
+        self._ensure_backend()
+        warmup_tasks = [device.local_train_task(self.config.local_epochs)
+                        for device in self.devices]
+        for result in self.backend.run_tasks(warmup_tasks):
+            self.devices[result.device_id].absorb_training_result(result)
         for round_index in range(1, total_rounds + 1):
             record = self.run_round(round_index)
             if verbose:
@@ -166,7 +201,8 @@ def build_fedmd(train_dataset: ImageDataset, test_dataset: ImageDataset,
                 partitioner: Optional[Partitioner] = None,
                 device_models: Optional[Sequence[ClassificationModel]] = None,
                 sampler: Optional[DeviceSampler] = None,
-                digest_epochs: int = 1) -> FedMDSimulation:
+                digest_epochs: int = 1,
+                backend: Optional[ExecutionBackend] = None) -> FedMDSimulation:
     """Construct a ready-to-run FedMD simulation mirroring :func:`build_fedzkt`."""
     from ..models.registry import device_suite_for_family  # local import to avoid cycle
 
@@ -190,4 +226,4 @@ def build_fedmd(train_dataset: ImageDataset, test_dataset: ImageDataset,
         for index, (model, shard) in enumerate(zip(device_models, shards))
     ]
     return FedMDSimulation(devices, public_dataset, config, test_dataset,
-                           sampler=sampler, digest_epochs=digest_epochs)
+                           sampler=sampler, digest_epochs=digest_epochs, backend=backend)

@@ -21,11 +21,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
-from ..datasets.dataloader import DataLoader
 from ..federated.server import evaluate_model
+from ..federated.trainer import DeviceTrainingConfig, local_sgd_train
 from ..models.base import ClassificationModel
-from ..nn.losses import cross_entropy
-from ..nn.optim import SGD
 from ..partition.base import Partitioner
 
 __all__ = ["StandaloneBounds", "train_standalone", "compute_bounds"]
@@ -52,16 +50,15 @@ class StandaloneBounds:
 def train_standalone(model: ClassificationModel, dataset: ImageDataset, epochs: int,
                      lr: float = 0.01, momentum: float = 0.9, weight_decay: float = 0.0,
                      batch_size: int = 32, seed: int = 0) -> ClassificationModel:
-    """Train ``model`` on ``dataset`` with plain mini-batch SGD (in place)."""
-    model.train()
-    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
-    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, seed=seed)
-    for _ in range(epochs):
-        for images, labels in loader:
-            optimizer.zero_grad()
-            loss = cross_entropy(model(images), labels)
-            loss.backward()
-            optimizer.step()
+    """Train ``model`` on ``dataset`` with plain mini-batch SGD (in place).
+
+    Routes through the shared trainer loop
+    (:func:`repro.federated.trainer.local_sgd_train`), i.e. exactly the same
+    code path federated devices execute — just without a proximal anchor.
+    """
+    config = DeviceTrainingConfig(lr=lr, momentum=momentum, weight_decay=weight_decay,
+                                  batch_size=batch_size)
+    local_sgd_train(model, dataset, epochs, config, np.random.default_rng(seed))
     return model
 
 

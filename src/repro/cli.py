@@ -1,0 +1,142 @@
+"""``repro`` — command-line entrypoint for the FedZKT reproduction.
+
+Installed as a console script by ``pip install -e .`` (see pyproject.toml);
+also runnable as ``python -m repro.cli``.
+
+Subcommands
+-----------
+``repro run``
+    Run a single federated training session (FedZKT or FedMD) and
+    optionally save its :class:`TrainingHistory` as JSON.
+``repro experiment``
+    Run one of the paper's table/figure experiments, printing the
+    formatted rendering and optionally emitting per-variant JSON.
+``repro list``
+    List available experiments, scales, and backends.
+
+Every subcommand accepts ``--backend serial|process[:N]`` to select the
+execution engine; ``process`` fans device training (for ``run``) or whole
+experiment variants (for ``experiment``) out across worker processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .experiments.configs import SCALES
+from .experiments.runner import EXPERIMENTS, run_experiment, run_fedmd, run_fedzkt
+from .federated.backend import make_backend
+from .utils.serialization import save_history_json
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedZKT (ICDCS 2022) reproduction: federated runs, experiments, sweeps.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ---------------------------------------------------------------- run
+    run_parser = subparsers.add_parser("run", help="run one federated training session")
+    run_parser.add_argument("dataset", help="dataset name (mnist, fashion, kmnist, cifar10, ...)")
+    run_parser.add_argument("--algorithm", choices=["fedzkt", "fedmd"], default="fedzkt")
+    run_parser.add_argument("--scale", default="tiny", choices=sorted(SCALES),
+                            help="experiment scale preset (default: tiny)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--rounds", type=int, default=None,
+                            help="override the scale's communication rounds")
+    run_parser.add_argument("--num-devices", type=int, default=None,
+                            help="override the scale's device count")
+    run_parser.add_argument("--participation", type=float, default=1.0,
+                            help="active-device fraction p (straggler study)")
+    run_parser.add_argument("--prox-mu", type=float, default=0.0,
+                            help="coefficient of the on-device l2 proximal term")
+    run_parser.add_argument("--public-choice", default=None,
+                            help="FedMD public dataset override (e.g. cifar100, svhn)")
+    run_parser.add_argument("--backend", default="serial",
+                            help="execution backend: serial, process, or process:N")
+    run_parser.add_argument("--output", default=None,
+                            help="write the training history JSON to this path")
+    run_parser.add_argument("--quiet", action="store_true")
+
+    # --------------------------------------------------------- experiment
+    exp_parser = subparsers.add_parser("experiment", help="run a paper table/figure experiment")
+    exp_parser.add_argument("name", choices=sorted(EXPERIMENTS),
+                            help="experiment to run")
+    exp_parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    exp_parser.add_argument("--seed", type=int, default=0)
+    exp_parser.add_argument("--backend", default="serial",
+                            help="execution backend for the variant sweep")
+    exp_parser.add_argument("--output-dir", default=None,
+                            help="emit per-variant JSON results into this directory")
+
+    # --------------------------------------------------------------- list
+    subparsers.add_parser("list", help="list experiments, scales, and backends")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    backend = make_backend(args.backend)
+    try:
+        if args.algorithm == "fedzkt":
+            history = run_fedzkt(args.dataset, scale=args.scale, seed=args.seed,
+                                 num_devices=args.num_devices,
+                                 participation_fraction=args.participation,
+                                 prox_mu=args.prox_mu, rounds=args.rounds,
+                                 verbose=not args.quiet, backend=backend)
+        else:
+            history = run_fedmd(args.dataset, public_choice=args.public_choice,
+                                scale=args.scale, seed=args.seed,
+                                num_devices=args.num_devices,
+                                participation_fraction=args.participation,
+                                prox_mu=args.prox_mu, rounds=args.rounds,
+                                verbose=not args.quiet, backend=backend)
+    finally:
+        backend.shutdown()
+    summary = history.summary()
+    if not args.quiet:
+        print(json.dumps(summary, indent=2, default=float))
+    if args.output:
+        path = save_history_json(history, args.output)
+        if not args.quiet:
+            print(f"history written to {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    backend = make_backend(args.backend)
+    try:
+        result = run_experiment(args.name, scale=args.scale, seed=args.seed,
+                                backend=backend, output_dir=args.output_dir)
+    finally:
+        backend.shutdown()
+    print(result["formatted"])
+    if args.output_dir:
+        print(f"\nper-variant JSON written to {args.output_dir}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        print(f"  {name:15s} {doc[0] if doc else ''}")
+    print("\nscales: " + ", ".join(sorted(SCALES)))
+    print("backends: serial, process, process:N")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "experiment": _cmd_experiment, "list": _cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

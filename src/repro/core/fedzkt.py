@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
+from ..federated.backend import ExecutionBackend
 from ..federated.config import FederatedConfig
 from ..federated.device import Device
 from ..federated.sampling import DeviceSampler
@@ -117,7 +118,8 @@ def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
                  device_models: Optional[Sequence[ClassificationModel]] = None,
                  sampler: Optional[DeviceSampler] = None,
                  generator: Optional[Generator] = None,
-                 global_model: Optional[ClassificationModel] = None) -> FederatedSimulation:
+                 global_model: Optional[ClassificationModel] = None,
+                 backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
     """Construct a ready-to-run FedZKT simulation.
 
     Parameters
@@ -133,6 +135,8 @@ def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
         Data partitioner; defaults to IID.
     device_models:
         Optional explicit per-device models (overrides ``family``).
+    backend:
+        Execution backend for device-side work (default: serial).
     """
     num_classes = train_dataset.num_classes
     input_shape = train_dataset.input_shape
@@ -163,4 +167,5 @@ def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
     generator = generator or build_generator(input_shape, noise_dim=config.server.noise_dim,
                                              seed=config.seed + 13)
     server = FedZKTServer(global_model, generator, replicas, config)
-    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler)
+    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler,
+                               backend=backend)

@@ -8,7 +8,10 @@ hyper-parameters).
 
 from .configs import SCALES, ExperimentScale, federated_config_for, get_scale
 from .reporting import format_percent, format_run_summary, format_series, format_table
+from .sweep import SweepResult, SweepSpec, SweepVariant, VariantResult, run_sweep
 from .runner import (
+    EXPERIMENTS,
+    run_experiment,
     experiment_compute_split,
     experiment_fig2,
     experiment_fig3,
@@ -29,6 +32,13 @@ __all__ = [
     "ExperimentScale",
     "get_scale",
     "federated_config_for",
+    "SweepSpec",
+    "SweepVariant",
+    "SweepResult",
+    "VariantResult",
+    "run_sweep",
+    "EXPERIMENTS",
+    "run_experiment",
     "format_table",
     "format_series",
     "format_percent",

@@ -4,27 +4,37 @@ Every ``experiment_*`` function reproduces the corresponding artifact at a
 requested :class:`~repro.experiments.configs.ExperimentScale` and returns a
 dictionary with the raw numbers plus a ``formatted`` text rendering that
 mirrors the paper's presentation (rows for tables, series for figures).
+
+Each experiment is expressed as a :class:`~repro.experiments.sweep.SweepSpec`
+and executed through :func:`~repro.experiments.sweep.run_sweep`, so
+cross-variant sweeps (Table 1 datasets, Fig. 4 skew levels, Fig. 7 device
+counts, ...) fan out through the same pluggable
+:class:`~repro.federated.backend.ExecutionBackend` that parallelizes device
+training inside a single run.  Pass ``backend=ProcessPoolBackend(...)`` to
+run variants concurrently and ``output_dir=...`` to emit structured
+per-variant JSON results.
+
 The benchmark suite calls these with ``scale="tiny"``; heavier scales can
-be run from the examples or a custom script.
+be run from the examples, the ``repro`` CLI, or a custom script.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.fedmd import build_fedmd
 from ..baselines.standalone import compute_bounds
 from ..core.fedzkt import build_fedzkt
 from ..core.gradient_probe import GradientNormProbe
 from ..datasets.registry import dataset_family, load_dataset, public_dataset_for
+from ..federated.backend import ExecutionBackend
 from ..federated.history import TrainingHistory
 from ..federated.metrics import resource_split_summary
 from ..models.registry import device_specs_for_family, device_suite_for_family
 from ..partition import make_partitioner
 from .configs import ExperimentScale, federated_config_for, get_scale
 from .reporting import format_percent, format_series, format_table
+from .sweep import SweepSpec, SweepVariant, run_sweep
 
 __all__ = [
     "run_fedzkt",
@@ -40,6 +50,8 @@ __all__ = [
     "experiment_table4",
     "experiment_fig7",
     "experiment_compute_split",
+    "EXPERIMENTS",
+    "run_experiment",
 ]
 
 
@@ -53,13 +65,14 @@ def _partitioner_from_spec(spec: Tuple[str, Dict], num_devices: int, seed: int):
 
 
 # --------------------------------------------------------------------------- #
-# Single-run helpers
+# Single-run helpers (the variant runners every sweep is built from)
 # --------------------------------------------------------------------------- #
 def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
                seed: int = 0, num_devices: Optional[int] = None,
                participation_fraction: float = 1.0, prox_mu: float = 0.0,
                distillation_loss: str = "sl", rounds: Optional[int] = None,
-               probe_gradients: bool = False, verbose: bool = False) -> TrainingHistory:
+               probe_gradients: bool = False, verbose: bool = False,
+               backend: Optional[ExecutionBackend] = None) -> TrainingHistory:
     """Run FedZKT on a named dataset and return its training history."""
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
@@ -70,7 +83,8 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
     train, test = load_dataset(dataset_name, train_size=scale.train_size,
                                test_size=scale.test_size, image_size=scale.image_size, seed=seed)
     partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
-    simulation = build_fedzkt(train, test, config, family=family, partitioner=partitioner)
+    simulation = build_fedzkt(train, test, config, family=family, partitioner=partitioner,
+                              backend=backend)
 
     if probe_gradients:
         server = simulation.server
@@ -88,7 +102,8 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
               partition: Tuple[str, Dict] = ("iid", {}), seed: int = 0,
               num_devices: Optional[int] = None, participation_fraction: float = 1.0,
               prox_mu: float = 0.0, rounds: Optional[int] = None,
-              verbose: bool = False) -> TrainingHistory:
+              verbose: bool = False,
+              backend: Optional[ExecutionBackend] = None) -> TrainingHistory:
     """Run the FedMD baseline with the paper's public-dataset pairing."""
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
@@ -100,7 +115,8 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
     public = public_dataset_for(dataset_name, choice=public_choice, size=scale.public_size,
                                 image_size=scale.image_size, seed=seed + 321)
     partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
-    simulation = build_fedmd(train, test, public, config, family=family, partitioner=partitioner)
+    simulation = build_fedmd(train, test, public, config, family=family, partitioner=partitioner,
+                             backend=backend)
     history = simulation.run(verbose=verbose)
     history.config["dataset"] = dataset_name
     history.config["public_dataset"] = public.name
@@ -115,22 +131,77 @@ def _headline_accuracy(history: TrainingHistory) -> float:
     return best_global if best_global is not None else history.best_mean_device_accuracy()
 
 
+def _table3_bounds(dataset: str, scale: ExperimentScale, seed: int,
+                   bound_epochs: Optional[int]) -> List[Dict[str, object]]:
+    """Standalone lower/upper bounds for Table III (a sweep variant runner)."""
+    family = dataset_family(dataset)
+    num_devices = scale.num_devices
+    specs = device_specs_for_family(family, num_devices)
+    train, test = load_dataset(dataset, train_size=scale.train_size, test_size=scale.test_size,
+                               image_size=scale.image_size, seed=seed)
+    partitioner = make_partitioner("iid", num_devices, seed=seed)
+    shards = partitioner.partition(train)
+    models = device_suite_for_family(family, num_devices, train.input_shape,
+                                     train.num_classes, seed=seed)
+    epochs = bound_epochs if bound_epochs is not None else max(
+        1, scale.local_epochs_for(family) * scale.rounds_for(family))
+    bounds = compute_bounds(models, shards, train, test, epochs=epochs, lr=scale.device_lr,
+                            batch_size=scale.batch_size, seed=seed,
+                            labels=[spec.describe() for spec in specs])
+    return [bound.as_dict() for bound in bounds]
+
+
+def _compute_split_run(dataset: str, scale: ExperimentScale, seed: int) -> Dict[str, object]:
+    """Full FedZKT run + server/device compute accounting (a sweep variant runner)."""
+    family = dataset_family(dataset)
+    config = federated_config_for(scale, family, seed=seed)
+    train, test = load_dataset(dataset, train_size=scale.train_size, test_size=scale.test_size,
+                               image_size=scale.image_size, seed=seed)
+    simulation = build_fedzkt(train, test, config, family=family)
+    simulation.run()
+    return resource_split_summary(simulation.devices,
+                                  simulation.server.server_parameter_updates,
+                                  rounds=config.rounds, local_epochs=config.local_epochs)
+
+
+def _sweep(name: str, variants: Sequence[SweepVariant],
+           backend: Optional[ExecutionBackend], output_dir, description: str = ""):
+    return run_sweep(SweepSpec(name=name, variants=list(variants), description=description),
+                     backend=backend, output_dir=output_dir)
+
+
 # --------------------------------------------------------------------------- #
 # Table I — IID accuracy, FedZKT vs FedMD (two public datasets for CIFAR-10)
 # --------------------------------------------------------------------------- #
 def experiment_table1(scale="tiny", datasets: Optional[Sequence[str]] = None,
-                      seed: int = 0) -> Dict[str, object]:
+                      seed: int = 0, backend: Optional[ExecutionBackend] = None,
+                      output_dir=None) -> Dict[str, object]:
     """FedZKT vs FedMD under IID data, one row per (dataset, public dataset)."""
     scale = _resolve_scale(scale)
     datasets = list(datasets) if datasets is not None else ["mnist", "fashion", "kmnist", "cifar10"]
+    variants: List[SweepVariant] = []
+    for name in datasets:
+        variants.append(SweepVariant(
+            key=f"fedzkt|{name}", runner=run_fedzkt,
+            kwargs={"dataset_name": name, "scale": scale, "seed": seed},
+            tags={"algorithm": "fedzkt", "dataset": name}))
+        public_choices = ["cifar100", "svhn"] if name == "cifar10" else [None]
+        for choice in public_choices:
+            variants.append(SweepVariant(
+                key=f"fedmd|{name}|{choice or 'default'}", runner=run_fedmd,
+                kwargs={"dataset_name": name, "public_choice": choice, "scale": scale,
+                        "seed": seed},
+                tags={"algorithm": "fedmd", "dataset": name, "public_choice": choice}))
+    sweep = _sweep("table1", variants, backend, output_dir,
+                   description="Table I — IID accuracy, FedZKT vs FedMD")
+
     rows: List[List[str]] = []
     results: Dict[str, Dict[str, float]] = {}
     for name in datasets:
-        fedzkt_history = run_fedzkt(name, scale, seed=seed)
-        fedzkt_acc = _headline_accuracy(fedzkt_history)
+        fedzkt_acc = _headline_accuracy(sweep.value(f"fedzkt|{name}"))
         public_choices = ["cifar100", "svhn"] if name == "cifar10" else [None]
         for choice in public_choices:
-            fedmd_history = run_fedmd(name, public_choice=choice, scale=scale, seed=seed)
+            fedmd_history = sweep.value(f"fedmd|{name}|{choice or 'default'}")
             fedmd_acc = _headline_accuracy(fedmd_history)
             public_name = fedmd_history.config["public_dataset"]
             rows.append([name, public_name, format_percent(fedmd_acc), format_percent(fedzkt_acc)])
@@ -144,10 +215,18 @@ def experiment_table1(scale="tiny", datasets: Optional[Sequence[str]] = None,
 # --------------------------------------------------------------------------- #
 # Figure 2 — norm of gradients w.r.t. input data for the three losses
 # --------------------------------------------------------------------------- #
-def experiment_fig2(scale="tiny", dataset: str = "mnist", seed: int = 0) -> Dict[str, object]:
+def experiment_fig2(scale="tiny", dataset: str = "mnist", seed: int = 0,
+                    backend: Optional[ExecutionBackend] = None,
+                    output_dir=None) -> Dict[str, object]:
     """Per-round input-gradient norms of the SL / KL / ℓ1 losses (MNIST, IID)."""
     scale = _resolve_scale(scale)
-    history = run_fedzkt(dataset, scale, seed=seed, probe_gradients=True)
+    sweep = _sweep("fig2", [SweepVariant(
+        key="probe", runner=run_fedzkt,
+        kwargs={"dataset_name": dataset, "scale": scale, "seed": seed,
+                "probe_gradients": True},
+        tags={"algorithm": "fedzkt", "dataset": dataset, "probe": True})],
+        backend, output_dir, description="Figure 2 — input-gradient norms")
+    history = sweep.value("probe")
     curves = {
         name: history.server_metric_curve(f"grad_norm_{name}")
         for name in ("kl", "l1", "sl")
@@ -162,11 +241,22 @@ def experiment_fig2(scale="tiny", dataset: str = "mnist", seed: int = 0) -> Dict
 # --------------------------------------------------------------------------- #
 # Figure 3 — learning curves of FedZKT and FedMD (CIFAR-10, IID)
 # --------------------------------------------------------------------------- #
-def experiment_fig3(scale="tiny", dataset: str = "cifar10", seed: int = 0) -> Dict[str, object]:
+def experiment_fig3(scale="tiny", dataset: str = "cifar10", seed: int = 0,
+                    backend: Optional[ExecutionBackend] = None,
+                    output_dir=None) -> Dict[str, object]:
     """Accuracy-per-round curves for FedZKT and FedMD (public = CIFAR-100)."""
     scale = _resolve_scale(scale)
-    fedzkt_history = run_fedzkt(dataset, scale, seed=seed)
-    fedmd_history = run_fedmd(dataset, public_choice="cifar100", scale=scale, seed=seed)
+    sweep = _sweep("fig3", [
+        SweepVariant(key="fedzkt", runner=run_fedzkt,
+                     kwargs={"dataset_name": dataset, "scale": scale, "seed": seed},
+                     tags={"algorithm": "fedzkt", "dataset": dataset}),
+        SweepVariant(key="fedmd", runner=run_fedmd,
+                     kwargs={"dataset_name": dataset, "public_choice": "cifar100",
+                             "scale": scale, "seed": seed},
+                     tags={"algorithm": "fedmd", "dataset": dataset}),
+    ], backend, output_dir, description="Figure 3 — learning curves")
+    fedzkt_history = sweep.value("fedzkt")
+    fedmd_history = sweep.value("fedmd")
     fedzkt_curve = fedzkt_history.global_accuracy_curve()
     fedmd_curve = fedmd_history.mean_device_accuracy_curve()
     formatted = "Figure 3 — learning curves (CIFAR-10, IID)\n" + "\n".join([
@@ -186,16 +276,29 @@ def experiment_fig3(scale="tiny", dataset: str = "cifar10", seed: int = 0) -> Di
 # --------------------------------------------------------------------------- #
 def experiment_fig4_quantity(scale="tiny", dataset: str = "mnist",
                              classes_per_device: Sequence[int] = (2, 5), prox_mu: float = 0.05,
-                             seed: int = 0) -> Dict[str, object]:
+                             seed: int = 0, backend: Optional[ExecutionBackend] = None,
+                             output_dir=None) -> Dict[str, object]:
     """Quantity-based label imbalance: accuracy vs classes-per-device (Fig. 4 a–d)."""
     scale = _resolve_scale(scale)
-    fedzkt_points, fedmd_points = [], []
+    variants: List[SweepVariant] = []
     for c in classes_per_device:
         partition = ("quantity", {"classes_per_device": int(c)})
-        fedzkt_points.append(_headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
-                                                           prox_mu=prox_mu, seed=seed)))
-        fedmd_points.append(_headline_accuracy(run_fedmd(dataset, scale=scale, partition=partition,
-                                                         seed=seed)))
+        variants.append(SweepVariant(
+            key=f"fedzkt|C={int(c)}", runner=run_fedzkt,
+            kwargs={"dataset_name": dataset, "scale": scale, "partition": partition,
+                    "prox_mu": prox_mu, "seed": seed},
+            tags={"algorithm": "fedzkt", "classes_per_device": int(c)}))
+        variants.append(SweepVariant(
+            key=f"fedmd|C={int(c)}", runner=run_fedmd,
+            kwargs={"dataset_name": dataset, "scale": scale, "partition": partition,
+                    "seed": seed},
+            tags={"algorithm": "fedmd", "classes_per_device": int(c)}))
+    sweep = _sweep("fig4_quantity", variants, backend, output_dir,
+                   description="Figure 4 — quantity-based label imbalance")
+    fedzkt_points = [_headline_accuracy(sweep.value(f"fedzkt|C={int(c)}"))
+                     for c in classes_per_device]
+    fedmd_points = [_headline_accuracy(sweep.value(f"fedmd|C={int(c)}"))
+                    for c in classes_per_device]
     formatted = (f"Figure 4 (quantity-based label imbalance, {dataset})\n"
                  + format_series("FedZKT", classes_per_device, fedzkt_points) + "\n"
                  + format_series("FedMD", classes_per_device, fedmd_points))
@@ -205,16 +308,27 @@ def experiment_fig4_quantity(scale="tiny", dataset: str = "mnist",
 
 def experiment_fig4_dirichlet(scale="tiny", dataset: str = "mnist",
                               betas: Sequence[float] = (0.1, 1.0), prox_mu: float = 0.05,
-                              seed: int = 0) -> Dict[str, object]:
+                              seed: int = 0, backend: Optional[ExecutionBackend] = None,
+                              output_dir=None) -> Dict[str, object]:
     """Distribution-based label imbalance: accuracy vs Dirichlet β (Fig. 4 e–h)."""
     scale = _resolve_scale(scale)
-    fedzkt_points, fedmd_points = [], []
+    variants: List[SweepVariant] = []
     for beta in betas:
         partition = ("dirichlet", {"beta": float(beta)})
-        fedzkt_points.append(_headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
-                                                           prox_mu=prox_mu, seed=seed)))
-        fedmd_points.append(_headline_accuracy(run_fedmd(dataset, scale=scale, partition=partition,
-                                                         seed=seed)))
+        variants.append(SweepVariant(
+            key=f"fedzkt|beta={float(beta)}", runner=run_fedzkt,
+            kwargs={"dataset_name": dataset, "scale": scale, "partition": partition,
+                    "prox_mu": prox_mu, "seed": seed},
+            tags={"algorithm": "fedzkt", "beta": float(beta)}))
+        variants.append(SweepVariant(
+            key=f"fedmd|beta={float(beta)}", runner=run_fedmd,
+            kwargs={"dataset_name": dataset, "scale": scale, "partition": partition,
+                    "seed": seed},
+            tags={"algorithm": "fedmd", "beta": float(beta)}))
+    sweep = _sweep("fig4_dirichlet", variants, backend, output_dir,
+                   description="Figure 4 — distribution-based label imbalance")
+    fedzkt_points = [_headline_accuracy(sweep.value(f"fedzkt|beta={float(b)}")) for b in betas]
+    fedmd_points = [_headline_accuracy(sweep.value(f"fedmd|beta={float(b)}")) for b in betas]
     formatted = (f"Figure 4 (distribution-based label imbalance, {dataset})\n"
                  + format_series("FedZKT", betas, fedzkt_points) + "\n"
                  + format_series("FedMD", betas, fedmd_points))
@@ -226,22 +340,33 @@ def experiment_fig4_dirichlet(scale="tiny", dataset: str = "mnist",
 # Table II — loss-function ablation under non-IID data
 # --------------------------------------------------------------------------- #
 def experiment_table2(scale="tiny", dataset: str = "cifar10", classes_per_device: int = 5,
-                      beta: float = 0.5, prox_mu: float = 0.05, seed: int = 0) -> Dict[str, object]:
+                      beta: float = 0.5, prox_mu: float = 0.05, seed: int = 0,
+                      backend: Optional[ExecutionBackend] = None,
+                      output_dir=None) -> Dict[str, object]:
     """Compare KL / ℓ1 / SL distillation losses in the two non-IID scenarios."""
     scale = _resolve_scale(scale)
     scenarios = {
         f"C = {classes_per_device}": ("quantity", {"classes_per_device": classes_per_device}),
         f"beta = {beta}": ("dirichlet", {"beta": beta}),
     }
+    variants = [
+        SweepVariant(
+            key=f"{label}|{loss_name}", runner=run_fedzkt,
+            kwargs={"dataset_name": dataset, "scale": scale, "partition": partition,
+                    "prox_mu": prox_mu, "distillation_loss": loss_name, "seed": seed},
+            tags={"scenario": label, "distillation_loss": loss_name})
+        for label, partition in scenarios.items()
+        for loss_name in ("kl", "l1", "sl")
+    ]
+    sweep = _sweep("table2", variants, backend, output_dir,
+                   description="Table II — distillation-loss ablation")
     results: Dict[str, Dict[str, float]] = {}
     rows = []
-    for label, partition in scenarios.items():
+    for label in scenarios:
         row = [label]
         results[label] = {}
         for loss_name in ("kl", "l1", "sl"):
-            history = run_fedzkt(dataset, scale, partition=partition, prox_mu=prox_mu,
-                                 distillation_loss=loss_name, seed=seed)
-            acc = _headline_accuracy(history)
+            acc = _headline_accuracy(sweep.value(f"{label}|{loss_name}"))
             results[label][loss_name] = acc
             row.append(format_percent(acc))
         rows.append(row)
@@ -254,33 +379,30 @@ def experiment_table2(scale="tiny", dataset: str = "cifar10", classes_per_device
 # Figure 5 + Table III — heterogeneous on-device models, per-device curves and bounds
 # --------------------------------------------------------------------------- #
 def experiment_fig5_table3(scale="tiny", dataset: str = "cifar10", seed: int = 0,
-                           bound_epochs: Optional[int] = None) -> Dict[str, object]:
+                           bound_epochs: Optional[int] = None,
+                           backend: Optional[ExecutionBackend] = None,
+                           output_dir=None) -> Dict[str, object]:
     """Per-device learning curves (Fig. 5) and standalone bounds (Table III)."""
     scale = _resolve_scale(scale)
-    family = dataset_family(dataset)
-    history = run_fedzkt(dataset, scale, seed=seed)
+    sweep = _sweep("fig5_table3", [
+        SweepVariant(key="fedzkt", runner=run_fedzkt,
+                     kwargs={"dataset_name": dataset, "scale": scale, "seed": seed},
+                     tags={"algorithm": "fedzkt", "dataset": dataset}),
+        SweepVariant(key="bounds", runner=_table3_bounds,
+                     kwargs={"dataset": dataset, "scale": scale, "seed": seed,
+                             "bound_epochs": bound_epochs},
+                     tags={"algorithm": "standalone", "dataset": dataset}),
+    ], backend, output_dir, description="Figure 5 / Table III — heterogeneous models")
+    history = sweep.value("fedzkt")
+    bounds = sweep.value("bounds")
     num_devices = history.config["num_devices"]
-    specs = device_specs_for_family(family, num_devices)
-
-    # Standalone bounds use the same architectures and shards.
-    train, test = load_dataset(dataset, train_size=scale.train_size, test_size=scale.test_size,
-                               image_size=scale.image_size, seed=seed)
-    partitioner = make_partitioner("iid", num_devices, seed=seed)
-    shards = partitioner.partition(train)
-    models = device_suite_for_family(family, num_devices, train.input_shape,
-                                     train.num_classes, seed=seed)
-    epochs = bound_epochs if bound_epochs is not None else max(
-        1, scale.local_epochs_for(family) * scale.rounds_for(family))
-    bounds = compute_bounds(models, shards, train, test, epochs=epochs, lr=scale.device_lr,
-                            batch_size=scale.batch_size, seed=seed,
-                            labels=[spec.describe() for spec in specs])
 
     curves = {device_id: history.device_accuracy_curve(device_id)
               for device_id in range(num_devices)}
     final = history.final_device_accuracies()
     rows = [
-        [f"Device {b.device_id + 1}: {b.architecture}", format_percent(b.upper_bound),
-         format_percent(b.lower_bound), format_percent(final.get(b.device_id))]
+        [f"Device {b['device_id'] + 1}: {b['architecture']}", format_percent(b["upper_bound"]),
+         format_percent(b["lower_bound"]), format_percent(final.get(b["device_id"]))]
         for b in bounds
     ]
     formatted = (
@@ -290,21 +412,30 @@ def experiment_fig5_table3(scale="tiny", dataset: str = "cifar10", seed: int = 0
         + "\n".join(format_series(f"Device {device_id + 1}", history.rounds(), curve)
                     for device_id, curve in curves.items())
     )
-    return {"bounds": [b.as_dict() for b in bounds], "curves": curves,
-            "final_accuracies": final, "formatted": formatted}
+    return {"bounds": bounds, "curves": curves, "final_accuracies": final,
+            "formatted": formatted}
 
 
 # --------------------------------------------------------------------------- #
 # Figure 6 — straggler effect (participation fraction sweep)
 # --------------------------------------------------------------------------- #
 def experiment_fig6(scale="tiny", dataset: str = "mnist",
-                    portions: Sequence[float] = (0.2, 0.6, 1.0), seed: int = 0) -> Dict[str, object]:
+                    portions: Sequence[float] = (0.2, 0.6, 1.0), seed: int = 0,
+                    backend: Optional[ExecutionBackend] = None,
+                    output_dir=None) -> Dict[str, object]:
     """Average on-device accuracy per round for different active portions ``p``."""
     scale = _resolve_scale(scale)
-    curves: Dict[float, List[float]] = {}
-    for portion in portions:
-        history = run_fedzkt(dataset, scale, participation_fraction=float(portion), seed=seed)
-        curves[float(portion)] = history.mean_device_accuracy_curve()
+    variants = [
+        SweepVariant(key=f"p={float(portion)}", runner=run_fedzkt,
+                     kwargs={"dataset_name": dataset, "scale": scale,
+                             "participation_fraction": float(portion), "seed": seed},
+                     tags={"participation_fraction": float(portion)})
+        for portion in portions
+    ]
+    sweep = _sweep("fig6", variants, backend, output_dir,
+                   description="Figure 6 — straggler effect")
+    curves = {float(portion): sweep.value(f"p={float(portion)}").mean_device_accuracy_curve()
+              for portion in portions}
     rounds = list(range(1, len(next(iter(curves.values()))) + 1))
     formatted = (f"Figure 6 — straggler effect ({dataset}, IID)\n"
                  + "\n".join(format_series(f"p = {portion}", rounds, curve)
@@ -316,20 +447,31 @@ def experiment_fig6(scale="tiny", dataset: str = "mnist",
 # Table IV — effect of the ℓ2 regularizer under non-IID data
 # --------------------------------------------------------------------------- #
 def experiment_table4(scale="tiny", dataset: str = "cifar10", classes_per_device: int = 5,
-                      beta: float = 0.5, prox_mu: float = 0.05, seed: int = 0) -> Dict[str, object]:
+                      beta: float = 0.5, prox_mu: float = 0.05, seed: int = 0,
+                      backend: Optional[ExecutionBackend] = None,
+                      output_dir=None) -> Dict[str, object]:
     """FedZKT with and without the on-device ℓ2 proximal term (Eq. 9)."""
     scale = _resolve_scale(scale)
     scenarios = {
         f"C = {classes_per_device}": ("quantity", {"classes_per_device": classes_per_device}),
         f"beta = {beta}": ("dirichlet", {"beta": beta}),
     }
+    variants = [
+        SweepVariant(
+            key=f"{label}|{reg_label}", runner=run_fedzkt,
+            kwargs={"dataset_name": dataset, "scale": scale, "partition": partition,
+                    "prox_mu": mu, "seed": seed},
+            tags={"scenario": label, "prox_mu": mu})
+        for label, partition in scenarios.items()
+        for reg_label, mu in (("no_reg", 0.0), ("l2_reg", prox_mu))
+    ]
+    sweep = _sweep("table4", variants, backend, output_dir,
+                   description="Table IV — ℓ2 regularizer ablation")
     rows = []
     results: Dict[str, Dict[str, float]] = {}
-    for label, partition in scenarios.items():
-        without = _headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
-                                                prox_mu=0.0, seed=seed))
-        with_reg = _headline_accuracy(run_fedzkt(dataset, scale, partition=partition,
-                                                 prox_mu=prox_mu, seed=seed))
+    for label in scenarios:
+        without = _headline_accuracy(sweep.value(f"{label}|no_reg"))
+        with_reg = _headline_accuracy(sweep.value(f"{label}|l2_reg"))
         rows.append([label, format_percent(without), format_percent(with_reg)])
         results[label] = {"no_regularization": without, "l2_regularization": with_reg}
     formatted = format_table(["Non-IID scenario", "no regularization", "l2 regularization"], rows,
@@ -341,13 +483,22 @@ def experiment_table4(scale="tiny", dataset: str = "cifar10", classes_per_device
 # Figure 7 — effect of the number of devices
 # --------------------------------------------------------------------------- #
 def experiment_fig7(scale="tiny", dataset: str = "mnist",
-                    device_counts: Sequence[int] = (5, 10), seed: int = 0) -> Dict[str, object]:
+                    device_counts: Sequence[int] = (5, 10), seed: int = 0,
+                    backend: Optional[ExecutionBackend] = None,
+                    output_dir=None) -> Dict[str, object]:
     """Average on-device accuracy per round for different device counts K."""
     scale = _resolve_scale(scale)
-    curves: Dict[int, List[float]] = {}
-    for count in device_counts:
-        history = run_fedzkt(dataset, scale, num_devices=int(count), seed=seed)
-        curves[int(count)] = history.mean_device_accuracy_curve()
+    variants = [
+        SweepVariant(key=f"K={int(count)}", runner=run_fedzkt,
+                     kwargs={"dataset_name": dataset, "scale": scale,
+                             "num_devices": int(count), "seed": seed},
+                     tags={"num_devices": int(count)})
+        for count in device_counts
+    ]
+    sweep = _sweep("fig7", variants, backend, output_dir,
+                   description="Figure 7 — effect of device count")
+    curves = {int(count): sweep.value(f"K={int(count)}").mean_device_accuracy_curve()
+              for count in device_counts}
     rounds = list(range(1, len(next(iter(curves.values()))) + 1))
     formatted = (f"Figure 7 — effect of device number ({dataset}, IID)\n"
                  + "\n".join(format_series(f"{count} devices", rounds, curve)
@@ -358,18 +509,17 @@ def experiment_fig7(scale="tiny", dataset: str = "mnist",
 # --------------------------------------------------------------------------- #
 # Extension ablation — server/device compute split (the resource argument)
 # --------------------------------------------------------------------------- #
-def experiment_compute_split(scale="tiny", dataset: str = "mnist", seed: int = 0) -> Dict[str, object]:
+def experiment_compute_split(scale="tiny", dataset: str = "mnist", seed: int = 0,
+                             backend: Optional[ExecutionBackend] = None,
+                             output_dir=None) -> Dict[str, object]:
     """Quantify how much of the total work FedZKT places on the server."""
     scale = _resolve_scale(scale)
-    family = dataset_family(dataset)
-    config = federated_config_for(scale, family, seed=seed)
-    train, test = load_dataset(dataset, train_size=scale.train_size, test_size=scale.test_size,
-                               image_size=scale.image_size, seed=seed)
-    simulation = build_fedzkt(train, test, config, family=family)
-    simulation.run()
-    summary = resource_split_summary(simulation.devices,
-                                     simulation.server.server_parameter_updates,
-                                     rounds=config.rounds, local_epochs=config.local_epochs)
+    sweep = _sweep("compute_split", [
+        SweepVariant(key="fedzkt", runner=_compute_split_run,
+                     kwargs={"dataset": dataset, "scale": scale, "seed": seed},
+                     tags={"algorithm": "fedzkt", "dataset": dataset}),
+    ], backend, output_dir, description="Compute-split ablation")
+    summary = sweep.value("fedzkt")
     rows = [[entry["device_id"], entry["model_parameters"], entry["compute_estimate"]]
             for entry in summary["per_device"]]
     formatted = (
@@ -379,3 +529,28 @@ def experiment_compute_split(scale="tiny", dataset: str = "mnist", seed: int = 0
         + f"\nServer/device compute ratio: {summary['server_to_device_ratio']:.1f}x"
     )
     return {"summary": summary, "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
+# Registry (used by the ``repro`` CLI)
+# --------------------------------------------------------------------------- #
+EXPERIMENTS: Dict[str, Callable[..., Dict[str, object]]] = {
+    "table1": experiment_table1,
+    "fig2": experiment_fig2,
+    "fig3": experiment_fig3,
+    "fig4_quantity": experiment_fig4_quantity,
+    "fig4_dirichlet": experiment_fig4_dirichlet,
+    "table2": experiment_table2,
+    "fig5_table3": experiment_fig5_table3,
+    "fig6": experiment_fig6,
+    "table4": experiment_table4,
+    "fig7": experiment_fig7,
+    "compute_split": experiment_compute_split,
+}
+
+
+def run_experiment(name: str, **kwargs) -> Dict[str, object]:
+    """Run a named experiment (see :data:`EXPERIMENTS` for the registry)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](**kwargs)

@@ -5,9 +5,17 @@ interface, active-device sampling (stragglers), the round loop of
 Algorithm 1, per-round history, and resource accounting.
 """
 
+from .backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkerContext,
+    make_backend,
+)
 from .config import FederatedConfig, ServerConfig
 from .device import Device, LocalTrainingReport
 from .history import RoundRecord, TrainingHistory
+from .trainer import DeviceTrainingConfig, evaluate_accuracy, local_sgd_train
 from .metrics import (
     CommunicationReport,
     communication_report,
@@ -20,6 +28,14 @@ from .server import FederatedServer, evaluate_model
 from .simulation import FederatedSimulation
 
 __all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkerContext",
+    "make_backend",
+    "DeviceTrainingConfig",
+    "evaluate_accuracy",
+    "local_sgd_train",
     "FederatedConfig",
     "ServerConfig",
     "Device",

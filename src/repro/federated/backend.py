@@ -1,0 +1,422 @@
+"""Pluggable execution backends for device-side federated work.
+
+Federated rounds are embarrassingly parallel across devices: each device
+trains on its private shard independently before any aggregation happens.
+This module turns that observation into an architectural seam.  All
+device-side work — local SGD, FedMD's digest/revisit, on-device evaluation,
+public-logit computation — is expressed as small *picklable task objects*
+that an :class:`ExecutionBackend` executes against a :class:`WorkerContext`
+(the per-process registry of model replicas, data shards, and training
+configs, shipped to workers once at pool start).
+
+Two backends are provided:
+
+* :class:`SerialBackend` — runs tasks in-process (the default; identical to
+  the historical behaviour);
+* :class:`ProcessPoolBackend` — fans tasks out to a process pool.  Tasks
+  carry the device's parameters and explicit RNG state; parameter payloads
+  are packed into the lossless npz wire format
+  (:func:`repro.utils.serialization.pack_state_dict`) only when a task is
+  pickled across a process boundary, so serial execution pays no
+  serialization cost and serial and parallel execution produce
+  **bit-identical** training histories — verified by the backend parity
+  tests.
+
+Backends also expose a generic :meth:`ExecutionBackend.map` used by the
+experiment sweep orchestrator (:mod:`repro.experiments.sweep`) to fan whole
+experiment variants out through the same machinery.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+from ..datasets.base import ImageDataset
+from ..models.base import ClassificationModel
+from ..utils.serialization import (
+    pack_array_list,
+    pack_state_dict,
+    unpack_array_list,
+    unpack_state_dict,
+)
+from .trainer import (
+    DeviceTrainingConfig,
+    LocalTrainingReport,
+    compute_public_logits,
+    digest_on_public,
+    evaluate_accuracy,
+    local_sgd_train,
+)
+
+__all__ = [
+    "WorkerContext",
+    "build_worker_context",
+    "LocalTrainTask",
+    "LocalTrainResult",
+    "EvaluateTask",
+    "PublicLogitsTask",
+    "DigestSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side context
+# --------------------------------------------------------------------------- #
+@dataclass
+class WorkerContext:
+    """Everything a worker needs to execute device tasks.
+
+    Shipped (pickled) to each worker process exactly once when the pool
+    starts; per-round tasks then only carry state dicts and shard/device
+    indices, never model architectures or pixel data.
+    """
+
+    models: Dict[int, ClassificationModel] = field(default_factory=dict)
+    shards: Dict[int, ImageDataset] = field(default_factory=dict)
+    train_configs: Dict[int, DeviceTrainingConfig] = field(default_factory=dict)
+    eval_dataset: Optional[ImageDataset] = None
+    public_dataset: Optional[ImageDataset] = None
+
+    def model_for(self, device_id: int) -> ClassificationModel:
+        try:
+            return self.models[device_id]
+        except KeyError:
+            raise KeyError(f"worker context has no model replica for device {device_id}")
+
+
+def build_worker_context(devices, eval_dataset: Optional[ImageDataset] = None,
+                         public_dataset: Optional[ImageDataset] = None) -> WorkerContext:
+    """Assemble a :class:`WorkerContext` from a sequence of devices.
+
+    Shared by every simulation loop so the context layout stays consistent
+    across algorithm families.
+    """
+    return WorkerContext(
+        models={device.device_id: device.model for device in devices},
+        shards={device.device_id: device.dataset for device in devices},
+        train_configs={device.device_id: device.training_config for device in devices},
+        eval_dataset=eval_dataset,
+        public_dataset=public_dataset,
+    )
+
+
+# The per-process context installed by the pool initializer (or, for the
+# serial backend, set around in-process execution).
+_WORKER_CONTEXT: Optional[WorkerContext] = None
+
+
+def _install_context(context: Optional[WorkerContext]) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _current_context() -> WorkerContext:
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError("no WorkerContext installed; was the backend started "
+                           "with a context before dispatching device tasks?")
+    return _WORKER_CONTEXT
+
+
+def execute_task(task):
+    """Module-level task trampoline (picklable target for pool.map)."""
+    return task.run(_current_context())
+
+
+# Task payloads hold parameter state as a plain dict in-process and are
+# packed into the npz wire format only when they actually cross a process
+# boundary (``__getstate__`` below), so the serial backend pays zero
+# serialization cost while the parallel path stays lossless.
+StateLike = Union[bytes, Dict[str, np.ndarray]]
+
+
+def _as_state_dict(state: StateLike) -> Dict[str, np.ndarray]:
+    return unpack_state_dict(state) if isinstance(state, bytes) else state
+
+
+def _as_array_list(arrays) -> Optional[List[np.ndarray]]:
+    return unpack_array_list(arrays) if isinstance(arrays, bytes) else arrays
+
+
+# --------------------------------------------------------------------------- #
+# Device tasks
+# --------------------------------------------------------------------------- #
+class _PacksStateOnPickle:
+    """Mixin: convert array-typed payload fields to packed bytes when pickled."""
+
+    _packed_fields = ("state",)
+
+    def __getstate__(self):
+        payload = dict(self.__dict__)
+        for name in self._packed_fields:
+            value = payload.get(name)
+            if isinstance(value, dict):
+                payload[name] = pack_state_dict(value)
+            elif isinstance(value, list):
+                payload[name] = pack_array_list(value)
+            elif isinstance(value, np.ndarray):
+                payload[name] = pack_array_list([value])
+        return payload
+
+    def __setstate__(self, payload):
+        self.__dict__.update(payload)
+
+
+@dataclass
+class DigestSpec(_PacksStateOnPickle):
+    """FedMD digest phase riding along with a local-training task.
+
+    ``consensus`` is the (N, C) matrix of consensus scores over the public
+    dataset — a plain array in-process, packed only when pickled.
+    """
+
+    consensus: Union[np.ndarray, bytes]
+    epochs: int
+    lr: float
+    batch_size: int
+    seed: int
+
+    _packed_fields = ("consensus",)
+
+
+@dataclass
+class LocalTrainTask(_PacksStateOnPickle):
+    """Train one device's model on its private shard (Algorithm 2).
+
+    Carries the device's current parameters, the shuffle RNG state, and the
+    optional proximal anchor; ``digest`` prepends FedMD's digest phase so
+    digest + revisit ship as a single round trip.  Parameter payloads are
+    packed to the npz wire format only when the task is pickled to a
+    worker process.
+    """
+
+    device_id: int
+    state: StateLike
+    epochs: int
+    rng_state: dict
+    anchor: Optional[object] = None  # List[np.ndarray] in-process, bytes on the wire
+    digest: Optional[DigestSpec] = None
+
+    _packed_fields = ("state", "anchor")
+
+    def run(self, context: WorkerContext) -> "LocalTrainResult":
+        model = context.model_for(self.device_id)
+        model.load_state_dict(_as_state_dict(self.state))
+        config = context.train_configs[self.device_id]
+        rng = np.random.default_rng()
+        rng.bit_generator.state = self.rng_state
+
+        digest_loss: Optional[float] = None
+        if self.digest is not None:
+            if context.public_dataset is None:
+                raise RuntimeError("digest task requires a public dataset in the worker context")
+            consensus = self.digest.consensus
+            if isinstance(consensus, bytes):
+                consensus = unpack_array_list(consensus)[0]
+            digest_loss = digest_on_public(
+                model, context.public_dataset, consensus, lr=self.digest.lr,
+                batch_size=self.digest.batch_size, epochs=self.digest.epochs,
+                rng=np.random.default_rng(self.digest.seed))
+
+        anchor = _as_array_list(self.anchor)
+        report = local_sgd_train(model, context.shards[self.device_id], self.epochs,
+                                 config, rng, anchor=anchor, device_id=self.device_id)
+        return LocalTrainResult(
+            device_id=self.device_id,
+            state=model.state_dict(),
+            report=report,
+            rng_state=rng.bit_generator.state,
+            digest_loss=digest_loss,
+        )
+
+
+@dataclass
+class LocalTrainResult(_PacksStateOnPickle):
+    """Updated parameters + statistics returned by a :class:`LocalTrainTask`."""
+
+    device_id: int
+    state: StateLike
+    report: LocalTrainingReport
+    rng_state: dict
+    digest_loss: Optional[float] = None
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return _as_state_dict(self.state)
+
+
+@dataclass
+class EvaluateTask(_PacksStateOnPickle):
+    """Evaluate a parameter set on the context's held-out test dataset."""
+
+    device_id: int
+    state: StateLike
+    batch_size: int = 256
+
+    def run(self, context: WorkerContext) -> float:
+        if context.eval_dataset is None:
+            raise RuntimeError("evaluate task requires an eval dataset in the worker context")
+        model = context.model_for(self.device_id)
+        model.load_state_dict(_as_state_dict(self.state))
+        return evaluate_accuracy(model, context.eval_dataset, batch_size=self.batch_size)
+
+
+@dataclass
+class PublicLogitsTask(_PacksStateOnPickle):
+    """Compute a device's class scores on the context's public dataset (FedMD)."""
+
+    device_id: int
+    state: StateLike
+    batch_size: int = 256
+
+    def run(self, context: WorkerContext) -> np.ndarray:
+        if context.public_dataset is None:
+            raise RuntimeError("public-logits task requires a public dataset in the worker context")
+        model = context.model_for(self.device_id)
+        model.load_state_dict(_as_state_dict(self.state))
+        return compute_public_logits(model, context.public_dataset, batch_size=self.batch_size)
+
+
+# --------------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------------- #
+class ExecutionBackend:
+    """Abstract executor for device tasks and generic fan-out work.
+
+    Lifecycle: :meth:`start` installs a :class:`WorkerContext` (may be
+    ``None`` for context-free workloads such as experiment sweeps), then
+    :meth:`run_tasks` / :meth:`map` execute work, and :meth:`shutdown`
+    releases resources.  Backends are reusable across rounds; ``start`` is
+    idempotent for the same context object.
+    """
+
+    name = "base"
+
+    def start(self, context: Optional[WorkerContext] = None) -> None:
+        raise NotImplementedError
+
+    def run_tasks(self, tasks: Sequence) -> List:
+        """Execute device tasks, returning results in task order."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Generic ordered fan-out of ``fn`` over ``items``."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pool resources (no-op for in-process backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task in the calling process (default; historical behaviour)."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._context: Optional[WorkerContext] = None
+
+    def start(self, context: Optional[WorkerContext] = None) -> None:
+        self._context = context
+
+    def run_tasks(self, tasks: Sequence) -> List:
+        if self._context is None:
+            raise RuntimeError("SerialBackend.start(context) must be called before run_tasks")
+        return [task.run(self._context) for task in tasks]
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out across a pool of worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (defaults to ``os.cpu_count()``).
+    start_method:
+        Multiprocessing start method (``"fork"`` on Linux is cheapest;
+        ``None`` uses the platform default).
+
+    The pool is created lazily on first use; the :class:`WorkerContext` is
+    pickled into each worker via the pool initializer, so per-task payloads
+    stay small (packed state dicts + scalars).  Passing a *different*
+    context object restarts the pool.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        self.start_method = start_method
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._context: Optional[WorkerContext] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    def start(self, context: Optional[WorkerContext] = None) -> None:
+        if self._pool is not None and self._started and context is self._context:
+            return
+        self.shutdown()
+        import multiprocessing
+
+        mp_context = (multiprocessing.get_context(self.start_method)
+                      if self.start_method else None)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=mp_context,
+            initializer=_install_context,
+            initargs=(context,),
+        )
+        self._context = context
+        self._started = True
+
+    def run_tasks(self, tasks: Sequence) -> List:
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
+        return list(self._pool.map(execute_task, tasks))
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        if self._pool is None:
+            self.start(None)
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._started = False
+
+
+def make_backend(spec: Optional[str] = None, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend from a string spec.
+
+    ``None`` / ``"serial"`` → :class:`SerialBackend`;
+    ``"process"`` / ``"process:N"`` → :class:`ProcessPoolBackend` with N workers.
+    """
+    if spec is None or spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessPoolBackend(max_workers=max_workers)
+    if spec.startswith("process:"):
+        return ProcessPoolBackend(max_workers=int(spec.split(":", 1)[1]))
+    raise ValueError(f"unknown backend spec {spec!r}; use 'serial', 'process', or 'process:N'")

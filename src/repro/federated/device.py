@@ -1,54 +1,34 @@
 """On-device participant: local training and parameter exchange.
 
 A :class:`Device` owns a private dataset shard and an independently chosen
-model architecture.  Its only heavy operation is :meth:`Device.local_train`,
-which implements Algorithm 2 of the paper (mini-batch SGD on the private
-data with cross-entropy), optionally augmented with the ℓ2 proximal
-regularizer of Eq. 9 anchored at the parameters last received from the
-server.  Everything compute-intensive (distillation) happens on the server.
+model architecture.  Its only heavy operation is local training (Algorithm
+2 of the paper: mini-batch SGD on the private data with cross-entropy,
+optionally augmented with the ℓ2 proximal regularizer of Eq. 9 anchored at
+the parameters last received from the server).  The actual loops live in
+:mod:`repro.federated.trainer`; the device either runs them in-process
+(:meth:`Device.local_train`) or packages them as picklable tasks for an
+execution backend (:meth:`Device.local_train_task` /
+:meth:`Device.absorb_training_result`), with explicit RNG-state threading
+so both paths produce bit-identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..datasets.base import ImageDataset
-from ..datasets.dataloader import DataLoader
 from ..models.base import ClassificationModel
-from ..nn import no_grad
-from ..nn.functional import accuracy
-from ..nn.losses import cross_entropy, l2_proximal
-from ..nn.optim import SGD
-from ..nn.tensor import Tensor
+from .backend import EvaluateTask, LocalTrainResult, LocalTrainTask
+from .trainer import (
+    DeviceTrainingConfig,
+    LocalTrainingReport,
+    evaluate_accuracy,
+    local_sgd_train,
+)
 
 __all__ = ["Device", "LocalTrainingReport"]
-
-
-@dataclass
-class LocalTrainingReport:
-    """Statistics returned by one call to :meth:`Device.local_train`."""
-
-    device_id: int
-    epochs: int
-    batches: int
-    final_loss: float
-    mean_loss: float
-    samples_seen: int
-    parameter_updates: int
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "device_id": self.device_id,
-            "epochs": self.epochs,
-            "batches": self.batches,
-            "final_loss": self.final_loss,
-            "mean_loss": self.mean_loss,
-            "samples_seen": self.samples_seen,
-            "parameter_updates": self.parameter_updates,
-        }
 
 
 class Device:
@@ -68,26 +48,50 @@ class Device:
         Coefficient of the ℓ2 proximal term of Eq. 9.  When positive, the
         local loss becomes ``CE + prox_mu * ||w - w_received||²`` where
         ``w_received`` are the parameters last received from the server.
+    eval_batch_size:
+        Batch size used when evaluating the on-device model.
     seed:
         Seed for the local data shuffling.
     """
 
     def __init__(self, device_id: int, model: ClassificationModel, dataset: ImageDataset,
                  lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0,
-                 batch_size: int = 32, prox_mu: float = 0.0, seed: int = 0) -> None:
+                 batch_size: int = 32, prox_mu: float = 0.0, eval_batch_size: int = 256,
+                 seed: int = 0) -> None:
         self.device_id = int(device_id)
         self.model = model
         self.dataset = dataset
-        self.lr = float(lr)
-        self.momentum = float(momentum)
-        self.weight_decay = float(weight_decay)
-        self.batch_size = int(batch_size)
-        self.prox_mu = float(prox_mu)
+        self.training_config = DeviceTrainingConfig(
+            lr=float(lr), momentum=float(momentum), weight_decay=float(weight_decay),
+            batch_size=int(batch_size), prox_mu=float(prox_mu),
+            eval_batch_size=int(eval_batch_size))
         self._rng = np.random.default_rng(seed)
         self._anchor: Optional[List[np.ndarray]] = None
         # Communication accounting (floats exchanged with the server).
         self.uploaded_parameters = 0
         self.downloaded_parameters = 0
+
+    # Convenience accessors kept for backwards compatibility with code and
+    # tests written against the pre-trainer Device attributes.
+    @property
+    def lr(self) -> float:
+        return self.training_config.lr
+
+    @property
+    def momentum(self) -> float:
+        return self.training_config.momentum
+
+    @property
+    def weight_decay(self) -> float:
+        return self.training_config.weight_decay
+
+    @property
+    def batch_size(self) -> int:
+        return self.training_config.batch_size
+
+    @property
+    def prox_mu(self) -> float:
+        return self.training_config.prox_mu
 
     # ------------------------------------------------------------------ #
     # Parameter exchange
@@ -117,56 +121,55 @@ class Device:
     # Local training (Algorithm 2)
     # ------------------------------------------------------------------ #
     def local_train(self, epochs: int) -> LocalTrainingReport:
-        """Run ``epochs`` of local SGD on the private shard."""
+        """Run ``epochs`` of local SGD on the private shard, in-process."""
+        return local_sgd_train(self.model, self.dataset, epochs, self.training_config,
+                               self._rng, anchor=self._anchor, device_id=self.device_id)
+
+    def local_train_task(self, epochs: int) -> LocalTrainTask:
+        """Package the next local-training step as a backend task.
+
+        The task snapshots the current parameters, proximal anchor, and the
+        exact shuffle-RNG state, so executing it (in-process or in a worker)
+        and absorbing the result is equivalent to calling
+        :meth:`local_train` directly.  Payloads stay plain arrays here; the
+        task packs itself into the npz wire format only if it is pickled
+        across a process boundary.
+        """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
-        self.model.train()
-        optimizer = SGD(self.model.parameters(), lr=self.lr, momentum=self.momentum,
-                        weight_decay=self.weight_decay)
-        loader = DataLoader(self.dataset, batch_size=self.batch_size, shuffle=True, rng=self._rng)
-        losses: List[float] = []
-        batches = 0
-        samples = 0
-        for _ in range(epochs):
-            for images, labels in loader:
-                optimizer.zero_grad()
-                logits = self.model(images)
-                loss = cross_entropy(logits, labels)
-                if self.prox_mu > 0 and self._anchor is not None:
-                    loss = loss + l2_proximal(self.model.parameters(), self._anchor, mu=self.prox_mu)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                batches += 1
-                samples += len(labels)
-        final_loss = losses[-1] if losses else 0.0
-        mean_loss = float(np.mean(losses)) if losses else 0.0
-        return LocalTrainingReport(
+        return LocalTrainTask(
             device_id=self.device_id,
+            state=self.model.state_dict(),
             epochs=epochs,
-            batches=batches,
-            final_loss=final_loss,
-            mean_loss=mean_loss,
-            samples_seen=samples,
-            parameter_updates=batches * self.model.num_parameters(),
+            rng_state=self._rng.bit_generator.state,
+            anchor=list(self._anchor) if self._anchor is not None else None,
         )
+
+    def absorb_training_result(self, result: LocalTrainResult) -> LocalTrainingReport:
+        """Apply the outcome of a dispatched :class:`LocalTrainTask`."""
+        if result.device_id != self.device_id:
+            raise ValueError(f"result for device {result.device_id} applied to "
+                             f"device {self.device_id}")
+        self.model.load_state_dict(result.state_dict())
+        self._rng.bit_generator.state = result.rng_state
+        return result.report
+
+    def evaluate_task(self) -> EvaluateTask:
+        """Package on-device evaluation as a backend task."""
+        return EvaluateTask(device_id=self.device_id,
+                            state=self.model.state_dict(),
+                            batch_size=self.training_config.eval_batch_size)
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
-    def evaluate(self, dataset: ImageDataset, batch_size: int = 256) -> float:
-        """Top-1 accuracy of the on-device model on ``dataset``."""
-        self.model.eval()
-        correct = 0
-        total = 0
-        with no_grad():
-            for start in range(0, len(dataset), batch_size):
-                images = Tensor(dataset.images[start:start + batch_size])
-                labels = dataset.labels[start:start + batch_size]
-                correct += accuracy(self.model(images), labels) * len(labels)
-                total += len(labels)
-        self.model.train()
-        return float(correct / total) if total else 0.0
+    def evaluate(self, dataset: ImageDataset, batch_size: Optional[int] = None) -> float:
+        """Top-1 accuracy of the on-device model on ``dataset``.
+
+        Uses ``training_config.eval_batch_size`` unless overridden.
+        """
+        size = batch_size if batch_size is not None else self.training_config.eval_batch_size
+        return evaluate_accuracy(self.model, dataset, batch_size=size)
 
     def describe(self) -> str:
         """One-line description used in experiment logs (Fig. 5 / Table III)."""

@@ -18,29 +18,19 @@ import numpy as np
 
 from ..datasets.base import ImageDataset
 from ..models.base import ClassificationModel
-from ..nn import no_grad
-from ..nn.functional import accuracy
-from ..nn.tensor import Tensor
+from .trainer import evaluate_accuracy
 
 __all__ = ["FederatedServer", "evaluate_model"]
 
 
 def evaluate_model(model: ClassificationModel, dataset: ImageDataset,
                    batch_size: int = 256) -> float:
-    """Top-1 accuracy of ``model`` on ``dataset`` (in eval mode, no gradients)."""
-    was_training = model.training
-    model.eval()
-    correct = 0.0
-    total = 0
-    with no_grad():
-        for start in range(0, len(dataset), batch_size):
-            images = Tensor(dataset.images[start:start + batch_size])
-            labels = dataset.labels[start:start + batch_size]
-            correct += accuracy(model(images), labels) * len(labels)
-            total += len(labels)
-    if was_training:
-        model.train()
-    return float(correct / total) if total else 0.0
+    """Top-1 accuracy of ``model`` on ``dataset`` (in eval mode, no gradients).
+
+    Thin alias of :func:`repro.federated.trainer.evaluate_accuracy`, kept
+    for backwards compatibility with existing call sites.
+    """
+    return evaluate_accuracy(model, dataset, batch_size=batch_size)
 
 
 class FederatedServer:

@@ -4,12 +4,21 @@
 and a test set, and runs the communication rounds:
 
 1. the sampler picks the active devices for the round;
-2. active devices run local training (Algorithm 2) and upload parameters;
+2. active devices run local training (Algorithm 2) — dispatched as
+   picklable tasks through the configured
+   :class:`~repro.federated.backend.ExecutionBackend`, so device-side work
+   fans out across worker processes when a parallel backend is selected —
+   and upload parameters;
 3. the server aggregates (FedZKT: Algorithm 3; baselines: their own rules);
 4. the server broadcasts per-device payloads to **all** devices
    (Algorithm 1, lines 11–13 — inactive devices also receive updates);
 5. the loop evaluates the global model and every on-device model on the
-   held-out test set and appends a :class:`RoundRecord`.
+   held-out test set (device evaluation also fans out through the backend)
+   and appends a :class:`RoundRecord`.
+
+Serial and parallel backends produce bit-identical histories because each
+task carries the device's exact parameters and RNG state and returns the
+updated versions.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
+from .backend import ExecutionBackend, SerialBackend, WorkerContext, build_worker_context
 from .config import FederatedConfig
 from .device import Device
 from .history import RoundRecord, TrainingHistory
@@ -50,13 +60,19 @@ class FederatedSimulation:
     round_callback:
         Optional hook invoked with each completed :class:`RoundRecord`
         (used by diagnostics such as the Fig. 2 gradient probe).
+    backend:
+        Execution backend for device-side work; defaults to
+        :class:`~repro.federated.backend.SerialBackend`.  A simulation owns
+        its backend's context but not its lifetime — call :meth:`close`
+        (or use the backend as a context manager) to release pool workers.
     """
 
     def __init__(self, devices: Sequence[Device], server: FederatedServer,
                  config: FederatedConfig, test_dataset: ImageDataset,
                  sampler: Optional[DeviceSampler] = None,
                  evaluate_devices: bool = True,
-                 round_callback: Optional[Callable[[RoundRecord], None]] = None) -> None:
+                 round_callback: Optional[Callable[[RoundRecord], None]] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         if not devices:
             raise ValueError("at least one device is required")
         self.devices = list(devices)
@@ -66,7 +82,22 @@ class FederatedSimulation:
         self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
         self.evaluate_devices = evaluate_devices
         self.round_callback = round_callback
+        self.backend = backend or SerialBackend()
+        self._context: Optional[WorkerContext] = None
         self.history = TrainingHistory(algorithm=server.name, config=config.describe())
+
+    # ------------------------------------------------------------------ #
+    # Backend plumbing
+    # ------------------------------------------------------------------ #
+    def _ensure_backend(self) -> None:
+        """Build the worker context lazily and (re)start the backend with it."""
+        if self._context is None:
+            self._context = build_worker_context(self.devices, eval_dataset=self.test_dataset)
+        self.backend.start(self._context)
+
+    def close(self) -> None:
+        """Shut down the execution backend (pool workers, if any)."""
+        self.backend.shutdown()
 
     # ------------------------------------------------------------------ #
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
@@ -86,15 +117,19 @@ class FederatedSimulation:
 
     def run_round(self, round_index: int) -> RoundRecord:
         """Run a single communication round and record its metrics."""
+        self._ensure_backend()
         active = self.sampler.sample(round_index, len(self.devices))
 
-        # --- On-device updates (Algorithm 2) --------------------------------
+        # --- On-device updates (Algorithm 2), fanned out via the backend ----
+        tasks = [self.devices[device_id].local_train_task(self.config.local_epochs)
+                 for device_id in active]
+        results = self.backend.run_tasks(tasks)
         local_losses: List[float] = []
-        for device_id in active:
-            device = self.devices[device_id]
-            report = device.local_train(self.config.local_epochs)
+        for result in results:
+            device = self.devices[result.device_id]
+            report = device.absorb_training_result(result)
             local_losses.append(report.mean_loss)
-            self.server.collect(device_id, device.send_parameters())
+            self.server.collect(device.device_id, device.send_parameters())
 
         # --- Server update (Algorithm 3 / baseline-specific) ----------------
         self.server.aggregate(round_index, active)
@@ -111,8 +146,10 @@ class FederatedSimulation:
         record.local_loss = float(np.mean(local_losses)) if local_losses else None
         record.global_accuracy = self.server.evaluate_global(self.test_dataset)
         if self.evaluate_devices:
-            for device in self.devices:
-                record.device_accuracies[device.device_id] = device.evaluate(self.test_dataset)
+            eval_tasks = [device.evaluate_task() for device in self.devices]
+            accuracies = self.backend.run_tasks(eval_tasks)
+            for device, accuracy in zip(self.devices, accuracies):
+                record.device_accuracies[device.device_id] = accuracy
         record.server_metrics = dict(self.server.last_metrics)
         self.history.append(record)
         if self.round_callback is not None:

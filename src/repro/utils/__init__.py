@@ -1,7 +1,24 @@
 """``repro.utils`` — small shared utilities (seeding, timing, serialization)."""
 
 from .seeding import derive_seed, seed_everything
-from .serialization import load_history_json, save_history_json
+from .serialization import (
+    load_history_json,
+    pack_array_list,
+    pack_state_dict,
+    save_history_json,
+    unpack_array_list,
+    unpack_state_dict,
+)
 from .timing import Timer
 
-__all__ = ["seed_everything", "derive_seed", "Timer", "save_history_json", "load_history_json"]
+__all__ = [
+    "seed_everything",
+    "derive_seed",
+    "Timer",
+    "save_history_json",
+    "load_history_json",
+    "pack_state_dict",
+    "unpack_state_dict",
+    "pack_array_list",
+    "unpack_array_list",
+]

@@ -1,17 +1,74 @@
-"""JSON serialization of training histories (for offline analysis/plots)."""
+"""Serialization helpers.
+
+Two families of helpers live here:
+
+* JSON (de)serialization of :class:`TrainingHistory` objects for offline
+  analysis and plotting;
+* compact binary packing of model state dicts and parameter lists (npz in
+  memory), which is the wire format the execution backends use to ship
+  device parameters to worker processes and back
+  (:mod:`repro.federated.backend`).
+"""
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
-from ..federated.history import RoundRecord, TrainingHistory
+import numpy as np
 
-__all__ = ["save_history_json", "load_history_json"]
+if TYPE_CHECKING:  # avoid a circular import: federated.backend uses this module
+    from ..federated.history import TrainingHistory
+
+__all__ = [
+    "save_history_json",
+    "load_history_json",
+    "pack_state_dict",
+    "unpack_state_dict",
+    "pack_array_list",
+    "unpack_array_list",
+]
 
 
-def save_history_json(history: TrainingHistory, path: Union[str, Path]) -> Path:
+# --------------------------------------------------------------------------- #
+# Binary packing of parameter payloads (device <-> worker wire format)
+# --------------------------------------------------------------------------- #
+def pack_state_dict(state: Dict[str, np.ndarray]) -> bytes:
+    """Pack a model state dict into a lossless in-memory ``.npz`` blob.
+
+    Keys may contain dots and the ``buffer::`` prefix used by
+    :meth:`repro.nn.Module.state_dict`; values round-trip bit-exactly, which
+    the backend parity guarantee (serial == parallel histories) relies on.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    return buffer.getvalue()
+
+
+def unpack_state_dict(blob: bytes) -> Dict[str, np.ndarray]:
+    """Invert :func:`pack_state_dict`."""
+    with np.load(io.BytesIO(blob)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def pack_array_list(arrays: Sequence[np.ndarray]) -> Optional[bytes]:
+    """Pack an ordered list of arrays (e.g. a proximal anchor); None for empty."""
+    if arrays is None:
+        return None
+    return pack_state_dict({f"a{index:05d}": np.asarray(array) for index, array in enumerate(arrays)})
+
+
+def unpack_array_list(blob: Optional[bytes]) -> Optional[List[np.ndarray]]:
+    """Invert :func:`pack_array_list` (preserves order)."""
+    if blob is None:
+        return None
+    state = unpack_state_dict(blob)
+    return [state[key] for key in sorted(state)]
+
+
+def save_history_json(history: "TrainingHistory", path: Union[str, Path]) -> Path:
     """Write a training history to a JSON file and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -20,8 +77,10 @@ def save_history_json(history: TrainingHistory, path: Union[str, Path]) -> Path:
     return path
 
 
-def load_history_json(path: Union[str, Path]) -> TrainingHistory:
+def load_history_json(path: Union[str, Path]) -> "TrainingHistory":
     """Read a training history previously written by :func:`save_history_json`."""
+    from ..federated.history import RoundRecord, TrainingHistory
+
     with Path(path).open("r", encoding="utf-8") as handle:
         payload: Dict = json.load(handle)
     history = TrainingHistory(algorithm=payload.get("algorithm", ""),

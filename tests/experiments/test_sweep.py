@@ -1,0 +1,82 @@
+"""Tests for the sweep orchestration layer (repro.experiments.sweep)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments import SweepSpec, SweepVariant, run_sweep
+from repro.experiments.sweep import SweepError
+from repro.federated import ProcessPoolBackend
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail(message: str) -> None:
+    raise RuntimeError(message)
+
+
+def _spec(name="demo"):
+    return SweepSpec(name=name, variants=[
+        SweepVariant(key="a", runner=_square, kwargs={"x": 3}, tags={"x": 3}),
+        SweepVariant(key="b", runner=_square, kwargs={"x": 5}, tags={"x": 5}),
+    ])
+
+
+class TestRunSweepSerial:
+    def test_values_and_ordering(self):
+        result = run_sweep(_spec())
+        assert [r.key for r in result] == ["a", "b"]
+        assert result.value("a") == 9 and result.value("b") == 25
+        assert result.values() == {"a": 9, "b": 25}
+        assert result.total_seconds >= 0.0
+        assert not result.failures()
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="dup", variants=[
+                SweepVariant(key="same", runner=_square, kwargs={"x": 1}),
+                SweepVariant(key="same", runner=_square, kwargs={"x": 2}),
+            ])
+
+    def test_failure_capture_and_raise(self):
+        spec = SweepSpec(name="partial", variants=[
+            SweepVariant(key="ok", runner=_square, kwargs={"x": 2}),
+            SweepVariant(key="bad", runner=_fail, kwargs={"message": "boom"}),
+        ])
+        result = run_sweep(spec, raise_on_error=False)
+        assert result.value("ok") == 4
+        assert len(result.failures()) == 1
+        assert "boom" in result["bad"].error
+        with pytest.raises(SweepError):
+            result.value("bad")
+        with pytest.raises(SweepError):
+            run_sweep(spec, raise_on_error=True)
+
+    def test_json_emission(self, tmp_path):
+        out = tmp_path / "sweep-out"
+        result = run_sweep(_spec(name="emit"), output_dir=out)
+        manifest = json.loads((out / "emit.json").read_text())
+        assert manifest["sweep"] == "emit"
+        assert manifest["num_variants"] == 2
+        variant = json.loads((out / "emit__a.json").read_text())
+        assert variant["result"] == 9
+        assert variant["tags"] == {"x": 3}
+        assert variant["error"] is None
+        assert result.to_dict()["variants"][0]["key"] == "a"
+
+
+@pytest.mark.skipif(multiprocessing.get_start_method() != "fork",
+                    reason="pickling test-module functions requires fork start method")
+class TestRunSweepProcess:
+    def test_process_backend_fans_out_variants(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            result = run_sweep(_spec(name="proc"), backend=backend)
+        finally:
+            backend.shutdown()
+        assert result.values() == {"a": 9, "b": 25}

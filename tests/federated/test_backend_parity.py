@@ -1,0 +1,146 @@
+"""Backend parity: serial and process-pool execution produce identical histories.
+
+The execution-backend contract (ISSUE 1) is that device tasks carry exact
+parameter and RNG state, so fanning local training out across worker
+processes must be a pure performance optimization — every per-round metric
+(global accuracy, per-device accuracies, local losses) must match the
+serial run bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_fedavg, build_fedmd
+from repro.core import build_fedzkt
+from repro.datasets import SyntheticImageConfig, SyntheticImageGenerator
+from repro.federated import (
+    FederatedConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    ServerConfig,
+    make_backend,
+)
+from repro.models import ModelSpec
+
+
+def _data(samples_train=160, samples_test=60):
+    config = SyntheticImageConfig(name="parity-rgb", num_classes=4, channels=3, height=8,
+                                  width=8, family_seed=21, noise_level=0.2, max_shift=1,
+                                  modes_per_class=1, background_strength=0.2)
+    generator = SyntheticImageGenerator(config)
+    return generator.sample(samples_train, seed=1), generator.sample(samples_test, seed=2)
+
+
+def _public():
+    config = SyntheticImageConfig(name="parity-public", num_classes=4, channels=3, height=8,
+                                  width=8, family_seed=77, modes_per_class=1)
+    return SyntheticImageGenerator(config).sample(60, seed=5)
+
+
+def _config():
+    # 2 rounds, 4 devices: the workload the parity acceptance criterion names.
+    return FederatedConfig(
+        num_devices=4, rounds=2, local_epochs=1, batch_size=16, device_lr=0.05, seed=3,
+        server=ServerConfig(distillation_iterations=2, batch_size=8, noise_dim=16,
+                            device_distill_lr=0.02),
+    )
+
+
+def _build(algorithm, backend):
+    train, test = _data()
+    config = _config()
+    if algorithm == "fedzkt":
+        return build_fedzkt(train, test, config, family="small", backend=backend)
+    if algorithm == "fedavg":
+        return build_fedavg(train, test, config,
+                            model_spec=ModelSpec("cnn", {"channels": (4, 8),
+                                                         "hidden_size": 16}),
+                            backend=backend)
+    if algorithm == "fedmd":
+        return build_fedmd(train, test, _public(), config, family="small", backend=backend)
+    raise ValueError(algorithm)
+
+
+def _run(algorithm, backend):
+    simulation = _build(algorithm, backend)
+    try:
+        return simulation.run()
+    finally:
+        simulation.close()
+
+
+@pytest.mark.parametrize("algorithm", ["fedzkt", "fedavg", "fedmd"])
+def test_serial_and_process_backends_produce_identical_histories(algorithm):
+    serial = _run(algorithm, SerialBackend())
+    parallel = _run(algorithm, ProcessPoolBackend(max_workers=2))
+
+    assert len(serial) == len(parallel) == 2
+    for record_s, record_p in zip(serial.records, parallel.records):
+        assert record_s.active_devices == record_p.active_devices
+        assert record_s.global_accuracy == record_p.global_accuracy
+        assert record_s.local_loss == record_p.local_loss
+        assert set(record_s.device_accuracies) == set(record_p.device_accuracies)
+        for device_id, accuracy in record_s.device_accuracies.items():
+            assert accuracy == record_p.device_accuracies[device_id]
+        if algorithm == "fedmd":
+            assert (record_s.server_metrics["digest_loss"]
+                    == record_p.server_metrics["digest_loss"])
+
+
+def test_task_dispatch_matches_direct_local_train(tiny_rgb_dataset):
+    """Dispatching a LocalTrainTask and absorbing its result is equivalent to
+    calling Device.local_train in place (same parameters, same RNG stream)."""
+    from repro.federated import Device, WorkerContext
+    from repro.models import SimpleCNN
+
+    def make_device():
+        model = SimpleCNN(tiny_rgb_dataset.input_shape, tiny_rgb_dataset.num_classes,
+                          channels=(4, 8), hidden_size=16, seed=0)
+        return Device(device_id=0, model=model, dataset=tiny_rgb_dataset, lr=0.05,
+                      momentum=0.9, batch_size=16, seed=7)
+
+    direct = make_device()
+    report_direct = direct.local_train(epochs=2)
+
+    dispatched = make_device()
+    backend = SerialBackend()
+    backend.start(WorkerContext(models={0: dispatched.model},
+                                shards={0: dispatched.dataset},
+                                train_configs={0: dispatched.training_config}))
+    (result,) = backend.run_tasks([dispatched.local_train_task(epochs=2)])
+    report_task = dispatched.absorb_training_result(result)
+
+    assert report_task.mean_loss == report_direct.mean_loss
+    assert report_task.final_loss == report_direct.final_loss
+    assert report_task.batches == report_direct.batches
+    for param_a, param_b in zip(direct.model.parameters(), dispatched.model.parameters()):
+        np.testing.assert_array_equal(param_a.data, param_b.data)
+    # The RNG stream advanced identically: a further epoch still matches.
+    follow_direct = direct.local_train(epochs=1)
+    follow_task = dispatched.local_train(epochs=1)
+    assert follow_direct.mean_loss == follow_task.mean_loss
+
+
+def test_make_backend_specs():
+    assert isinstance(make_backend(None), SerialBackend)
+    assert isinstance(make_backend("serial"), SerialBackend)
+    backend = make_backend("process:3")
+    assert isinstance(backend, ProcessPoolBackend) and backend.max_workers == 3
+    with pytest.raises(ValueError):
+        make_backend("threads")
+    with pytest.raises(ValueError):
+        make_backend("process:0")
+
+
+def test_serial_backend_requires_context_for_device_tasks(tiny_rgb_dataset):
+    from repro.federated import Device
+    from repro.models import SimpleCNN
+
+    model = SimpleCNN(tiny_rgb_dataset.input_shape, tiny_rgb_dataset.num_classes,
+                      channels=(4,), hidden_size=8, seed=0)
+    device = Device(device_id=0, model=model, dataset=tiny_rgb_dataset)
+    backend = SerialBackend()
+    with pytest.raises(RuntimeError):
+        backend.run_tasks([device.local_train_task(1)])

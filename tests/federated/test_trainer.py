@@ -1,0 +1,92 @@
+"""Tests for the shared trainer primitives (repro.federated.trainer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federated import Device, DeviceTrainingConfig, evaluate_accuracy, local_sgd_train
+from repro.federated.trainer import compute_public_logits, digest_on_public
+from repro.models import SimpleCNN
+
+
+def _model(dataset, seed=0):
+    return SimpleCNN(dataset.input_shape, dataset.num_classes, channels=(4, 8),
+                     hidden_size=16, seed=seed)
+
+
+class TestDeviceTrainingConfig:
+    def test_device_exposes_training_config(self, tiny_rgb_dataset):
+        device = Device(device_id=0, model=_model(tiny_rgb_dataset),
+                        dataset=tiny_rgb_dataset, lr=0.03, momentum=0.8,
+                        weight_decay=1e-4, batch_size=24, prox_mu=0.2,
+                        eval_batch_size=48, seed=0)
+        config = device.training_config
+        assert config == DeviceTrainingConfig(lr=0.03, momentum=0.8, weight_decay=1e-4,
+                                              batch_size=24, prox_mu=0.2, eval_batch_size=48)
+        # Legacy attribute accessors still work.
+        assert device.lr == 0.03 and device.batch_size == 24 and device.prox_mu == 0.2
+
+    def test_evaluate_uses_configured_eval_batch_size(self, tiny_rgb_dataset,
+                                                      tiny_test_dataset):
+        device = Device(device_id=0, model=_model(tiny_rgb_dataset),
+                        dataset=tiny_rgb_dataset, eval_batch_size=7, seed=0)
+        # Accuracy is batch-size independent; the configured (odd) batch size
+        # must produce the same result as an explicit large batch.
+        assert device.evaluate(tiny_test_dataset) == device.evaluate(tiny_test_dataset,
+                                                                     batch_size=256)
+
+
+class TestLocalSGDTrain:
+    def test_matches_device_local_train(self, tiny_rgb_dataset):
+        device = Device(device_id=3, model=_model(tiny_rgb_dataset),
+                        dataset=tiny_rgb_dataset, lr=0.05, momentum=0.9,
+                        batch_size=16, seed=11)
+        report_device = device.local_train(epochs=2)
+
+        model = _model(tiny_rgb_dataset)
+        config = DeviceTrainingConfig(lr=0.05, momentum=0.9, batch_size=16)
+        report_trainer = local_sgd_train(model, tiny_rgb_dataset, 2, config,
+                                         np.random.default_rng(11), device_id=3)
+        assert report_trainer.mean_loss == report_device.mean_loss
+        assert report_trainer.final_loss == report_device.final_loss
+        assert report_trainer.samples_seen == report_device.samples_seen
+        assert report_trainer.device_id == 3
+
+    def test_zero_epochs_and_validation(self, tiny_rgb_dataset):
+        model = _model(tiny_rgb_dataset)
+        config = DeviceTrainingConfig()
+        report = local_sgd_train(model, tiny_rgb_dataset, 0, config,
+                                 np.random.default_rng(0))
+        assert report.batches == 0 and report.mean_loss == 0.0
+        with pytest.raises(ValueError):
+            local_sgd_train(model, tiny_rgb_dataset, -1, config, np.random.default_rng(0))
+
+
+class TestEvaluationHelpers:
+    def test_evaluate_accuracy_mode_restoration(self, tiny_rgb_dataset, tiny_test_dataset):
+        model = _model(tiny_rgb_dataset)
+        model.eval()
+        value = evaluate_accuracy(model, tiny_test_dataset, batch_size=32)
+        assert 0.0 <= value <= 1.0
+        assert not model.training  # eval mode preserved
+        model.train()
+        evaluate_accuracy(model, tiny_test_dataset, batch_size=32)
+        assert model.training  # train mode preserved
+
+    def test_public_logits_shape_and_batch_invariance(self, tiny_rgb_dataset):
+        model = _model(tiny_rgb_dataset)
+        full = compute_public_logits(model, tiny_rgb_dataset, batch_size=256)
+        chunked = compute_public_logits(model, tiny_rgb_dataset, batch_size=17)
+        assert full.shape == (len(tiny_rgb_dataset), tiny_rgb_dataset.num_classes)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_digest_pulls_scores_toward_consensus(self, tiny_rgb_dataset):
+        model = _model(tiny_rgb_dataset)
+        consensus = np.zeros((len(tiny_rgb_dataset), tiny_rgb_dataset.num_classes))
+        before = np.abs(compute_public_logits(model, tiny_rgb_dataset)).mean()
+        loss = digest_on_public(model, tiny_rgb_dataset, consensus, lr=0.05,
+                                batch_size=16, epochs=2, rng=np.random.default_rng(0))
+        after = np.abs(compute_public_logits(model, tiny_rgb_dataset)).mean()
+        assert after < before
+        assert loss >= 0.0

@@ -1,0 +1,70 @@
+"""Tests for the ``repro`` console entrypoint (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments import ExperimentScale
+
+
+MICRO_SCALE = ExperimentScale(
+    name="micro",
+    rounds_small=1, rounds_cifar=1,
+    local_epochs_small=1, local_epochs_cifar=1,
+    distillation_iterations_small=3, distillation_iterations_cifar=3,
+    num_devices=2,
+    train_size=90, test_size=40, public_size=40,
+    batch_size=16, server_batch_size=8,
+    device_lr=0.05, global_lr=0.05, device_distill_lr=0.02, generator_lr=1e-3,
+    image_size=8,
+)
+
+
+def test_parser_defaults():
+    parser = cli.build_parser()
+    args = parser.parse_args(["run", "mnist"])
+    assert args.command == "run"
+    assert args.algorithm == "fedzkt"
+    assert args.backend == "serial"
+    args = parser.parse_args(["experiment", "table1", "--backend", "process:2"])
+    assert args.name == "table1" and args.backend == "process:2"
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = cli.build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "not-a-figure"])
+
+
+def test_list_command(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "fig7" in out
+    assert "serial, process, process:N" in out
+
+
+def test_run_command_micro(monkeypatch, tmp_path, capsys):
+    # Swap the micro scale in for "tiny" so the CLI run finishes in seconds.
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--algorithm", "fedzkt", "--scale", "tiny",
+                     "--rounds", "1", "--output", str(output), "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["algorithm"] == "fedzkt"
+    assert len(payload["rounds"]) == 1
+
+
+def test_experiment_command_micro(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    out_dir = tmp_path / "variants"
+    code = cli.main(["experiment", "compute_split", "--scale", "tiny",
+                     "--output-dir", str(out_dir)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "Compute-split ablation" in printed
+    assert (out_dir / "compute_split.json").exists()

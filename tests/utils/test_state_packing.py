@@ -1,0 +1,58 @@
+"""Tests for the binary state-dict packing used by the execution backends."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.models import SimpleCNN
+from repro.utils import (
+    pack_array_list,
+    pack_state_dict,
+    unpack_array_list,
+    unpack_state_dict,
+)
+
+
+def test_state_dict_roundtrip_is_bit_exact():
+    model = SimpleCNN((3, 8, 8), 4, channels=(4, 8), hidden_size=16, seed=0)
+    state = model.state_dict()
+    restored = unpack_state_dict(pack_state_dict(state))
+    assert set(restored) == set(state)
+    for key, value in state.items():
+        np.testing.assert_array_equal(restored[key], value)
+        assert restored[key].dtype == value.dtype
+    # The round trip is loadable (keys include dots and buffer:: prefixes).
+    model.load_state_dict(restored)
+
+
+def test_array_list_roundtrip_preserves_order():
+    arrays = [np.arange(5.0), np.zeros((2, 3)), np.full((1,), -7.5)]
+    restored = unpack_array_list(pack_array_list(arrays))
+    assert len(restored) == 3
+    for original, out in zip(arrays, restored):
+        np.testing.assert_array_equal(original, out)
+
+
+def test_none_passthrough():
+    assert pack_array_list(None) is None
+    assert unpack_array_list(None) is None
+
+
+def test_repro_utils_imports_standalone():
+    """Regression: importing repro.utils first must not hit a circular import
+    (utils.serialization <-> federated.backend)."""
+    subprocess.run(
+        [sys.executable, "-c",
+         "import repro.utils; import repro.utils.serialization; "
+         "import repro.federated.backend"],
+        check=True)
+
+
+def test_pack_many_arrays_sorted_keys():
+    # More than ten entries: lexicographic key sort must still match insertion order.
+    arrays = [np.array([float(index)]) for index in range(15)]
+    restored = unpack_array_list(pack_array_list(arrays))
+    np.testing.assert_array_equal(np.concatenate(restored), np.arange(15.0))
