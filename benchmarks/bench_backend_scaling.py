@@ -64,7 +64,7 @@ def run_once(backend, params, seed: int = 0) -> float:
     try:
         simulation.run()
     finally:
-        simulation.close()
+        backend.shutdown()
     return time.perf_counter() - start
 
 

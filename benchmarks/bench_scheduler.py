@@ -1,0 +1,113 @@
+"""Scheduler benchmark: simulated wall clock to target accuracy under skew.
+
+Runs the same FedZKT workload on a fleet whose compute speeds are log-
+spaced over a 4x range, once per round scheduler (sync / deadline /
+async), and writes simulated-time-to-target-accuracy plus the full
+accuracy timelines to ``BENCH_scheduler.json`` so the scheduling layer's
+performance trajectory accumulates across PRs.
+
+Unlike ``bench_backend_scaling.py`` this measures the *simulated* clock
+(device-speed skew and deadlines are modelled, not real), so the numbers
+are machine-independent and reproducible: the interesting quantity is how
+much simulated time the deadline/async schedulers save by not waiting for
+the slowest device every round.
+
+Not a pytest file on purpose (no ``test_`` prefix): run it directly with
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import ExperimentScale  # noqa: E402
+from repro.experiments.runner import experiment_straggler_study  # noqa: E402
+
+QUICK_SCALE = ExperimentScale(
+    name="sched-quick",
+    rounds_small=3, rounds_cifar=3,
+    local_epochs_small=1, local_epochs_cifar=1,
+    distillation_iterations_small=4, distillation_iterations_cifar=4,
+    num_devices=4,
+    train_size=160, test_size=60, public_size=60,
+    batch_size=16, server_batch_size=8,
+    device_lr=0.05, global_lr=0.05, device_distill_lr=0.02, generator_lr=1e-3,
+    image_size=8,
+)
+
+FULL_SCALE = ExperimentScale(
+    name="sched-bench",
+    rounds_small=8, rounds_cifar=8,
+    local_epochs_small=2, local_epochs_cifar=2,
+    distillation_iterations_small=12, distillation_iterations_cifar=12,
+    num_devices=6,
+    train_size=600, test_size=180, public_size=180,
+    batch_size=32, server_batch_size=16,
+    device_lr=0.05, global_lr=0.05, device_distill_lr=0.02, generator_lr=1e-3,
+    image_size=12,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (sanity check, not a real measurement)")
+    parser.add_argument("--speed-skew", type=float, default=4.0,
+                        help="slowest/fastest device compute-time ratio (default: 4)")
+    parser.add_argument("--deadline", type=float, default=1.5)
+    parser.add_argument("--buffer-size", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_scheduler.json"))
+    args = parser.parse_args(argv)
+
+    scale = QUICK_SCALE if args.quick else FULL_SCALE
+    start = time.perf_counter()
+    study = experiment_straggler_study(
+        scale=scale, speed_skew=args.speed_skew, deadline=args.deadline,
+        buffer_size=args.buffer_size, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    print(study["formatted"])
+
+    payload = {
+        "benchmark": "scheduler",
+        "scale": scale.name,
+        "speed_skew": args.speed_skew,
+        "deadline": args.deadline,
+        "buffer_size": args.buffer_size,
+        "seed": args.seed,
+        "target_accuracy": study["target_accuracy"],
+        "results": {
+            kind: {
+                "best_accuracy": entry["best_accuracy"],
+                "final_sim_time": entry["final_sim_time"],
+                "time_to_target": entry["time_to_target"],
+                "mean_staleness": entry["mean_staleness"],
+                "timeline": entry["timeline"],
+            }
+            for kind, entry in study["results"].items()
+        },
+        "real_seconds_total": elapsed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,16 +56,33 @@ class FedAvgServer(FederatedServer):
     def global_model(self) -> ClassificationModel:
         return self._global_model
 
-    def aggregate(self, round_index: int, active_devices: List[int]) -> None:
+    def aggregate(self, round_index: int, active_devices: List[int],
+                  upload_meta=None) -> None:
         if not self.uploads:
             # No active device uploaded (can happen with extreme straggler
             # settings): keep the current global parameters.
             self._payload = self._global_model.state_dict()
+            self.last_metrics = {"aggregated_devices": 0.0}
             return
-        weights = np.array([
-            self.device_weights.get(device_id, 1.0) for device_id in self.uploads
-        ], dtype=np.float64)
-        weights = weights / weights.sum()
+        base = np.array([self.device_weights.get(device_id, 1.0)
+                         for device_id in self.uploads], dtype=np.float64)
+        base = base / base.sum()
+        discounts = np.array([self.upload_weight(device_id, upload_meta)
+                              for device_id in self.uploads], dtype=np.float64)
+        # The staleness discount is *absolute*: a stale upload's lost mass
+        # stays with the current global parameters instead of being
+        # renormalized back onto the (possibly lone, possibly all-stale)
+        # uploads — otherwise a single straggler's rounds-old update would
+        # overwrite the global model at full weight.  The all-fresh branch
+        # reproduces the historical shard-weighted average bit for bit.
+        if np.all(discounts >= 1.0):
+            weights = base
+            residual = 0.0
+            current = None
+        else:
+            weights = base * discounts
+            residual = 1.0 - float(weights.sum())
+            current = self._global_model.state_dict()
 
         keys = next(iter(self.uploads.values())).keys()
         averaged: Dict[str, np.ndarray] = {}
@@ -73,9 +90,12 @@ class FedAvgServer(FederatedServer):
             stacked = np.stack([state[key] for state in self.uploads.values()], axis=0)
             shaped = weights.reshape((-1,) + (1,) * (stacked.ndim - 1))
             averaged[key] = np.sum(stacked * shaped, axis=0)
+            if current is not None:
+                averaged[key] = averaged[key] + residual * current[key]
         self._global_model.load_state_dict(averaged)
         self._payload = averaged
-        self.last_metrics = {"aggregated_devices": float(len(self.uploads))}
+        self.last_metrics = {"aggregated_devices": float(len(self.uploads)),
+                             **self.staleness_summary()}
 
     def payload_for(self, device_id: int) -> Dict[str, np.ndarray]:
         return self._payload

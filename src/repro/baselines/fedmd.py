@@ -28,7 +28,7 @@ bit-identical results to the serial path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +37,6 @@ from ..federated.backend import (
     DigestSpec,
     ExecutionBackend,
     PublicLogitsTask,
-    SerialBackend,
     WorkerContext,
     build_worker_context,
 )
@@ -45,6 +44,9 @@ from ..federated.config import FederatedConfig
 from ..federated.device import Device
 from ..federated.history import RoundRecord, TrainingHistory
 from ..federated.sampling import DeviceSampler, UniformSampler
+from ..federated.scheduler import RoundScheduler
+from ..federated.server import UploadMeta
+from ..federated.simulation import RoundEngine
 from ..federated.trainer import compute_public_logits, digest_on_public
 from ..models.base import ClassificationModel
 from ..partition.base import Partitioner
@@ -53,8 +55,8 @@ from ..partition.iid import IIDPartitioner
 __all__ = ["FedMDSimulation", "build_fedmd"]
 
 
-class FedMDSimulation:
-    """End-to-end FedMD training loop.
+class FedMDSimulation(RoundEngine):
+    """End-to-end FedMD training loop (scheduler-driven round engine).
 
     Parameters
     ----------
@@ -71,15 +73,22 @@ class FedMDSimulation:
     digest_epochs:
         Passes over the public dataset during the digest phase.
     backend:
-        Execution backend for device-side work (default: serial).
+        Execution backend for device-side work (default: serial).  A
+        backend passed in explicitly is owned by the caller; an internally
+        created default is released by :meth:`close` / ``with``-exit.
     """
 
     name = "fedmd"
 
+    #: FedMD's consensus phase needs every active upload before the digest
+    #: can start, so only the synchronous scheduler applies.
+    supports_async = False
+
     def __init__(self, devices: Sequence[Device], public_dataset: ImageDataset,
                  config: FederatedConfig, test_dataset: ImageDataset,
                  sampler: Optional[DeviceSampler] = None, digest_epochs: int = 1,
-                 backend: Optional[ExecutionBackend] = None) -> None:
+                 backend: Optional[ExecutionBackend] = None,
+                 scheduler: Optional[RoundScheduler] = None) -> None:
         if not devices:
             raise ValueError("at least one device is required")
         self.devices = list(devices)
@@ -88,22 +97,13 @@ class FedMDSimulation:
         self.test_dataset = test_dataset
         self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
         self.digest_epochs = int(digest_epochs)
-        self.backend = backend or SerialBackend()
-        self._context: Optional[WorkerContext] = None
+        self._init_engine(config, backend, scheduler)
+        self._round_digest_losses: List[float] = []
         self.history = TrainingHistory(algorithm=self.name, config=config.describe())
 
-    # ------------------------------------------------------------------ #
-    # Backend plumbing
-    # ------------------------------------------------------------------ #
-    def _ensure_backend(self) -> None:
-        if self._context is None:
-            self._context = build_worker_context(self.devices, eval_dataset=self.test_dataset,
-                                                 public_dataset=self.public_dataset)
-        self.backend.start(self._context)
-
-    def close(self) -> None:
-        """Shut down the execution backend (pool workers, if any)."""
-        self.backend.shutdown()
+    def _build_context(self) -> WorkerContext:
+        return build_worker_context(self.devices, eval_dataset=self.test_dataset,
+                                    public_dataset=self.public_dataset)
 
     def _digest_seed(self, device_id: int) -> int:
         return self.config.seed + 500 + device_id
@@ -125,24 +125,30 @@ class FedMDSimulation:
             rng=np.random.default_rng(self._digest_seed(device.device_id)))
 
     # ------------------------------------------------------------------ #
-    def run_round(self, round_index: int) -> RoundRecord:
-        """One FedMD communication round: communicate, aggregate, digest, revisit."""
-        self._ensure_backend()
-        active = self.sampler.sample(round_index, len(self.devices))
+    # Round phases (driven by the scheduler)
+    # ------------------------------------------------------------------ #
+    def device_tasks(self, device_ids: Sequence[int], round_index: int) -> List:
+        """Communicate + aggregate consensus, then package digest + revisit.
 
-        # Communicate: per-device class scores on the public dataset.
+        FedMD's knowledge carrier is the consensus over public-data scores,
+        so the communicate/aggregate phases run *inside* task packaging: the
+        per-device class scores are collected through the backend, averaged,
+        and the resulting consensus rides along with each device's
+        digest-plus-revisit training task.
+        """
+        self._round_digest_losses = []
+        if not device_ids:
+            return []
         logit_tasks = [
             PublicLogitsTask(device_id=device_id,
                              state=self.devices[device_id].model.state_dict())
-            for device_id in active
+            for device_id in device_ids
         ]
         uploaded = self.backend.run_tasks(logit_tasks)
-        # Aggregate: consensus is the mean of the uploaded scores.
         consensus = np.mean(np.stack(uploaded, axis=0), axis=0)
 
-        # Digest + revisit, shipped as one task per active device.
         train_tasks = []
-        for device_id in active:
+        for device_id in device_ids:
             task = self.devices[device_id].local_train_task(self.config.local_epochs)
             task.digest = DigestSpec(
                 consensus=consensus,
@@ -152,28 +158,50 @@ class FedMDSimulation:
                 seed=self._digest_seed(device_id),
             )
             train_tasks.append(task)
-        results = self.backend.run_tasks(train_tasks)
+        return train_tasks
 
-        digest_losses: List[float] = []
-        revisit_losses: List[float] = []
-        for result in results:
-            device = self.devices[result.device_id]
-            report = device.absorb_training_result(result)
-            digest_losses.append(result.digest_loss if result.digest_loss is not None else 0.0)
-            revisit_losses.append(report.mean_loss)
+    def process_result(self, result, meta: UploadMeta) -> float:
+        device = self.devices[result.device_id]
+        report = device.absorb_training_result(result)
+        self._round_digest_losses.append(
+            result.digest_loss if result.digest_loss is not None else 0.0)
+        return report.mean_loss
 
-        record = RoundRecord(round_index=round_index, active_devices=list(active))
-        record.local_loss = float(np.mean(revisit_losses)) if revisit_losses else None
+    def aggregate_round(self, round_index: int, device_ids: Sequence[int],
+                        upload_meta) -> None:
+        """Consensus aggregation already happened in :meth:`device_tasks`."""
+
+    def broadcast(self, device_ids: Optional[Sequence[int]] = None) -> None:
+        """FedMD exchanges logits, not parameters — nothing to broadcast."""
+
+    def evaluate_round(self, round_index: int, active: Sequence[int],
+                       losses: Sequence[float], sim_time: Optional[float] = None,
+                       extra_metrics: Optional[dict] = None) -> RoundRecord:
+        record = RoundRecord(round_index=round_index, active_devices=list(active),
+                             sim_time=sim_time)
+        record.local_loss = float(np.mean(losses)) if losses else None
         record.server_metrics = {
-            "digest_loss": float(np.mean(digest_losses)) if digest_losses else 0.0,
+            "digest_loss": (float(np.mean(self._round_digest_losses))
+                            if self._round_digest_losses else 0.0),
             "public_dataset": self.public_dataset.name,
         }
+        if extra_metrics:
+            record.server_metrics.update(extra_metrics)
         eval_tasks = [device.evaluate_task() for device in self.devices]
         accuracies = self.backend.run_tasks(eval_tasks)
         for device, accuracy in zip(self.devices, accuracies):
             record.device_accuracies[device.device_id] = accuracy
         self.history.append(record)
         return record
+
+    def verbose_line(self, record: RoundRecord, total_rounds: int) -> str:
+        return (f"[fedmd] round {record.round_index}/{total_rounds} "
+                f"mean_device={record.mean_device_accuracy:.3f}")
+
+    # ------------------------------------------------------------------ #
+    def run_round(self, round_index: int) -> RoundRecord:
+        """One FedMD communication round: communicate, aggregate, digest, revisit."""
+        return self.scheduler.run_round(self, round_index, self._scheduler_state())
 
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
         """Run the configured number of rounds (with an initial local warm-up).
@@ -183,17 +211,13 @@ class FedMDSimulation:
         epochs reproduces that step (also fanned out through the backend).
         """
         total_rounds = rounds if rounds is not None else self.config.rounds
-        self._ensure_backend()
+        self.ensure_backend()
         warmup_tasks = [device.local_train_task(self.config.local_epochs)
                         for device in self.devices]
         for result in self.backend.run_tasks(warmup_tasks):
             self.devices[result.device_id].absorb_training_result(result)
-        for round_index in range(1, total_rounds + 1):
-            record = self.run_round(round_index)
-            if verbose:
-                print(f"[fedmd] round {round_index}/{total_rounds} "
-                      f"mean_device={record.mean_device_accuracy:.3f}")
-        return self.history
+        return self.scheduler.run(self, total_rounds, verbose=verbose,
+                                  state=self._scheduler_state())
 
 
 def build_fedmd(train_dataset: ImageDataset, test_dataset: ImageDataset,

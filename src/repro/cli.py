@@ -12,11 +12,14 @@ Subcommands
     Run one of the paper's table/figure experiments, printing the
     formatted rendering and optionally emitting per-variant JSON.
 ``repro list``
-    List available experiments, scales, and backends.
+    List available experiments, scales, backends, and schedulers.
 
 Every subcommand accepts ``--backend serial|process[:N]`` to select the
 execution engine; ``process`` fans device training (for ``run``) or whole
 experiment variants (for ``experiment``) out across worker processes.
+``repro run`` additionally accepts ``--scheduler sync|deadline|async``
+plus ``--deadline``, ``--buffer-size``, and the device-heterogeneity knobs
+``--speed-skew`` / ``--latency-mean`` / ``--dropout-rate``.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import json
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .experiments.configs import SCALES
 from .experiments.runner import EXPERIMENTS, run_experiment, run_fedmd, run_fedzkt
 from .federated.backend import make_backend
@@ -39,6 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="FedZKT (ICDCS 2022) reproduction: federated runs, experiments, sweeps.",
     )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     # ---------------------------------------------------------------- run
@@ -60,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
                             help="execution backend: serial, process, or process:N")
+    run_parser.add_argument("--scheduler", default=None,
+                            choices=["sync", "deadline", "async"],
+                            help="round scheduler (default: sync; fedzkt only for "
+                                 "deadline/async — FedMD rounds are inherently synchronous)")
+    run_parser.add_argument("--deadline", type=float, default=None,
+                            help="simulated per-round deadline for --scheduler deadline "
+                                 "(units of the fastest device's round time)")
+    run_parser.add_argument("--buffer-size", type=int, default=None,
+                            help="aggregation buffer size K for --scheduler async")
+    run_parser.add_argument("--speed-skew", type=float, default=None,
+                            help="slowest/fastest device compute-time ratio (>= 1)")
+    run_parser.add_argument("--latency-mean", type=float, default=None,
+                            help="mean simulated upload latency (lognormal draws)")
+    run_parser.add_argument("--dropout-rate", type=float, default=None,
+                            help="per-(device, round) unavailability probability")
     run_parser.add_argument("--output", default=None,
                             help="write the training history JSON to this path")
     run_parser.add_argument("--quiet", action="store_true")
@@ -82,20 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Reject knob combinations that would silently do nothing.
+    if args.deadline is not None and args.scheduler != "deadline":
+        raise SystemExit("--deadline only applies with --scheduler deadline")
+    if args.buffer_size is not None and args.scheduler != "async":
+        raise SystemExit("--buffer-size only applies with --scheduler async")
     backend = make_backend(args.backend)
+    heterogeneity = {"speed_skew": args.speed_skew, "latency_mean": args.latency_mean,
+                     "dropout_rate": args.dropout_rate}
     try:
         if args.algorithm == "fedzkt":
             history = run_fedzkt(args.dataset, scale=args.scale, seed=args.seed,
                                  num_devices=args.num_devices,
                                  participation_fraction=args.participation,
                                  prox_mu=args.prox_mu, rounds=args.rounds,
+                                 scheduler=args.scheduler, deadline=args.deadline,
+                                 buffer_size=args.buffer_size, **heterogeneity,
                                  verbose=not args.quiet, backend=backend)
         else:
+            if args.scheduler not in (None, "sync"):
+                raise SystemExit("fedmd rounds are inherently synchronous; "
+                                 "--scheduler deadline/async requires --algorithm fedzkt")
             history = run_fedmd(args.dataset, public_choice=args.public_choice,
                                 scale=args.scale, seed=args.seed,
                                 num_devices=args.num_devices,
                                 participation_fraction=args.participation,
                                 prox_mu=args.prox_mu, rounds=args.rounds,
+                                **heterogeneity,
                                 verbose=not args.quiet, backend=backend)
     finally:
         backend.shutdown()
@@ -129,6 +162,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         print(f"  {name:15s} {doc[0] if doc else ''}")
     print("\nscales: " + ", ".join(sorted(SCALES)))
     print("backends: serial, process, process:N")
+    print("schedulers: sync, deadline, async")
     return 0
 
 

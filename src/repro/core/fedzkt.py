@@ -79,14 +79,25 @@ class FedZKTServer(FederatedServer):
     def global_model(self) -> ClassificationModel:
         return self._global_model
 
-    def aggregate(self, round_index: int, active_devices: List[int]) -> None:
+    def aggregate(self, round_index: int, active_devices: List[int],
+                  upload_meta=None) -> None:
         # Load the freshly uploaded parameters into the server-side replicas.
         # Devices that did not participate keep their last known parameters
-        # (which are the ones the server itself distilled last round).
+        # (which are the ones the server itself distilled last round).  A
+        # stale upload (scheduler weight w < 1) is blended into the replica
+        # rather than overwriting it: replica <- w * upload + (1 - w) * replica.
         for device_id, state in self.uploads.items():
             if device_id not in self.device_models:
                 raise KeyError(f"upload from unknown device {device_id}")
-            self.device_models[device_id].load_state_dict(state)
+            replica = self.device_models[device_id]
+            weight = self.upload_weight(device_id, upload_meta)
+            if weight >= 1.0:
+                replica.load_state_dict(state)
+            else:
+                current = replica.state_dict()
+                blended = {key: weight * value + (1.0 - weight) * current[key]
+                           for key, value in state.items()}
+                replica.load_state_dict(blended)
 
         report = self.distiller.server_update(self.device_models)
         self.last_metrics = {
@@ -95,6 +106,7 @@ class FedZKTServer(FederatedServer):
             "transfer_loss": report.get("transfer_loss", 0.0),
             "input_gradient_norm": report.get("input_gradient_norm", 0.0),
             "server_parameter_updates": report.get("parameter_updates", 0),
+            **self.staleness_summary(),
         }
 
         # Prepare the payloads: every device receives its updated parameters.

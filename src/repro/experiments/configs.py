@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
-from ..federated.config import FederatedConfig, ServerConfig
+from ..federated.config import (
+    FederatedConfig,
+    HeterogeneityConfig,
+    SchedulerConfig,
+    ServerConfig,
+)
 
 __all__ = ["ExperimentScale", "SCALES", "get_scale", "federated_config_for", "dataset_sizes_for"]
 
@@ -134,8 +139,15 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
                          participation_fraction: float = 1.0, prox_mu: float = 0.0,
                          distillation_loss: str = "sl", seed: int = 0,
                          rounds: int = None, local_epochs: int = None,
-                         distillation_iterations: int = None) -> FederatedConfig:
-    """Build a :class:`FederatedConfig` for a dataset family at a given scale."""
+                         distillation_iterations: int = None,
+                         scheduler: SchedulerConfig = None,
+                         heterogeneity: HeterogeneityConfig = None) -> FederatedConfig:
+    """Build a :class:`FederatedConfig` for a dataset family at a given scale.
+
+    ``scheduler`` / ``heterogeneity`` select the round-scheduling policy and
+    the device timing model (both default to the synchronous, homogeneous
+    historical behaviour).
+    """
     server = ServerConfig(
         distillation_iterations=(distillation_iterations
                                  if distillation_iterations is not None
@@ -157,4 +169,6 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
         prox_mu=prox_mu,
         seed=seed,
         server=server,
+        scheduler=scheduler if scheduler is not None else SchedulerConfig(),
+        heterogeneity=heterogeneity if heterogeneity is not None else HeterogeneityConfig(),
     )

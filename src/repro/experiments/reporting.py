@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_percent", "format_run_summary"]
+__all__ = ["format_table", "format_series", "format_percent", "format_run_summary",
+           "format_timeline"]
 
 
 def format_percent(value) -> str:
@@ -46,6 +47,17 @@ def format_series(name: str, xs: Sequence[object], ys: Sequence[object],
     """Render an (x, y) series as a compact single-line listing."""
     points = ", ".join(f"{x}:{y_format(y)}" for x, y in zip(xs, ys))
     return f"{name}: {points}"
+
+
+def format_timeline(name: str, points: Sequence[Sequence[float]],
+                    y_format=format_percent) -> str:
+    """Render (sim_time, value) pairs as a compact single-line timeline.
+
+    Used for the scheduler studies' wall-clock-vs-accuracy curves (see
+    :meth:`repro.federated.TrainingHistory.accuracy_timeline`).
+    """
+    rendered = ", ".join(f"t={time:.2f}:{y_format(value)}" for time, value in points)
+    return f"{name}: {rendered}"
 
 
 def format_run_summary(summary: Mapping[str, object]) -> str:

@@ -28,12 +28,13 @@ from ..core.fedzkt import build_fedzkt
 from ..core.gradient_probe import GradientNormProbe
 from ..datasets.registry import dataset_family, load_dataset, public_dataset_for
 from ..federated.backend import ExecutionBackend
+from ..federated.config import HeterogeneityConfig, SchedulerConfig
 from ..federated.history import TrainingHistory
 from ..federated.metrics import resource_split_summary
 from ..models.registry import device_specs_for_family, device_suite_for_family
 from ..partition import make_partitioner
 from .configs import ExperimentScale, federated_config_for, get_scale
-from .reporting import format_percent, format_series, format_table
+from .reporting import format_percent, format_series, format_table, format_timeline
 from .sweep import SweepSpec, SweepVariant, run_sweep
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "experiment_table4",
     "experiment_fig7",
     "experiment_compute_split",
+    "experiment_straggler_study",
     "EXPERIMENTS",
     "run_experiment",
 ]
@@ -64,6 +66,34 @@ def _partitioner_from_spec(spec: Tuple[str, Dict], num_devices: int, seed: int):
     return make_partitioner(kind, num_devices, seed=seed, **kwargs)
 
 
+def _scheduling_configs(scheduler: Optional[str], deadline: Optional[float],
+                        buffer_size: Optional[int], speed_skew: Optional[float],
+                        latency_mean: Optional[float], dropout_rate: Optional[float],
+                        ) -> Tuple[Optional[SchedulerConfig], Optional[HeterogeneityConfig]]:
+    """Assemble scheduler/heterogeneity config blocks from flat knobs.
+
+    ``None`` everywhere returns ``(None, None)``, preserving the historical
+    synchronous, homogeneous defaults.
+    """
+    scheduler_config = None
+    if scheduler is not None or deadline is not None or buffer_size is not None:
+        defaults = SchedulerConfig()
+        scheduler_config = SchedulerConfig(
+            kind=scheduler if scheduler is not None else defaults.kind,
+            deadline=deadline if deadline is not None else defaults.deadline,
+            buffer_size=buffer_size if buffer_size is not None else defaults.buffer_size,
+        )
+    heterogeneity_config = None
+    if speed_skew is not None or latency_mean is not None or dropout_rate is not None:
+        defaults = HeterogeneityConfig()
+        heterogeneity_config = HeterogeneityConfig(
+            speed_skew=speed_skew if speed_skew is not None else defaults.speed_skew,
+            latency_mean=latency_mean if latency_mean is not None else defaults.latency_mean,
+            dropout_rate=dropout_rate if dropout_rate is not None else defaults.dropout_rate,
+        )
+    return scheduler_config, heterogeneity_config
+
+
 # --------------------------------------------------------------------------- #
 # Single-run helpers (the variant runners every sweep is built from)
 # --------------------------------------------------------------------------- #
@@ -72,14 +102,22 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                participation_fraction: float = 1.0, prox_mu: float = 0.0,
                distillation_loss: str = "sl", rounds: Optional[int] = None,
                probe_gradients: bool = False, verbose: bool = False,
-               backend: Optional[ExecutionBackend] = None) -> TrainingHistory:
+               backend: Optional[ExecutionBackend] = None,
+               scheduler: Optional[str] = None, deadline: Optional[float] = None,
+               buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
+               latency_mean: Optional[float] = None,
+               dropout_rate: Optional[float] = None) -> TrainingHistory:
     """Run FedZKT on a named dataset and return its training history."""
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
+    scheduler_config, heterogeneity_config = _scheduling_configs(
+        scheduler, deadline, buffer_size, speed_skew, latency_mean, dropout_rate)
     config = federated_config_for(scale, family, num_devices=num_devices,
                                   participation_fraction=participation_fraction,
                                   prox_mu=prox_mu, distillation_loss=distillation_loss,
-                                  seed=seed, rounds=rounds)
+                                  seed=seed, rounds=rounds,
+                                  scheduler=scheduler_config,
+                                  heterogeneity=heterogeneity_config)
     train, test = load_dataset(dataset_name, train_size=scale.train_size,
                                test_size=scale.test_size, image_size=scale.image_size, seed=seed)
     partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
@@ -103,13 +141,23 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
               num_devices: Optional[int] = None, participation_fraction: float = 1.0,
               prox_mu: float = 0.0, rounds: Optional[int] = None,
               verbose: bool = False,
-              backend: Optional[ExecutionBackend] = None) -> TrainingHistory:
-    """Run the FedMD baseline with the paper's public-dataset pairing."""
+              backend: Optional[ExecutionBackend] = None,
+              speed_skew: Optional[float] = None,
+              latency_mean: Optional[float] = None,
+              dropout_rate: Optional[float] = None) -> TrainingHistory:
+    """Run the FedMD baseline with the paper's public-dataset pairing.
+
+    FedMD's consensus round is inherently synchronous, so only the
+    heterogeneity knobs (timing/availability) apply — not a scheduler kind.
+    """
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
+    _, heterogeneity_config = _scheduling_configs(
+        None, None, None, speed_skew, latency_mean, dropout_rate)
     config = federated_config_for(scale, family, num_devices=num_devices,
                                   participation_fraction=participation_fraction,
-                                  prox_mu=prox_mu, seed=seed, rounds=rounds)
+                                  prox_mu=prox_mu, seed=seed, rounds=rounds,
+                                  heterogeneity=heterogeneity_config)
     train, test = load_dataset(dataset_name, train_size=scale.train_size,
                                test_size=scale.test_size, image_size=scale.image_size, seed=seed)
     public = public_dataset_for(dataset_name, choice=public_choice, size=scale.public_size,
@@ -532,6 +580,71 @@ def experiment_compute_split(scale="tiny", dataset: str = "mnist", seed: int = 0
 
 
 # --------------------------------------------------------------------------- #
+# Straggler study — sync vs deadline vs async scheduling under speed skew
+# --------------------------------------------------------------------------- #
+def experiment_straggler_study(scale="tiny", dataset: str = "mnist",
+                               speed_skew: float = 4.0, deadline: float = 1.5,
+                               buffer_size: int = 2, latency_mean: float = 0.1,
+                               seed: int = 0,
+                               backend: Optional[ExecutionBackend] = None,
+                               output_dir=None) -> Dict[str, object]:
+    """Wall-clock-vs-accuracy of sync / deadline / async rounds under skew.
+
+    All three variants run the same FedZKT workload on the same fleet,
+    whose compute speeds are log-spaced over a ``speed_skew``× range.  The
+    synchronous scheduler waits for the slowest device every round; the
+    deadline scheduler aggregates whatever arrives in time (stragglers land
+    late with staleness); the async scheduler aggregates every
+    ``buffer_size`` arrivals.  The comparison that matters is accuracy as a
+    function of *simulated time*, not of round count.
+    """
+    scale = _resolve_scale(scale)
+    kinds = ("sync", "deadline", "async")
+    variants = [
+        SweepVariant(
+            key=kind, runner=run_fedzkt,
+            kwargs={"dataset_name": dataset, "scale": scale, "seed": seed,
+                    "scheduler": kind, "deadline": deadline, "buffer_size": buffer_size,
+                    "speed_skew": speed_skew, "latency_mean": latency_mean},
+            tags={"scheduler": kind, "speed_skew": speed_skew})
+        for kind in kinds
+    ]
+    sweep = _sweep("straggler_study", variants, backend, output_dir,
+                   description="Straggler study — scheduler comparison under speed skew")
+
+    histories = {kind: sweep.value(kind) for kind in kinds}
+    # Time-to-target: the accuracy every scheduler eventually reaches, so the
+    # comparison is about *when*, not *whether*.
+    target = min(_headline_accuracy(history) for history in histories.values()) * 0.9
+    rows = []
+    results: Dict[str, Dict[str, object]] = {}
+    for kind, history in histories.items():
+        final_time = history.records[-1].sim_time if len(history) else None
+        reach_time = history.time_to_accuracy(target)
+        stale_curve = history.server_metric_curve("mean_staleness")
+        results[kind] = {
+            "best_accuracy": _headline_accuracy(history),
+            "final_sim_time": final_time,
+            "time_to_target": reach_time,
+            "mean_staleness": float(sum(stale_curve) / len(stale_curve)) if stale_curve else 0.0,
+            "timeline": history.accuracy_timeline(),
+        }
+        rows.append([kind, format_percent(results[kind]["best_accuracy"]),
+                     f"{final_time:.2f}" if final_time is not None else "n/a",
+                     f"{reach_time:.2f}" if reach_time is not None else "n/a",
+                     f"{results[kind]['mean_staleness']:.2f}"])
+    formatted = (
+        format_table(["Scheduler", "Best accuracy", "Sim time (total)",
+                      f"Time to {format_percent(target)}", "Mean staleness"], rows,
+                     title=f"Straggler study ({dataset}, {speed_skew:.0f}x speed skew)")
+        + "\n\nAccuracy vs simulated wall clock\n"
+        + "\n".join(format_timeline(kind, results[kind]["timeline"]) for kind in kinds)
+    )
+    return {"results": results, "rows": rows, "target_accuracy": target,
+            "formatted": formatted}
+
+
+# --------------------------------------------------------------------------- #
 # Registry (used by the ``repro`` CLI)
 # --------------------------------------------------------------------------- #
 EXPERIMENTS: Dict[str, Callable[..., Dict[str, object]]] = {
@@ -546,6 +659,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict[str, object]]] = {
     "table4": experiment_table4,
     "fig7": experiment_fig7,
     "compute_split": experiment_compute_split,
+    "straggler_study": experiment_straggler_study,
 }
 
 

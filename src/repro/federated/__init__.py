@@ -1,8 +1,10 @@
 """``repro.federated`` — the federated-learning substrate.
 
 Devices (local training, parameter exchange), the abstract server
-interface, active-device sampling (stragglers), the round loop of
-Algorithm 1, per-round history, and resource accounting.
+interface, active-device sampling (stragglers), the round schedulers
+(synchronous / deadline / async) that drive Algorithm 1's phases on a
+simulated clock, the device heterogeneity model, per-round history, and
+resource accounting.
 """
 
 from .backend import (
@@ -12,8 +14,9 @@ from .backend import (
     WorkerContext,
     make_backend,
 )
-from .config import FederatedConfig, ServerConfig
+from .config import FederatedConfig, HeterogeneityConfig, SchedulerConfig, ServerConfig
 from .device import Device, LocalTrainingReport
+from .heterogeneity import HeterogeneityModel
 from .history import RoundRecord, TrainingHistory
 from .trainer import DeviceTrainingConfig, evaluate_accuracy, local_sgd_train
 from .metrics import (
@@ -24,7 +27,14 @@ from .metrics import (
     resource_split_summary,
 )
 from .sampling import DeviceSampler, FixedSampler, UniformSampler
-from .server import FederatedServer, evaluate_model
+from .scheduler import (
+    AsyncBufferedScheduler,
+    DeadlineScheduler,
+    RoundScheduler,
+    SynchronousScheduler,
+    make_scheduler,
+)
+from .server import FederatedServer, UploadMeta, evaluate_model
 from .simulation import FederatedSimulation
 
 __all__ = [
@@ -33,6 +43,15 @@ __all__ = [
     "ProcessPoolBackend",
     "WorkerContext",
     "make_backend",
+    "SchedulerConfig",
+    "HeterogeneityConfig",
+    "HeterogeneityModel",
+    "RoundScheduler",
+    "SynchronousScheduler",
+    "DeadlineScheduler",
+    "AsyncBufferedScheduler",
+    "make_scheduler",
+    "UploadMeta",
     "DeviceTrainingConfig",
     "evaluate_accuracy",
     "local_sgd_train",

@@ -30,9 +30,9 @@ experiment variants out through the same machinery.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 
@@ -309,6 +309,19 @@ class ExecutionBackend:
         """Execute device tasks, returning results in task order."""
         raise NotImplementedError
 
+    def run_tasks_as_completed(self, tasks: Sequence) -> Iterator[Tuple[int, object]]:
+        """Execute device tasks, yielding ``(task_index, result)`` pairs as
+        each completes.
+
+        On parallel backends the completion order is nondeterministic (it
+        reflects real worker timing), which is why callers that need
+        reproducibility — the deadline/async round schedulers — key results
+        by task index and re-order on the *simulated* clock afterwards.
+        The default implementation yields in task order.
+        """
+        for index, result in enumerate(self.run_tasks(tasks)):
+            yield index, result
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Generic ordered fan-out of ``fn`` over ``items``."""
         raise NotImplementedError
@@ -394,6 +407,14 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._pool is None:
             raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
         return list(self._pool.map(execute_task, tasks))
+
+    def run_tasks_as_completed(self, tasks: Sequence) -> Iterator[Tuple[int, object]]:
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
+        futures = {self._pool.submit(execute_task, task): index
+                   for index, task in enumerate(tasks)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         if self._pool is None:

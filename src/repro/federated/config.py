@@ -12,7 +12,91 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-__all__ = ["FederatedConfig", "ServerConfig"]
+__all__ = ["FederatedConfig", "ServerConfig", "SchedulerConfig", "HeterogeneityConfig"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Round-scheduling policy (see :mod:`repro.federated.scheduler`).
+
+    Attributes
+    ----------
+    kind:
+        ``"sync"`` (lockstep rounds, the default and historical behaviour),
+        ``"deadline"`` (straggler-aware: a round aggregates whichever
+        uploads land before a simulated deadline; late uploads carry
+        staleness), or ``"async"`` (FedBuff-style buffered asynchronous
+        aggregation every ``buffer_size`` arrivals).
+    deadline:
+        Simulated-time budget per round for the deadline scheduler,
+        expressed in units of the *fastest* device's local-training time
+        (a device with compute-speed multiplier ``m`` takes ``m`` simulated
+        seconds per dispatch, plus network latency).
+    buffer_size:
+        Number of arrivals the async scheduler buffers before aggregating.
+    staleness_alpha:
+        Exponent of the staleness discount ``1 / (1 + s) ** alpha`` applied
+        to uploads that are ``s`` rounds (or server versions) late.
+    """
+
+    kind: str = "sync"
+    deadline: float = 1.5
+    buffer_size: int = 2
+    staleness_alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sync", "deadline", "async"):
+            raise ValueError(f"unknown scheduler kind {self.kind!r}; "
+                             "use 'sync', 'deadline', or 'async'")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be at least 1")
+        if self.staleness_alpha < 0:
+            raise ValueError("staleness_alpha must be non-negative")
+
+
+@dataclass(frozen=True)
+class HeterogeneityConfig:
+    """Device heterogeneity model (see :mod:`repro.federated.heterogeneity`).
+
+    All draws derive deterministically from the federated config seed, so
+    heterogeneous runs are reproducible across repeats and across execution
+    backends.
+
+    Attributes
+    ----------
+    speed_skew:
+        Compute-time ratio between the slowest and the fastest device
+        (``1.0`` = homogeneous fleet).  Per-device multipliers are
+        log-spaced over ``[1, speed_skew]`` and shuffled by the seed.
+    latency_mean:
+        Mean simulated network latency added to each upload (``0`` disables
+        latency draws).
+    latency_sigma:
+        Sigma of the lognormal latency distribution.
+    dropout_rate:
+        Per-(device, round) probability that a device is unavailable.
+    """
+
+    speed_skew: float = 1.0
+    latency_mean: float = 0.0
+    latency_sigma: float = 0.5
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_skew < 1.0:
+            raise ValueError("speed_skew must be >= 1")
+        if self.latency_mean < 0 or self.latency_sigma < 0:
+            raise ValueError("latency parameters must be non-negative")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when the config describes the ideal (no-skew) fleet."""
+        return (self.speed_skew == 1.0 and self.latency_mean == 0.0
+                and self.dropout_rate == 0.0)
 
 
 @dataclass(frozen=True)
@@ -96,6 +180,10 @@ class FederatedConfig:
         from it.
     server:
         Server-side distillation configuration.
+    scheduler:
+        Round-scheduling policy (sync / deadline / async).
+    heterogeneity:
+        Device compute-speed, latency, and availability model.
     """
 
     num_devices: int = 10
@@ -109,6 +197,8 @@ class FederatedConfig:
     prox_mu: float = 0.0
     seed: int = 0
     server: ServerConfig = field(default_factory=ServerConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    heterogeneity: HeterogeneityConfig = field(default_factory=HeterogeneityConfig)
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -140,5 +230,14 @@ class FederatedConfig:
             "distillation_iterations": self.server.distillation_iterations,
             "distillation_loss": self.server.distillation_loss,
             "server_batch_size": self.server.batch_size,
+            "scheduler": self.scheduler.kind,
         }
+        if self.scheduler.kind == "deadline":
+            summary["deadline"] = self.scheduler.deadline
+        if self.scheduler.kind == "async":
+            summary["buffer_size"] = self.scheduler.buffer_size
+        if not self.heterogeneity.is_homogeneous:
+            summary["speed_skew"] = self.heterogeneity.speed_skew
+            summary["latency_mean"] = self.heterogeneity.latency_mean
+            summary["dropout_rate"] = self.heterogeneity.dropout_rate
         return summary

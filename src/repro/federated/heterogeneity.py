@@ -1,0 +1,119 @@
+"""Device heterogeneity: compute-speed skew, latency, and availability.
+
+The source paper is premised on resource-constrained, heterogeneous
+devices, but a lockstep simulation hides the *temporal* consequences of
+that heterogeneity — stragglers, dropped rounds, stale uploads.  This
+module supplies the timing side of the story: a :class:`HeterogeneityModel`
+maps every (device, dispatch) pair onto a simulated duration (compute time
+scaled by a per-device speed multiplier, plus a lognormal network-latency
+draw) and every (device, round) pair onto an availability bit.
+
+Every draw is keyed by ``(seed, tag, device_id, event_key)`` through a
+:class:`numpy.random.SeedSequence`, so the model is **stateless**: the same
+query always returns the same value regardless of call order.  That is what
+lets the deadline and async schedulers stay deterministic across repeats
+and across serial vs process execution backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .config import HeterogeneityConfig
+
+__all__ = ["HeterogeneityModel"]
+
+# Namespacing tags so the latency and dropout streams never collide.
+_TAG_LATENCY = 11
+_TAG_DROPOUT = 13
+_TAG_SPEED = 17
+
+
+def _keyed_rng(seed: int, tag: int, device_id: int, event_key: int) -> np.random.Generator:
+    """A generator deterministically keyed by (seed, tag, device, event)."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=(abs(int(seed)), tag, int(device_id), abs(int(event_key)))))
+
+
+class HeterogeneityModel:
+    """Deterministic per-device timing and availability model.
+
+    Parameters
+    ----------
+    num_devices:
+        Size of the device fleet.
+    config:
+        The :class:`~repro.federated.config.HeterogeneityConfig` knobs.
+    seed:
+        Master seed (normally the federated config seed); all draws derive
+        from it.
+
+    A device's local-training dispatch takes ``multiplier * work_units``
+    simulated seconds of compute (the fastest device has multiplier 1.0,
+    the slowest ``speed_skew``) plus an optional lognormal latency draw.
+    Availability is an independent per-(device, round) Bernoulli trace.
+    """
+
+    def __init__(self, num_devices: int, config: HeterogeneityConfig = None,
+                 seed: int = 0) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        self.num_devices = int(num_devices)
+        self.config = config or HeterogeneityConfig()
+        self.seed = int(seed)
+        if self.config.speed_skew == 1.0 or num_devices == 1:
+            multipliers = np.ones(self.num_devices)
+        else:
+            multipliers = np.geomspace(1.0, self.config.speed_skew, self.num_devices)
+            rng = _keyed_rng(self.seed, _TAG_SPEED, 0, 0)
+            multipliers = rng.permutation(multipliers)
+        self._multipliers = multipliers
+
+    # ------------------------------------------------------------------ #
+    def time_multiplier(self, device_id: int) -> float:
+        """Compute-time multiplier of ``device_id`` (1.0 = fastest tier)."""
+        return float(self._multipliers[device_id])
+
+    def latency(self, device_id: int, event_key: int) -> float:
+        """Simulated network latency for one upload (lognormal, keyed draw)."""
+        mean = self.config.latency_mean
+        if mean <= 0:
+            return 0.0
+        sigma = self.config.latency_sigma
+        rng = _keyed_rng(self.seed, _TAG_LATENCY, device_id, event_key)
+        # Parameterize so the draw's expectation equals ``latency_mean``.
+        return float(rng.lognormal(mean=np.log(mean) - 0.5 * sigma ** 2, sigma=sigma))
+
+    def duration(self, device_id: int, event_key: int, work_units: float = 1.0) -> float:
+        """Simulated seconds from dispatch to upload arrival.
+
+        ``work_units`` expresses the size of the dispatched job relative to
+        one standard local-training pass (1.0).
+        """
+        return self.time_multiplier(device_id) * float(work_units) + self.latency(device_id, event_key)
+
+    def available(self, device_id: int, event_key: int) -> bool:
+        """Whether the device answers the server this round (dropout trace)."""
+        rate = self.config.dropout_rate
+        if rate <= 0:
+            return True
+        rng = _keyed_rng(self.seed, _TAG_DROPOUT, device_id, event_key)
+        return bool(rng.random() >= rate)
+
+    def filter_available(self, device_ids, event_key: int) -> List[int]:
+        """The subset of ``device_ids`` available at ``event_key``."""
+        if self.config.dropout_rate <= 0:
+            return list(device_ids)
+        return [device_id for device_id in device_ids if self.available(device_id, event_key)]
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        return {
+            "speed_skew": self.config.speed_skew,
+            "latency_mean": self.config.latency_mean,
+            "latency_sigma": self.config.latency_sigma,
+            "dropout_rate": self.config.dropout_rate,
+            "multipliers": [float(m) for m in self._multipliers],
+        }

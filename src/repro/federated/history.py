@@ -6,12 +6,19 @@ on-device accuracy (Figs. 6/7), and diagnostic quantities such as the norm
 of gradients with respect to the generator inputs (Fig. 2).  The history
 object records all of them per round so the experiment harness can derive
 any table or series afterwards.
+
+Rounds driven by a :mod:`~repro.federated.scheduler` also carry the
+simulated wall-clock time at which the round's aggregation happened
+(``RoundRecord.sim_time``), so the same history yields wall-clock-vs-
+accuracy curves (:meth:`TrainingHistory.accuracy_timeline`,
+:meth:`TrainingHistory.time_to_accuracy`) alongside the round-vs-accuracy
+curves — the quantity straggler studies actually care about.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +35,9 @@ class RoundRecord:
     active_devices: List[int] = field(default_factory=list)
     local_loss: Optional[float] = None
     server_metrics: Dict[str, float] = field(default_factory=dict)
+    #: Simulated wall-clock time at which this round's aggregation happened
+    #: (None for histories produced without a scheduler clock).
+    sim_time: Optional[float] = None
 
     @property
     def mean_device_accuracy(self) -> float:
@@ -45,6 +55,7 @@ class RoundRecord:
             "active_devices": list(self.active_devices),
             "local_loss": self.local_loss,
             "server_metrics": dict(self.server_metrics),
+            "sim_time": self.sim_time,
         }
 
 
@@ -92,6 +103,45 @@ class TrainingHistory:
                 if key in record.server_metrics]
 
     # ------------------------------------------------------------------ #
+    # Timeline accessors (simulated wall clock, straggler studies)
+    # ------------------------------------------------------------------ #
+    def sim_time_curve(self) -> List[Optional[float]]:
+        """Simulated wall-clock time per round (None without a scheduler clock)."""
+        return [record.sim_time for record in self.records]
+
+    def _metric_value(self, record: RoundRecord, metric: str) -> Optional[float]:
+        if metric == "global":
+            return record.global_accuracy
+        if metric == "mean_device":
+            return record.mean_device_accuracy
+        if metric == "auto":
+            return (record.global_accuracy if record.global_accuracy is not None
+                    else record.mean_device_accuracy)
+        raise ValueError(f"unknown metric {metric!r}; use 'global', 'mean_device', or 'auto'")
+
+    def accuracy_timeline(self, metric: str = "auto") -> List[Tuple[float, float]]:
+        """(sim_time, accuracy) pairs — the wall-clock-vs-accuracy curve.
+
+        Rounds without a recorded ``sim_time`` fall back to their round
+        index, so the timeline degrades gracefully for legacy histories.
+        """
+        points: List[Tuple[float, float]] = []
+        for record in self.records:
+            value = self._metric_value(record, metric)
+            if value is None:
+                continue
+            time = record.sim_time if record.sim_time is not None else float(record.round_index)
+            points.append((float(time), float(value)))
+        return points
+
+    def time_to_accuracy(self, target: float, metric: str = "auto") -> Optional[float]:
+        """Simulated time at which ``metric`` first reaches ``target`` (or None)."""
+        for time, value in self.accuracy_timeline(metric):
+            if value >= target:
+                return time
+        return None
+
+    # ------------------------------------------------------------------ #
     # Scalar summaries (the paper's tables)
     # ------------------------------------------------------------------ #
     def final_global_accuracy(self) -> Optional[float]:
@@ -133,4 +183,5 @@ class TrainingHistory:
             "best_global_accuracy": self.best_global_accuracy(),
             "final_mean_device_accuracy": self.final_mean_device_accuracy(),
             "best_mean_device_accuracy": self.best_mean_device_accuracy(),
+            "final_sim_time": self.records[-1].sim_time if self.records else None,
         }

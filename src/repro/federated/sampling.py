@@ -32,13 +32,18 @@ class UniformSampler(DeviceSampler):
         participation (no stragglers).
     seed:
         Seed of the sampling RNG; rounds draw sequentially from one stream
-        so different ``p`` values remain comparable.
+        so different ``p`` values remain comparable — and so sampled sets
+        for a given seed are unchanged from the pre-scheduler loop.  All
+        round schedulers consult the sampler in a fixed driver-side order,
+        which keeps sequential draws deterministic across repeats and
+        across serial vs process execution backends.
     """
 
     def __init__(self, participation_fraction: float = 1.0, seed: int = 0) -> None:
         if not 0.0 < participation_fraction <= 1.0:
             raise ValueError("participation_fraction must be in (0, 1]")
         self.participation_fraction = float(participation_fraction)
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
 
     def sample(self, round_index: int, num_devices: int) -> List[int]:

@@ -1,29 +1,38 @@
-"""The federated simulation loop (Algorithm 1 of the paper).
+"""The federated simulation (Algorithm 1 of the paper), scheduler-driven.
 
 ``FederatedSimulation`` wires together devices, a server, a device sampler,
-and a test set, and runs the communication rounds:
+and a test set.  The round loop itself no longer lives here: a pluggable
+:class:`~repro.federated.scheduler.RoundScheduler` drives the simulation
+through explicit phases —
 
-1. the sampler picks the active devices for the round;
-2. active devices run local training (Algorithm 2) — dispatched as
-   picklable tasks through the configured
-   :class:`~repro.federated.backend.ExecutionBackend`, so device-side work
-   fans out across worker processes when a parallel backend is selected —
-   and upload parameters;
-3. the server aggregates (FedZKT: Algorithm 3; baselines: their own rules);
-4. the server broadcasts per-device payloads to **all** devices
-   (Algorithm 1, lines 11–13 — inactive devices also receive updates);
-5. the loop evaluates the global model and every on-device model on the
-   held-out test set (device evaluation also fans out through the backend)
-   and appends a :class:`RoundRecord`.
+1. ``sample_round``   — the sampler picks the round's candidate devices;
+2. ``device_tasks``   — local training (Algorithm 2) packaged as picklable
+   tasks and fanned out through the configured
+   :class:`~repro.federated.backend.ExecutionBackend`;
+3. ``process_result`` — each completed task is absorbed into its device and
+   the upload (with scheduler-attached staleness metadata) handed to the
+   server;
+4. ``aggregate_round`` — the server aggregates (FedZKT: Algorithm 3;
+   baselines: their own rules), staleness-aware when uploads arrive late;
+5. ``broadcast``      — per-device payloads are delivered (Algorithm 1,
+   lines 11–13 — under the synchronous scheduler *all* devices receive
+   updates, stragglers included);
+6. ``evaluate_round`` — the global model and every on-device model are
+   evaluated on the held-out test set and a :class:`RoundRecord` (including
+   the simulated wall-clock time) is appended.
 
-Serial and parallel backends produce bit-identical histories because each
-task carries the device's exact parameters and RNG state and returns the
-updated versions.
+The default :class:`~repro.federated.scheduler.SynchronousScheduler`
+replays the historical lockstep loop bit for bit; ``deadline`` and
+``async`` schedulers reorder the same phases on a simulated clock fed by
+the :class:`~repro.federated.heterogeneity.HeterogeneityModel`.  Serial and
+parallel backends produce bit-identical histories because each task carries
+the device's exact parameters and RNG state and returns the updated
+versions.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,14 +40,95 @@ from ..datasets.base import ImageDataset
 from .backend import ExecutionBackend, SerialBackend, WorkerContext, build_worker_context
 from .config import FederatedConfig
 from .device import Device
+from .heterogeneity import HeterogeneityModel
 from .history import RoundRecord, TrainingHistory
 from .sampling import DeviceSampler, UniformSampler
-from .server import FederatedServer
+from .scheduler import RoundScheduler, SchedulerState, make_scheduler
+from .server import FederatedServer, UploadMeta
 
-__all__ = ["FederatedSimulation"]
+__all__ = ["RoundEngine", "FederatedSimulation"]
 
 
-class FederatedSimulation:
+class RoundEngine:
+    """Shared plumbing for scheduler-driven simulations.
+
+    Holds everything a :class:`~repro.federated.scheduler.RoundScheduler`
+    needs that is not algorithm-specific: backend wiring and ownership
+    (``close`` / context-manager lifetime), scheduler construction and
+    validation, the heterogeneity model, the persistent scheduler state
+    shared by ``run``/``run_round``, and the sampler-driven
+    ``sample_round`` phase.  Subclasses implement ``_build_context`` plus
+    the algorithm-specific phases (``device_tasks``, ``process_result``,
+    ``aggregate_round``, ``broadcast``, ``evaluate_round``,
+    ``verbose_line``).
+    """
+
+    #: Whether the engine's round structure tolerates reordered / partial
+    #: uploads (deadline and async schedulers).
+    supports_async = True
+
+    def _init_engine(self, config: FederatedConfig,
+                     backend: Optional[ExecutionBackend],
+                     scheduler: Optional[RoundScheduler],
+                     heterogeneity: Optional[HeterogeneityModel] = None) -> None:
+        """Wire backend/scheduler/heterogeneity; call after ``self.devices`` is set."""
+        self._owns_backend = backend is None
+        self.backend = backend or SerialBackend()
+        self.scheduler = scheduler or make_scheduler(config.scheduler)
+        self.scheduler.check_engine(self)
+        self.heterogeneity = heterogeneity or HeterogeneityModel(
+            len(self.devices), config.heterogeneity, seed=config.seed)
+        self._context: Optional[WorkerContext] = None
+        self._round_state: Optional[SchedulerState] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Backend plumbing and lifetime
+    # ------------------------------------------------------------------ #
+    def _build_context(self) -> WorkerContext:
+        raise NotImplementedError
+
+    def ensure_backend(self) -> None:
+        """Build the worker context lazily and (re)start the backend with it."""
+        if self._context is None:
+            self._context = self._build_context()
+        self.backend.start(self._context)
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the execution backend if this simulation created it.
+
+        Idempotent.  Backends passed into the constructor are owned by the
+        caller (they may be shared across simulations) and are left running;
+        shut those down with ``backend.shutdown()`` or a ``with`` block.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_backend:
+            self.backend.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _scheduler_state(self) -> SchedulerState:
+        """The persistent per-simulation scheduler state (clock, in-flight
+        uploads), shared by ``run`` and ``run_round`` so the two entry
+        points can be interleaved without losing in-flight work."""
+        if self._round_state is None:
+            self._round_state = self.scheduler.initial_state(self)
+        return self._round_state
+
+    def sample_round(self, round_index: int) -> List[int]:
+        """The sampler's candidate devices for this round."""
+        return self.sampler.sample(round_index, len(self.devices))
+
+
+class FederatedSimulation(RoundEngine):
     """Run a federated algorithm end to end.
 
     Parameters
@@ -48,7 +138,8 @@ class FederatedSimulation:
     server:
         The algorithm-specific server.
     config:
-        Federated configuration (rounds, local epochs, participation, ...).
+        Federated configuration (rounds, local epochs, participation,
+        scheduler and heterogeneity blocks, ...).
     test_dataset:
         Held-out test set used for per-round evaluation.
     sampler:
@@ -62,9 +153,16 @@ class FederatedSimulation:
         (used by diagnostics such as the Fig. 2 gradient probe).
     backend:
         Execution backend for device-side work; defaults to
-        :class:`~repro.federated.backend.SerialBackend`.  A simulation owns
-        its backend's context but not its lifetime — call :meth:`close`
-        (or use the backend as a context manager) to release pool workers.
+        :class:`~repro.federated.backend.SerialBackend`.  A backend passed
+        in explicitly is owned by the caller; an internally-created default
+        is owned by the simulation and released by :meth:`close` (also
+        called on ``with``-block exit).
+    scheduler:
+        Round scheduler; defaults to the one described by
+        ``config.scheduler`` (synchronous unless configured otherwise).
+    heterogeneity:
+        Device timing/availability model; defaults to one built from
+        ``config.heterogeneity`` and the config seed.
     """
 
     def __init__(self, devices: Sequence[Device], server: FederatedServer,
@@ -72,7 +170,9 @@ class FederatedSimulation:
                  sampler: Optional[DeviceSampler] = None,
                  evaluate_devices: bool = True,
                  round_callback: Optional[Callable[[RoundRecord], None]] = None,
-                 backend: Optional[ExecutionBackend] = None) -> None:
+                 backend: Optional[ExecutionBackend] = None,
+                 scheduler: Optional[RoundScheduler] = None,
+                 heterogeneity: Optional[HeterogeneityModel] = None) -> None:
         if not devices:
             raise ValueError("at least one device is required")
         self.devices = list(devices)
@@ -82,68 +182,58 @@ class FederatedSimulation:
         self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
         self.evaluate_devices = evaluate_devices
         self.round_callback = round_callback
-        self.backend = backend or SerialBackend()
-        self._context: Optional[WorkerContext] = None
+        self._init_engine(config, backend, scheduler, heterogeneity)
         self.history = TrainingHistory(algorithm=server.name, config=config.describe())
 
-    # ------------------------------------------------------------------ #
-    # Backend plumbing
-    # ------------------------------------------------------------------ #
-    def _ensure_backend(self) -> None:
-        """Build the worker context lazily and (re)start the backend with it."""
-        if self._context is None:
-            self._context = build_worker_context(self.devices, eval_dataset=self.test_dataset)
-        self.backend.start(self._context)
-
-    def close(self) -> None:
-        """Shut down the execution backend (pool workers, if any)."""
-        self.backend.shutdown()
+    def _build_context(self) -> WorkerContext:
+        return build_worker_context(self.devices, eval_dataset=self.test_dataset)
 
     # ------------------------------------------------------------------ #
-    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
-        """Execute ``rounds`` communication rounds (defaults to the config)."""
-        total_rounds = rounds if rounds is not None else self.config.rounds
-        for round_index in range(1, total_rounds + 1):
-            record = self.run_round(round_index)
-            if verbose:
-                global_part = (
-                    f"global={record.global_accuracy:.3f} " if record.global_accuracy is not None else ""
-                )
-                print(
-                    f"[{self.server.name}] round {round_index}/{total_rounds} "
-                    f"{global_part}mean_device={record.mean_device_accuracy:.3f}"
-                )
-        return self.history
+    # Round phases (driven by the scheduler)
+    # ------------------------------------------------------------------ #
+    def device_tasks(self, device_ids: Sequence[int], round_index: int) -> List:
+        """Package local training (Algorithm 2) for the given devices."""
+        return [self.devices[device_id].local_train_task(self.config.local_epochs)
+                for device_id in device_ids]
 
-    def run_round(self, round_index: int) -> RoundRecord:
-        """Run a single communication round and record its metrics."""
-        self._ensure_backend()
-        active = self.sampler.sample(round_index, len(self.devices))
+    def restore_model_state(self, device_id: int, state: Dict[str, np.ndarray]) -> None:
+        """Reset a device's published parameters to a pre-dispatch snapshot.
 
-        # --- On-device updates (Algorithm 2), fanned out via the backend ----
-        tasks = [self.devices[device_id].local_train_task(self.config.local_epochs)
-                 for device_id in active]
-        results = self.backend.run_tasks(tasks)
-        local_losses: List[float] = []
-        for result in results:
-            device = self.devices[result.device_id]
-            report = device.absorb_training_result(result)
-            local_losses.append(report.mean_loss)
-            self.server.collect(device.device_id, device.send_parameters())
+        Used by deferred-absorb schedulers after eager in-process execution
+        so a busy device's visible model stays at its dispatch-time state
+        until the upload's simulated arrival.
+        """
+        self.devices[device_id].model.load_state_dict(state)
 
-        # --- Server update (Algorithm 3 / baseline-specific) ----------------
-        self.server.aggregate(round_index, active)
+    def process_result(self, result, meta: UploadMeta) -> float:
+        """Absorb one training result and upload the parameters to the server."""
+        device = self.devices[result.device_id]
+        report = device.absorb_training_result(result)
+        self.server.collect(device.device_id, device.send_parameters(), meta=meta)
+        return report.mean_loss
 
-        # --- Broadcast to all devices ----------------------------------------
-        for device in self.devices:
+    def aggregate_round(self, round_index: int, device_ids: Sequence[int],
+                        upload_meta: Dict[int, UploadMeta]) -> None:
+        """Server update (Algorithm 3 / baseline-specific), staleness-aware."""
+        self.server.aggregate(round_index, list(device_ids), upload_meta=upload_meta)
+
+    def broadcast(self, device_ids: Optional[Sequence[int]] = None) -> None:
+        """Deliver server payloads (``None`` = all devices, Algorithm 1 l.11–13)."""
+        targets = (self.devices if device_ids is None
+                   else [self.devices[device_id] for device_id in device_ids])
+        for device in targets:
             payload = self.server.payload_for(device.device_id)
             if payload is not None:
                 device.receive_parameters(payload)
         self.server.finish_round()
 
-        # --- Evaluation -------------------------------------------------------
-        record = RoundRecord(round_index=round_index, active_devices=list(active))
-        record.local_loss = float(np.mean(local_losses)) if local_losses else None
+    def evaluate_round(self, round_index: int, active: Sequence[int],
+                       losses: Sequence[float], sim_time: Optional[float] = None,
+                       extra_metrics: Optional[Dict[str, float]] = None) -> RoundRecord:
+        """Evaluate global + device models and append the round record."""
+        record = RoundRecord(round_index=round_index, active_devices=list(active),
+                             sim_time=sim_time)
+        record.local_loss = float(np.mean(losses)) if losses else None
         record.global_accuracy = self.server.evaluate_global(self.test_dataset)
         if self.evaluate_devices:
             eval_tasks = [device.evaluate_task() for device in self.devices]
@@ -151,7 +241,31 @@ class FederatedSimulation:
             for device, accuracy in zip(self.devices, accuracies):
                 record.device_accuracies[device.device_id] = accuracy
         record.server_metrics = dict(self.server.last_metrics)
+        if extra_metrics:
+            record.server_metrics.update(extra_metrics)
         self.history.append(record)
         if self.round_callback is not None:
             self.round_callback(record)
         return record
+
+    def verbose_line(self, record: RoundRecord, total_rounds: int) -> str:
+        global_part = (
+            f"global={record.global_accuracy:.3f} " if record.global_accuracy is not None else ""
+        )
+        return (f"[{self.server.name}] round {record.round_index}/{total_rounds} "
+                f"{global_part}mean_device={record.mean_device_accuracy:.3f}")
+
+    # ------------------------------------------------------------------ #
+    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
+        """Execute ``rounds`` scheduler rounds (defaults to the config)."""
+        total_rounds = rounds if rounds is not None else self.config.rounds
+        return self.scheduler.run(self, total_rounds, verbose=verbose,
+                                  state=self._scheduler_state())
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Run a single round through the configured scheduler.
+
+        Scheduler state (simulated clock, in-flight uploads) persists across
+        successive ``run_round`` calls on the same simulation.
+        """
+        return self.scheduler.run_round(self, round_index, self._scheduler_state())

@@ -9,6 +9,7 @@ on-device models practical.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Tuple
 
 import numpy as np
@@ -66,6 +67,34 @@ def im2col(
     return np.ascontiguousarray(columns), out_h, out_w
 
 
+@lru_cache(maxsize=32)
+def _col2im_plane_index(kernel: int, stride: int, out_h: int, out_w: int,
+                        padded_w: int) -> np.ndarray:
+    """Within-plane scatter indices: entry ``(kh, kw, oh, ow)`` of a column
+    lands at flat position ``(kh + stride*oh) * padded_w + (kw + stride*ow)``.
+    Geometry-only (batch-independent), so the cache stays tiny.
+    """
+    rows = np.arange(kernel)[:, None, None, None] + stride * np.arange(out_h)[None, None, :, None]
+    cols = np.arange(kernel)[None, :, None, None] + stride * np.arange(out_w)[None, None, None, :]
+    return (rows * padded_w + cols).reshape(-1)
+
+
+# Full (batch x channels)-expanded index arrays are cached only below this
+# size, bounding the memory the cache can pin at 8 entries x 16 MB; larger
+# workloads rebuild the index per call (where the build cost amortizes
+# against the proportionally larger bincount pass anyway).
+_MAX_CACHED_INDEX_BYTES = 16 * 1024 * 1024
+
+
+@lru_cache(maxsize=8)
+def _col2im_scatter_index(planes: int, plane_size: int, kernel: int, stride: int,
+                          out_h: int, out_w: int, padded_w: int) -> np.ndarray:
+    """Flat scatter indices over all image planes of a column batch (cached)."""
+    within_plane = _col2im_plane_index(kernel, stride, out_h, out_w, padded_w)
+    offsets = np.arange(planes, dtype=np.int64) * plane_size
+    return (offsets[:, None] + within_plane[None, :]).reshape(-1)
+
+
 def col2im(
     columns: np.ndarray,
     image_shape: Tuple[int, int, int, int],
@@ -73,19 +102,29 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Fold column gradients back into image gradients (adjoint of im2col)."""
+    """Fold column gradients back into image gradients (adjoint of im2col).
+
+    Implemented as a single vectorized scatter-add (``np.bincount`` over
+    cached flat indices) instead of a python loop over the kernel taps.
+    Overlapping taps accumulate in the same ascending (kh, kw) order the
+    historical loop used, so results are bit-identical.
+    """
     batch, channels, height, width = image_shape
     out_h = _out_size(height, kernel, stride, padding)
     out_w = _out_size(width, kernel, stride, padding)
-    padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64
-    )
-    cols = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
-    for kh in range(kernel):
-        h_end = kh + stride * out_h
-        for kw in range(kernel):
-            w_end = kw + stride * out_w
-            padded[:, :, kh:h_end:stride, kw:w_end:stride] += cols[:, :, kh, kw, :, :]
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    plane_size = padded_h * padded_w
+    planes = batch * channels
+    entries = planes * kernel * kernel * out_h * out_w
+    if entries * 8 <= _MAX_CACHED_INDEX_BYTES:
+        index = _col2im_scatter_index(planes, plane_size, kernel, stride, out_h, out_w, padded_w)
+    else:
+        # Same construction, bypassing the cache so huge index arrays are
+        # never pinned in memory.
+        index = _col2im_scatter_index.__wrapped__(
+            planes, plane_size, kernel, stride, out_h, out_w, padded_w)
+    flat = np.bincount(index, weights=columns.reshape(-1), minlength=planes * plane_size)
+    padded = flat.reshape(batch, channels, padded_h, padded_w)
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]
     return padded

@@ -93,6 +93,7 @@ def load_history_json(path: Union[str, Path]) -> "TrainingHistory":
             active_devices=[int(d) for d in row.get("active_devices", [])],
             local_loss=row.get("local_loss"),
             server_metrics={k: v for k, v in row.get("server_metrics", {}).items()},
+            sim_time=row.get("sim_time"),
         )
         history.append(record)
     return history

@@ -25,6 +25,8 @@ from repro.experiments import (
     run_fedmd,
     run_fedzkt,
 )
+from repro.experiments.reporting import format_timeline
+from repro.experiments.runner import experiment_straggler_study
 
 MICRO_SCALE = ExperimentScale(
     name="micro",
@@ -131,3 +133,26 @@ class TestRunnersSmoke:
         result = experiment_compute_split(MICRO_SCALE, dataset="mnist")
         assert result["summary"]["server_total_compute"] > 0
         assert "Server compute" in result["formatted"]
+
+    def test_run_fedzkt_with_scheduler_knobs(self):
+        history = run_fedzkt("mnist", MICRO_SCALE, seed=0, scheduler="deadline",
+                             deadline=1.5, speed_skew=4.0)
+        assert history.config["scheduler"] == "deadline"
+        assert history.config["speed_skew"] == 4.0
+        assert all(time is not None for time in history.sim_time_curve())
+
+    def test_experiment_straggler_study_micro(self):
+        result = experiment_straggler_study(MICRO_SCALE, dataset="mnist",
+                                            speed_skew=4.0, deadline=1.5)
+        assert set(result["results"]) == {"sync", "deadline", "async"}
+        for entry in result["results"].values():
+            assert entry["final_sim_time"] is not None
+            assert entry["timeline"]
+        # Not waiting for the slowest device must compress simulated time.
+        assert (result["results"]["deadline"]["final_sim_time"]
+                < result["results"]["sync"]["final_sim_time"])
+        assert "Straggler study" in result["formatted"]
+
+    def test_format_timeline(self):
+        line = format_timeline("sync", [(1.5, 0.25), (3.0, 0.5)])
+        assert line == "sync: t=1.50:25.00%, t=3.00:50.00%"

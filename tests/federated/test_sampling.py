@@ -1,0 +1,80 @@
+"""Sampler contract tests: determinism, minimum participation, validation.
+
+``UniformSampler`` draws rounds sequentially from one seeded stream (the
+historical behaviour, which keeps sampled sets for a given seed unchanged
+from the pre-scheduler loop).  Determinism per (seed, round) therefore
+means: two samplers with the same seed, driven through the same round
+sequence, agree round for round — which is exactly how every round
+scheduler consults the sampler (fixed driver-side call order, independent
+of the execution backend).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federated import FixedSampler, UniformSampler
+
+
+class TestUniformSamplerDeterminism:
+    def test_same_seed_and_round_same_draw(self):
+        a = UniformSampler(0.4, seed=7)
+        b = UniformSampler(0.4, seed=7)
+        for round_index in range(1, 8):
+            assert a.sample(round_index, 10) == b.sample(round_index, 10)
+
+    def test_replay_from_scratch_reproduces_every_round(self):
+        sampler = UniformSampler(0.4, seed=3)
+        first_pass = [sampler.sample(r, 10) for r in range(1, 6)]
+        replay = UniformSampler(0.4, seed=3)
+        assert [replay.sample(r, 10) for r in range(1, 6)] == first_pass
+
+    def test_different_seeds_differ(self):
+        draws = {tuple(UniformSampler(0.4, seed=s).sample(1, 20)) for s in range(8)}
+        assert len(draws) > 1
+
+    def test_different_rounds_differ(self):
+        sampler = UniformSampler(0.4, seed=3)
+        draws = {tuple(sampler.sample(r, 10)) for r in range(10)}
+        assert len(draws) > 1
+
+
+class TestUniformSamplerGuarantees:
+    @pytest.mark.parametrize("fraction", [0.001, 0.01, 0.05, 0.099])
+    def test_at_least_one_device_at_tiny_fractions(self, fraction):
+        for num_devices in (1, 2, 3, 10):
+            for round_index in range(1, 6):
+                active = UniformSampler(fraction, seed=0).sample(round_index, num_devices)
+                assert len(active) >= 1
+                assert all(0 <= device < num_devices for device in active)
+
+    def test_sorted_unique_and_fraction_sized(self):
+        active = UniformSampler(0.5, seed=1).sample(1, 10)
+        assert active == sorted(set(active))
+        assert len(active) == 5
+
+    def test_full_participation(self):
+        assert UniformSampler(1.0, seed=5).sample(2, 6) == list(range(6))
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_fraction_validation(self, fraction):
+        with pytest.raises(ValueError):
+            UniformSampler(fraction)
+
+
+class TestFixedSamplerValidation:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSampler([])
+
+    def test_out_of_range_rejected_at_sample_time(self):
+        sampler = FixedSampler([0, 4])
+        with pytest.raises(ValueError, match="out of range"):
+            sampler.sample(1, 3)
+        with pytest.raises(ValueError):
+            FixedSampler([-1]).sample(1, 3)
+
+    def test_fixed_set_returned_sorted_every_round(self):
+        sampler = FixedSampler([3, 1])
+        for round_index in range(5):
+            assert sampler.sample(round_index, 5) == [1, 3]

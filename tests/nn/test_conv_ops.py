@@ -57,6 +57,37 @@ class TestIm2Col:
         rhs = np.sum(images * back)
         assert lhs == pytest.approx(rhs, rel=1e-10)
 
+    @staticmethod
+    def _col2im_tap_loop(columns, image_shape, kernel, stride, padding):
+        """The historical per-tap python loop, kept as the ground truth for
+        the vectorized scatter-add implementation."""
+        batch, channels, height, width = image_shape
+        out_h = (height + 2 * padding - kernel) // stride + 1
+        out_w = (width + 2 * padding - kernel) // stride + 1
+        padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+        cols = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
+        for kh in range(kernel):
+            for kw in range(kernel):
+                padded[:, :, kh:kh + stride * out_h:stride,
+                       kw:kw + stride * out_w:stride] += cols[:, :, kh, kw, :, :]
+        if padding > 0:
+            return padded[:, :, padding:-padding, padding:-padding]
+        return padded
+
+    @pytest.mark.parametrize("kernel,stride,padding", [(3, 1, 1), (3, 2, 1), (5, 2, 2),
+                                                       (2, 2, 0), (1, 1, 0)])
+    def test_col2im_scatter_add_matches_tap_loop_exactly(self, rng, kernel, stride, padding):
+        """The vectorized scatter-add is bit-identical to the old tap loop
+        (same per-pixel accumulation order), so the conv backward pass is
+        numerically unchanged."""
+        image_shape = (2, 3, 8, 8)
+        out_h = (8 + 2 * padding - kernel) // stride + 1
+        out_w = (8 + 2 * padding - kernel) // stride + 1
+        columns = rng.normal(size=(2, 3 * kernel * kernel, out_h * out_w))
+        expected = self._col2im_tap_loop(columns, image_shape, kernel, stride, padding)
+        np.testing.assert_array_equal(
+            col2im(columns, image_shape, kernel, stride, padding), expected)
+
 
 class TestConv2d:
     @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])

@@ -29,8 +29,71 @@ def test_parser_defaults():
     assert args.command == "run"
     assert args.algorithm == "fedzkt"
     assert args.backend == "serial"
+    assert args.scheduler is None and args.deadline is None and args.speed_skew is None
     args = parser.parse_args(["experiment", "table1", "--backend", "process:2"])
     assert args.name == "table1" and args.backend == "process:2"
+
+
+def test_parser_scheduler_flags():
+    parser = cli.build_parser()
+    args = parser.parse_args(["run", "mnist", "--scheduler", "deadline",
+                              "--deadline", "1.5", "--speed-skew", "4",
+                              "--buffer-size", "3", "--dropout-rate", "0.1"])
+    assert args.scheduler == "deadline"
+    assert args.deadline == 1.5
+    assert args.speed_skew == 4.0
+    assert args.buffer_size == 3
+    assert args.dropout_rate == 0.1
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "mnist", "--scheduler", "bogus"])
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_version_single_sourced_from_pyproject():
+    import re
+    from pathlib import Path
+
+    import repro
+
+    pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    declared = re.search(r'^version\s*=\s*"([^"]+)"', pyproject.read_text(),
+                         flags=re.MULTILINE).group(1)
+    assert repro.__version__ == declared
+
+
+def test_scheduler_knobs_require_matching_scheduler():
+    with pytest.raises(SystemExit, match="--scheduler deadline"):
+        cli.main(["run", "mnist", "--deadline", "0.5", "--quiet"])
+    with pytest.raises(SystemExit, match="--scheduler async"):
+        cli.main(["run", "mnist", "--buffer-size", "3", "--quiet"])
+
+
+def test_fedmd_rejects_async_scheduler_flag(monkeypatch):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    with pytest.raises(SystemExit, match="synchronous"):
+        cli.main(["run", "mnist", "--algorithm", "fedmd", "--scheduler", "async",
+                  "--quiet"])
+
+
+def test_run_command_with_deadline_scheduler(monkeypatch, tmp_path):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--scale", "tiny", "--rounds", "2",
+                     "--scheduler", "deadline", "--deadline", "1.5",
+                     "--speed-skew", "4", "--output", str(output), "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["config"]["scheduler"] == "deadline"
+    assert payload["config"]["speed_skew"] == 4.0
+    assert all(r["sim_time"] is not None for r in payload["rounds"])
 
 
 def test_parser_rejects_unknown_experiment():
