@@ -1,0 +1,148 @@
+"""Server-update benchmark: serial vs backend-sharded FedZKT distillation.
+
+Runs the same ``ZeroShotDistiller.server_update`` workload (adversarial
+phase + back-transfer over a heterogeneous device-model suite) once per
+execution configuration — in-process serial, and sharded through process
+pools of increasing width — and writes wall times plus speedups to
+``BENCH_server_update.json`` so the server-scaling trajectory accumulates
+across PRs.
+
+The sharded path is bit-identical to the serial one (pinned by
+``tests/core/test_server_sharding.py``); this benchmark also records a
+cheap parity check over the round's ``DistillationReport`` as a sanity
+column.  Note: on single-core containers the process-pool variants record
+speedups below 1 (dispatch overhead with no parallel hardware); the
+interesting numbers come from multi-core CI runners.
+
+Not a pytest file on purpose (no ``test_`` prefix): run it directly with
+
+    PYTHONPATH=src python benchmarks/bench_server_update.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import ZeroShotDistiller  # noqa: E402
+from repro.federated import ServerConfig, WorkerContext, make_backend  # noqa: E402
+from repro.models import build_generator, build_global_model, device_suite_for_family  # noqa: E402
+
+SHAPE = (3, 12, 12)
+CLASSES = 10
+
+
+def _workload(num_devices: int, iterations: int, batch_size: int, seed: int = 0):
+    models = device_suite_for_family("small", num_devices, SHAPE, CLASSES, seed=seed)
+    device_models = {index: model for index, model in enumerate(models)}
+    config = ServerConfig(distillation_iterations=iterations, batch_size=batch_size,
+                          noise_dim=32, device_distill_lr=0.02)
+    return device_models, config
+
+
+def _run_variant(spec, shards, num_devices, iterations, batch_size, rounds, seed):
+    """Time ``rounds`` consecutive server updates under one configuration."""
+    device_models, base_config = _workload(num_devices, iterations, batch_size, seed)
+    config = dataclasses.replace(base_config, server_shards=shards)
+    global_model = build_global_model(SHAPE, CLASSES, seed=seed + 7)
+    generator = build_generator(SHAPE, noise_dim=config.noise_dim, seed=seed + 13)
+    distiller = ZeroShotDistiller(global_model, generator, config, seed=seed + 17)
+
+    backend = make_backend(spec) if spec is not None else None
+    if backend is not None:
+        context = WorkerContext(models={device_id: copy.deepcopy(model)
+                                        for device_id, model in device_models.items()})
+        backend.start(context)
+        distiller.bind_backend(backend)
+        # Warm up the pool (process spawn + context pickling) outside the
+        # timed region; the warm-up advances the distiller's RNG/optimizers,
+        # which is fine — every variant warms up identically.
+        distiller.server_update(device_models)
+    else:
+        distiller.server_update(device_models)
+
+    start = time.perf_counter()
+    report = None
+    for _ in range(rounds):
+        report = distiller.server_update(device_models)
+    elapsed = time.perf_counter() - start
+    if backend is not None:
+        backend.shutdown()
+    return elapsed, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (sanity check, not a real measurement)")
+    parser.add_argument("--num-devices", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="timed server updates per variant")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, nargs="*", default=[1, 2, 4],
+                        help="process-pool widths to benchmark")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_server_update.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        num_devices, iterations, batch_size = 4, 3, 8
+    else:
+        num_devices, iterations, batch_size = 8, 8, 16
+    num_devices = args.num_devices if args.num_devices is not None else num_devices
+    iterations = args.iterations if args.iterations is not None else iterations
+    batch_size = args.batch_size if args.batch_size is not None else batch_size
+
+    print(f"server-update benchmark: {num_devices} device models, "
+          f"{iterations} distillation iterations, batch {batch_size}, "
+          f"{args.rounds} timed rounds per variant")
+
+    serial_time, serial_report = _run_variant(None, 1, num_devices, iterations,
+                                              batch_size, args.rounds, args.seed)
+    results = {"serial": {"seconds": serial_time, "speedup": 1.0,
+                          "report": dict(serial_report)}}
+    print(f"  serial                 {serial_time:8.2f}s")
+
+    for workers in args.workers:
+        key = f"process:{workers}"
+        elapsed, report = _run_variant(key, max(2, workers), num_devices, iterations,
+                                       batch_size, args.rounds, args.seed)
+        matches = all(report[k] == serial_report[k] for k in serial_report)
+        results[key] = {"seconds": elapsed, "speedup": serial_time / elapsed,
+                        "matches_serial_report": matches, "report": dict(report)}
+        print(f"  sharded {key:12s}   {elapsed:8.2f}s  "
+              f"speedup {serial_time / elapsed:4.2f}x  parity={'ok' if matches else 'FAIL'}")
+
+    payload = {
+        "benchmark": "server_update",
+        "num_devices": num_devices,
+        "distillation_iterations": iterations,
+        "server_batch_size": batch_size,
+        "timed_rounds": args.rounds,
+        "seed": args.seed,
+        "results": results,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,10 @@ Every subcommand accepts ``--backend serial|process[:N]`` to select the
 execution engine; ``process`` fans device training (for ``run``) or whole
 experiment variants (for ``experiment``) out across worker processes.
 ``repro run`` additionally accepts ``--scheduler sync|deadline|async``
-plus ``--deadline``, ``--buffer-size``, and the device-heterogeneity knobs
-``--speed-skew`` / ``--latency-mean`` / ``--dropout-rate``.
+plus ``--deadline``, ``--buffer-size``, the device-heterogeneity knobs
+``--speed-skew`` / ``--latency-mean`` / ``--dropout-rate``, and
+``--server-shards N`` to shard the FedZKT server update through the
+selected backend (bit-identical to the serial server update).
 """
 
 from __future__ import annotations
@@ -65,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
                             help="execution backend: serial, process, or process:N")
+    run_parser.add_argument("--server-shards", type=int, default=None,
+                            help="shard the FedZKT server update through the backend "
+                                 "into this many shards (>1 enables sharding; "
+                                 "bit-identical to the serial server update)")
     run_parser.add_argument("--scheduler", default=None,
                             choices=["sync", "deadline", "async"],
                             help="round scheduler (default: sync; fedzkt only for "
@@ -107,6 +113,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("--deadline only applies with --scheduler deadline")
     if args.buffer_size is not None and args.scheduler != "async":
         raise SystemExit("--buffer-size only applies with --scheduler async")
+    if args.server_shards is not None and args.algorithm != "fedzkt":
+        raise SystemExit("--server-shards only applies with --algorithm fedzkt "
+                         "(only FedZKT has a server-side distillation phase)")
+    if args.server_shards is not None and args.server_shards < 1:
+        raise SystemExit("--server-shards must be at least 1")
     backend = make_backend(args.backend)
     heterogeneity = {"speed_skew": args.speed_skew, "latency_mean": args.latency_mean,
                      "dropout_rate": args.dropout_rate}
@@ -118,6 +129,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                  prox_mu=args.prox_mu, rounds=args.rounds,
                                  scheduler=args.scheduler, deadline=args.deadline,
                                  buffer_size=args.buffer_size, **heterogeneity,
+                                 server_shards=args.server_shards,
                                  verbose=not args.quiet, backend=backend)
         else:
             if args.scheduler not in (None, "sync"):

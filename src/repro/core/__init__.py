@@ -8,6 +8,12 @@ trained generator and the Softmax-ℓ1 disagreement loss.
 from .distillation import disagreement_loss, ensemble_mode_for_loss, ensemble_output
 from .fedzkt import FedZKTServer, build_fedzkt
 from .gradient_probe import GradientNormProbe, input_gradient_norms
+from .server_tasks import (
+    DeviceDistillTask,
+    EnsembleForwardTask,
+    EnsembleVJPTask,
+    partition_shards,
+)
 from .server_update import DistillationReport, ZeroShotDistiller
 
 __all__ = [
@@ -20,4 +26,8 @@ __all__ = [
     "input_gradient_norms",
     "ZeroShotDistiller",
     "DistillationReport",
+    "EnsembleForwardTask",
+    "EnsembleVJPTask",
+    "DeviceDistillTask",
+    "partition_shards",
 ]

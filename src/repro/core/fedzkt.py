@@ -79,6 +79,11 @@ class FedZKTServer(FederatedServer):
     def global_model(self) -> ClassificationModel:
         return self._global_model
 
+    def bind_backend(self, backend) -> None:
+        """Route sharded server updates through the simulation's backend
+        (active when ``config.server.server_shards > 1``)."""
+        self.distiller.bind_backend(backend)
+
     def aggregate(self, round_index: int, active_devices: List[int],
                   upload_meta=None) -> None:
         # Load the freshly uploaded parameters into the server-side replicas.

@@ -1,0 +1,270 @@
+"""Picklable tasks that shard the FedZKT server update across workers.
+
+Algorithm 3 has two compute blocks that dominate server wall time and are
+naturally data-parallel over *models*:
+
+* **Phase 1** (adversarial game) evaluates the teacher ensemble
+  ``f_ens(x)`` — one independent forward (and, for the generator step, one
+  backward to the synthesized inputs) per on-device architecture;
+* **Phase 2** (back-transfer) distills the global model into every
+  on-device architecture from identical synthetic input/target batches.
+
+This module packages both as tasks for the
+:class:`~repro.federated.backend.ExecutionBackend`, reusing the packed
+state-dict wire format of :mod:`repro.utils.serialization` and the
+per-process :class:`~repro.federated.backend.WorkerContext` (whose model
+replicas share architectures with the server-side replicas, keyed by
+device id).  Tasks *borrow* a context model: they snapshot its parameters,
+buffers, and train/eval mode, load the server-side state, compute, and
+restore the snapshot — so on the serial backend (where context models are
+the live device models) a sharded server update never leaks state into the
+devices.
+
+Bit-identity contract (pinned by ``tests/core/test_server_sharding.py``):
+every task replays the exact Tensor ops of the in-process code path on the
+same float64 payloads, and the driver reduces partial results in the same
+order the serial loop would, so sharded and serial server updates produce
+identical model states, metrics, and gradients.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..federated.backend import WorkerContext
+from ..nn import no_grad
+from ..nn.losses import kl_divergence_loss
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+from ..utils.serialization import (
+    StateLike,
+    as_array_list,
+    as_state_dict,
+    pack_array_list,
+    pack_state_dict,
+)
+
+__all__ = [
+    "partition_shards",
+    "borrowed_model",
+    "EnsembleForwardTask",
+    "EnsembleVJPTask",
+    "DeviceDistillTask",
+    "DeviceDistillResult",
+]
+
+
+def _pack_states(states: Sequence[StateLike]) -> List[bytes]:
+    return [state if isinstance(state, bytes) else pack_state_dict(state)
+            for state in states]
+
+
+def partition_shards(items: Sequence, num_shards: int) -> List[List]:
+    """Split ``items`` into at most ``num_shards`` contiguous, near-even groups.
+
+    Contiguity matters: the driver re-reduces per-model partial results in
+    the original model order, which keeps the floating-point reduction
+    association identical to the serial loop.
+    """
+    items = list(items)
+    if not items:
+        return []
+    num_shards = max(1, min(int(num_shards), len(items)))
+    bounds = np.linspace(0, len(items), num_shards + 1).astype(int)
+    return [items[start:stop] for start, stop in zip(bounds[:-1], bounds[1:]) if stop > start]
+
+
+@contextmanager
+def borrowed_model(context: WorkerContext, device_id: int, state: StateLike,
+                   train: bool):
+    """Temporarily load ``state`` into the context's replica for ``device_id``.
+
+    Restores the replica's original parameters, buffers, and train/eval
+    mode on exit (and clears any gradients the task accumulated), which
+    makes server-side tasks safe on the serial backend where context
+    models alias the live device models.
+    """
+    model = context.model_for(device_id)
+    snapshot = model.state_dict()
+    saved_mode = model.training
+    model.load_state_dict(as_state_dict(state))
+    model.train(train)
+    try:
+        yield model
+    finally:
+        model.load_state_dict(snapshot)
+        model.train(saved_mode)
+        model.zero_grad()
+
+
+def _member_output(model, x: Tensor, mode: str) -> Tensor:
+    """One teacher's ensemble member — the same ops ``ensemble_output`` runs."""
+    logits = model(x)
+    return logits.softmax(axis=-1) if mode == "prob" else logits
+
+
+@dataclass
+class EnsembleForwardTask:
+    """Evaluate a shard of teacher models on one synthetic batch.
+
+    Returns the *unweighted* member outputs (post-softmax distributions in
+    ``"prob"`` mode, raw logits in ``"logit"`` mode) in ``device_ids``
+    order; the driver applies the ensemble weights and reduces across all
+    shards in ascending teacher order so the weighted mean is bit-identical
+    to the serial ``ensemble_output``.
+    """
+
+    device_ids: List[int]
+    states: List[StateLike]
+    inputs: Union[np.ndarray, bytes]
+    mode: str = "prob"
+
+    def __getstate__(self):
+        payload = dict(self.__dict__)
+        payload["states"] = _pack_states(payload["states"])
+        if isinstance(payload["inputs"], np.ndarray):
+            payload["inputs"] = pack_array_list([payload["inputs"]])
+        return payload
+
+    def run(self, context: WorkerContext) -> List[np.ndarray]:
+        (inputs,) = (as_array_list(self.inputs) if isinstance(self.inputs, bytes)
+                     else [self.inputs])
+        members: List[np.ndarray] = []
+        for device_id, state in zip(self.device_ids, self.states):
+            with borrowed_model(context, device_id, state, train=False) as model:
+                with no_grad():
+                    members.append(_member_output(model, Tensor(inputs), self.mode).data)
+        return members
+
+
+@dataclass
+class EnsembleVJPTask:
+    """Backward pass of a shard of ensemble members w.r.t. the inputs.
+
+    Given the upstream gradient of the disagreement loss with respect to
+    the ensemble output, computes each teacher's contribution to the
+    gradient at the synthesized inputs by replaying the serial graph ops
+    (``member = softmax(model(x))``; ``term = member * weight``) and
+    backpropagating ``upstream`` through them.  Parameter gradients are
+    skipped (``requires_grad`` is temporarily cleared) — only the
+    input-gradient path is needed, and skipping the weight-gradient work
+    does not change the values that flow to the inputs.
+    """
+
+    device_ids: List[int]
+    states: List[StateLike]
+    weights: List[float]
+    inputs: Union[np.ndarray, bytes]
+    upstream: Union[np.ndarray, bytes]
+    mode: str = "prob"
+
+    def __getstate__(self):
+        payload = dict(self.__dict__)
+        payload["states"] = _pack_states(payload["states"])
+        for field_name in ("inputs", "upstream"):
+            if isinstance(payload[field_name], np.ndarray):
+                payload[field_name] = pack_array_list([payload[field_name]])
+        return payload
+
+    def run(self, context: WorkerContext) -> List[np.ndarray]:
+        (inputs,) = (as_array_list(self.inputs) if isinstance(self.inputs, bytes)
+                     else [self.inputs])
+        (upstream,) = (as_array_list(self.upstream) if isinstance(self.upstream, bytes)
+                       else [self.upstream])
+        grads: List[np.ndarray] = []
+        for device_id, state, weight in zip(self.device_ids, self.states, self.weights):
+            with borrowed_model(context, device_id, state, train=False) as model:
+                parameters = model.parameters()
+                for param in parameters:
+                    param.requires_grad = False
+                try:
+                    x = Tensor(inputs, requires_grad=True)
+                    term = _member_output(model, x, self.mode) * float(weight)
+                    term.backward(upstream)
+                finally:
+                    for param in parameters:
+                        param.requires_grad = True
+                grads.append(x.grad)
+        return grads
+
+
+@dataclass
+class DeviceDistillTask:
+    """Distill the global model into a shard of device models (Phase 2).
+
+    Every device in the shard consumes the *same* per-iteration synthetic
+    inputs and teacher targets (precomputed on the driver, so the
+    generator/global-model RNG stream is identical to the serial path) and
+    trains independently with its own persisted-momentum SGD state.
+    """
+
+    device_ids: List[int]
+    states: List[StateLike]
+    velocities: List[Union[bytes, List[np.ndarray]]]
+    inputs: Union[bytes, List[np.ndarray]]
+    targets: Union[bytes, List[np.ndarray]]
+    lr: float
+    momentum: float = 0.9
+
+    def __getstate__(self):
+        payload = dict(self.__dict__)
+        payload["states"] = _pack_states(payload["states"])
+        payload["velocities"] = [velocity if isinstance(velocity, bytes)
+                                 else pack_array_list(list(velocity))
+                                 for velocity in payload["velocities"]]
+        for field_name in ("inputs", "targets"):
+            if isinstance(payload[field_name], list):
+                payload[field_name] = pack_array_list(payload[field_name])
+        return payload
+
+    def run(self, context: WorkerContext) -> "DeviceDistillResult":
+        inputs = as_array_list(self.inputs)
+        targets = as_array_list(self.targets)
+        out_states: List[Dict[str, np.ndarray]] = []
+        out_velocities: List[List[np.ndarray]] = []
+        out_losses: List[List[float]] = []
+        for device_id, state, velocity in zip(self.device_ids, self.states, self.velocities):
+            with borrowed_model(context, device_id, state, train=True) as model:
+                optimizer = SGD(model.parameters(), lr=self.lr, momentum=self.momentum)
+                optimizer.load_velocity_state(as_array_list(velocity))
+                losses: List[float] = []
+                for batch, target in zip(inputs, targets):
+                    student_logits = model(Tensor(batch))
+                    loss = kl_divergence_loss(student_logits, Tensor(target))
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    losses.append(loss.item())
+                out_states.append(model.state_dict())
+                out_velocities.append(optimizer.velocity_state())
+                out_losses.append(losses)
+        return DeviceDistillResult(device_ids=list(self.device_ids), states=out_states,
+                                   velocities=out_velocities, losses=out_losses)
+
+
+@dataclass
+class DeviceDistillResult:
+    """Updated states, momentum buffers, and per-iteration losses of a shard."""
+
+    device_ids: List[int]
+    states: List[StateLike]
+    velocities: List[Union[bytes, List[np.ndarray]]]
+    losses: List[List[float]]
+
+    def __getstate__(self):
+        payload = dict(self.__dict__)
+        payload["states"] = _pack_states(payload["states"])
+        payload["velocities"] = [velocity if isinstance(velocity, bytes)
+                                 else pack_array_list(list(velocity))
+                                 for velocity in payload["velocities"]]
+        return payload
+
+    def state_dict_for(self, index: int) -> Dict[str, np.ndarray]:
+        return as_state_dict(self.states[index])
+
+    def velocity_for(self, index: int) -> List[np.ndarray]:
+        return as_array_list(self.velocities[index])

@@ -10,6 +10,20 @@ model ``F`` and performs, each communication round:
    generator to synthesize inputs and distill the updated global model into
    every on-device model with the KL-divergence loss (Eq. 8).
 
+Both phases can be *sharded* across an
+:class:`~repro.federated.backend.ExecutionBackend` (``ServerConfig.
+server_shards > 1`` plus :meth:`ZeroShotDistiller.bind_backend`): Phase 1
+fans the per-teacher ensemble forward — and, on generator steps, the
+backward to the synthesized inputs — out as
+:class:`~repro.core.server_tasks.EnsembleForwardTask` /
+:class:`~repro.core.server_tasks.EnsembleVJPTask` shards and reduces the
+weighted mean on the driver in teacher order; Phase 2 dispatches one
+:class:`~repro.core.server_tasks.DeviceDistillTask` per shard of device
+models, each consuming identical precomputed synthetic batches.  The
+sharded path is bit-identical to the serial one (model states, metrics,
+and gradients), which the parity tests in
+``tests/core/test_server_sharding.py`` pin.
+
 The distiller also records the diagnostics the paper reports: per-phase
 losses and the norm of the disagreement gradient with respect to the
 synthesized inputs (Fig. 2).
@@ -17,7 +31,7 @@ synthesized inputs (Fig. 2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,7 +42,14 @@ from ..nn import no_grad
 from ..nn.losses import get_distillation_loss, kl_divergence_loss
 from ..nn.optim import SGD, Adam, MultiStepLR
 from ..nn.tensor import Tensor
+from ..utils.serialization import pack_array_list, pack_state_dict
 from .distillation import disagreement_loss, ensemble_mode_for_loss, ensemble_output
+from .server_tasks import (
+    DeviceDistillTask,
+    EnsembleForwardTask,
+    EnsembleVJPTask,
+    partition_shards,
+)
 
 __all__ = ["ZeroShotDistiller", "DistillationReport"]
 
@@ -62,33 +83,85 @@ class ZeroShotDistiller:
         The server's generative model ``G``.
     config:
         Server hyper-parameters (iterations, batch size, learning rates,
-        distillation loss).
+        distillation loss, server shard count).
     seed:
         Seed of the noise-sampling RNG.
+    backend:
+        Optional execution backend used when ``config.server_shards > 1``;
+        usually installed later via :meth:`bind_backend` by the simulation
+        engine.  Without a backend the distiller always runs in process.
     """
 
     def __init__(self, global_model: ClassificationModel, generator: Generator,
-                 config: ServerConfig, seed: int = 0) -> None:
+                 config: ServerConfig, seed: int = 0, backend=None) -> None:
         self.global_model = global_model
         self.generator = generator
         self.config = config
+        self.backend = backend
         self._rng = np.random.default_rng(seed)
         self._loss_name = config.distillation_loss
         # Optimizers persist across rounds so momentum/Adam state carries over.
         self.generator_optimizer = Adam(generator.parameters(), lr=config.generator_lr)
         self.global_optimizer = SGD(global_model.parameters(), lr=config.global_lr,
                                     momentum=0.9)
+        # Device-distill optimizers persist too (keyed by device id), so the
+        # back-transfer momentum carries across rounds instead of silently
+        # resetting every server update.
+        self._device_optimizers: Dict[int, Tuple[ClassificationModel, SGD]] = {}
         self.parameter_updates_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Backend plumbing
+    # ------------------------------------------------------------------ #
+    def bind_backend(self, backend) -> None:
+        """Install the execution backend used for sharded server updates."""
+        self.backend = backend
+
+    @property
+    def sharding_active(self) -> bool:
+        """Whether server updates are dispatched through the backend."""
+        return self.backend is not None and self.config.shard_server_update
+
+    @property
+    def _ship_payloads(self) -> bool:
+        """Whether shared task payloads should be pre-packed for the wire.
+
+        Packing once on the driver and sharing the blob across shard tasks
+        beats per-pickle packing on process backends; in-process backends
+        never pickle, so raw arrays/dicts flow through untouched.
+        """
+        return bool(getattr(self.backend, "ships_payloads", True))
+
+    def device_optimizer_for(self, device_id: int, model: ClassificationModel) -> SGD:
+        """The persistent back-transfer SGD for a device model (created lazily).
+
+        Recreated only when the model object for the id changes (the
+        optimizer holds references to the model's parameter tensors).
+        """
+        cached = self._device_optimizers.get(device_id)
+        if cached is None or cached[0] is not model:
+            optimizer = SGD(model.parameters(), lr=self.config.device_distill_lr,
+                            momentum=0.9)
+            self._device_optimizers[device_id] = (model, optimizer)
+            return optimizer
+        return cached[1]
 
     # ------------------------------------------------------------------ #
     # Phase 1: device knowledge -> global model (adversarial game, Eq. 2)
     # ------------------------------------------------------------------ #
     def adversarial_distillation(self, teachers: Sequence[ClassificationModel],
-                                 iterations: Optional[int] = None) -> DistillationReport:
-        """Alternate generator (max) and global model (min) steps."""
+                                 iterations: Optional[int] = None,
+                                 teacher_ids: Optional[Sequence[int]] = None) -> DistillationReport:
+        """Alternate generator (max) and global model (min) steps.
+
+        ``teacher_ids`` keys the teachers into the backend's worker context
+        for the sharded path; without ids (or without a bound backend) the
+        phase runs in process.
+        """
         if not teachers:
             raise ValueError("adversarial distillation requires at least one teacher")
         iterations = iterations if iterations is not None else self.config.distillation_iterations
+        sharded = self.sharding_active and teacher_ids is not None
         generator_losses: List[float] = []
         global_losses: List[float] = []
         input_grad_norms: List[float] = []
@@ -104,6 +177,20 @@ class ZeroShotDistiller:
         self.global_model.train()
         self.generator.train()
 
+        mode = ensemble_mode_for_loss(self._loss_name)
+        loss_fn = get_distillation_loss(self._loss_name)
+        weights = [1.0 / len(teachers)] * len(teachers)
+        if sharded:
+            # Teachers are frozen throughout the adversarial phase, so
+            # snapshot their states once — packed to the npz wire format
+            # only when the backend actually pickles tasks, so an
+            # in-process backend keeps the zero-serialization guarantee.
+            teacher_ids = list(teacher_ids)
+            snapshots = [teacher.state_dict() for teacher in teachers]
+            packed_states = ([pack_state_dict(state) for state in snapshots]
+                             if self._ship_payloads else snapshots)
+            shards = partition_shards(list(range(len(teachers))), self.config.server_shards)
+
         steps_per_generator = max(1, int(self.config.global_steps_per_generator_step))
 
         for iteration in range(iterations):
@@ -113,7 +200,16 @@ class ZeroShotDistiller:
             if iteration % steps_per_generator == 0:
                 noise = self.generator.sample_noise(self.config.batch_size, self._rng)
                 synthetic = self.generator(noise)
-                loss = disagreement_loss(self.global_model, teachers, synthetic, self._loss_name)
+                if sharded:
+                    # Same op order as disagreement_loss: student branch first,
+                    # then the ensemble branch (here a backend-backed graph node).
+                    student_logits = self.global_model(synthetic)
+                    teacher_out = self._sharded_ensemble_node(
+                        synthetic, teacher_ids, packed_states, weights, mode, shards)
+                    loss = loss_fn(student_logits, teacher_out)
+                else:
+                    loss = disagreement_loss(self.global_model, teachers, synthetic,
+                                             self._loss_name)
                 generator_loss = loss * -1.0
                 self._zero_all(teachers)
                 self.generator_optimizer.zero_grad()
@@ -129,12 +225,16 @@ class ZeroShotDistiller:
             noise = self.generator.sample_noise(self.config.batch_size, self._rng)
             with no_grad():
                 synthetic = self.generator(noise)
-                teacher_out = ensemble_output(
-                    teachers, synthetic, mode=ensemble_mode_for_loss(self._loss_name)
-                )
+                if not sharded:
+                    teacher_out = ensemble_output(teachers, synthetic, mode=mode)
+            if sharded:
+                members = self._sharded_members(teacher_ids, packed_states,
+                                                synthetic.data, mode, shards)
+                teacher_data = self._reduce_members(members, weights)
+            else:
+                teacher_data = teacher_out.data
             student_logits = self.global_model(Tensor(synthetic.data))
-            loss_fn = get_distillation_loss(self._loss_name)
-            global_loss = loss_fn(student_logits, Tensor(teacher_out.data))
+            global_loss = loss_fn(student_logits, Tensor(teacher_data))
             self.global_optimizer.zero_grad()
             global_loss.backward()
             self.global_optimizer.step()
@@ -153,6 +253,77 @@ class ZeroShotDistiller:
         )
 
     # ------------------------------------------------------------------ #
+    # Sharded Phase-1 helpers
+    # ------------------------------------------------------------------ #
+    def _sharded_members(self, teacher_ids: List[int], packed_states: List[bytes],
+                         inputs, mode: str,
+                         shards: List[List[int]]) -> List[np.ndarray]:
+        """Unweighted member outputs of every teacher, in teacher order.
+
+        ``inputs`` may be a raw batch or a pre-packed blob; packing once
+        here shares the bytes across every shard task's pickle (skipped
+        entirely on in-process backends).
+        """
+        if isinstance(inputs, np.ndarray) and self._ship_payloads:
+            inputs = pack_array_list([inputs])
+        tasks = [EnsembleForwardTask(device_ids=[teacher_ids[i] for i in shard],
+                                     states=[packed_states[i] for i in shard],
+                                     inputs=inputs, mode=mode)
+                 for shard in shards]
+        results = self.backend.run_tasks(tasks)
+        return [member for shard_members in results for member in shard_members]
+
+    @staticmethod
+    def _reduce_members(members: List[np.ndarray], weights: List[float]) -> np.ndarray:
+        """Weighted mean over members with the serial loop's exact reduction
+        order/association (term-by-term, ascending teacher index)."""
+        total: Optional[np.ndarray] = None
+        for member, weight in zip(members, weights):
+            term = member * float(weight)
+            total = term if total is None else total + term
+        return total
+
+    def _sharded_ensemble_node(self, x: Tensor, teacher_ids: List[int],
+                               packed_states: List[bytes], weights: List[float],
+                               mode: str, shards: List[List[int]]) -> Tensor:
+        """Backend-backed ensemble output wired into the autograd graph.
+
+        Forward fans member evaluation out as :class:`EnsembleForwardTask`
+        shards; backward fans the input-gradient computation out as
+        :class:`EnsembleVJPTask` shards and accumulates the per-teacher
+        contributions into ``x.grad`` in ascending teacher order — the same
+        order the serial graph's reversed topological sort produces — so
+        the generator step is bit-identical to the in-process path.
+        """
+        ship = self._ship_payloads
+        shared_inputs = pack_array_list([x.data]) if ship else x.data
+        members = self._sharded_members(teacher_ids, packed_states, shared_inputs,
+                                        mode, shards)
+        total = self._reduce_members(members, weights)
+        backend = self.backend
+
+        def factory(out: Tensor):
+            def backward() -> None:
+                if not x.requires_grad:
+                    return
+                upstream = np.asarray(out.grad, dtype=np.float64)
+                if ship:
+                    upstream = pack_array_list([upstream])
+                tasks = [EnsembleVJPTask(device_ids=[teacher_ids[i] for i in shard],
+                                         states=[packed_states[i] for i in shard],
+                                         weights=[weights[i] for i in shard],
+                                         inputs=shared_inputs, upstream=upstream,
+                                         mode=mode)
+                         for shard in shards]
+                for shard_grads in backend.run_tasks(tasks):
+                    for grad in shard_grads:
+                        x._accumulate(grad)
+
+            return backward
+
+        return Tensor._make(np.asarray(total), (x,), factory)
+
+    # ------------------------------------------------------------------ #
     # Phase 2: global model -> on-device models (Eq. 8)
     # ------------------------------------------------------------------ #
     def transfer_to_devices(self, device_models: Dict[int, ClassificationModel],
@@ -161,33 +332,22 @@ class ZeroShotDistiller:
         if not device_models:
             raise ValueError("transfer requires at least one device model")
         iterations = iterations if iterations is not None else self.config.effective_transfer_iterations
-        transfer_losses: List[float] = []
-        updates = 0
 
         self.global_model.eval()
         self.generator.eval()
         optimizers = {
-            device_id: SGD(model.parameters(), lr=self.config.device_distill_lr, momentum=0.9)
+            device_id: self.device_optimizer_for(device_id, model)
             for device_id, model in device_models.items()
         }
         for model in device_models.values():
             model.train()
 
-        for _ in range(iterations):
-            noise = self.generator.sample_noise(self.config.batch_size, self._rng)
-            with no_grad():
-                synthetic = self.generator(noise)
-                teacher_probs = self.global_model(synthetic).softmax(axis=-1)
-            inputs = Tensor(synthetic.data)
-            targets = Tensor(teacher_probs.data)
-            for device_id, model in device_models.items():
-                student_logits = model(inputs)
-                loss = kl_divergence_loss(student_logits, targets)
-                optimizers[device_id].zero_grad()
-                loss.backward()
-                optimizers[device_id].step()
-                transfer_losses.append(loss.item())
-                updates += self._count_parameters(model)
+        if self.sharding_active:
+            transfer_losses, updates = self._transfer_sharded(device_models, optimizers,
+                                                              iterations)
+        else:
+            transfer_losses, updates = self._transfer_serial(device_models, optimizers,
+                                                             iterations)
 
         self.global_model.train()
         self.generator.train()
@@ -197,13 +357,89 @@ class ZeroShotDistiller:
             parameter_updates=updates,
         )
 
+    def _synthesize_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One synthetic input batch and its global-model soft targets."""
+        noise = self.generator.sample_noise(self.config.batch_size, self._rng)
+        with no_grad():
+            synthetic = self.generator(noise)
+            teacher_probs = self.global_model(synthetic).softmax(axis=-1)
+        return synthetic.data, teacher_probs.data
+
+    def _transfer_serial(self, device_models: Dict[int, ClassificationModel],
+                         optimizers: Dict[int, SGD],
+                         iterations: int) -> Tuple[List[float], int]:
+        transfer_losses: List[float] = []
+        updates = 0
+        for _ in range(iterations):
+            batch, target = self._synthesize_batch()
+            inputs = Tensor(batch)
+            targets = Tensor(target)
+            for device_id, model in device_models.items():
+                student_logits = model(inputs)
+                loss = kl_divergence_loss(student_logits, targets)
+                optimizers[device_id].zero_grad()
+                loss.backward()
+                optimizers[device_id].step()
+                transfer_losses.append(loss.item())
+                updates += self._count_parameters(model)
+        return transfer_losses, updates
+
+    def _transfer_sharded(self, device_models: Dict[int, ClassificationModel],
+                          optimizers: Dict[int, SGD],
+                          iterations: int) -> Tuple[List[float], int]:
+        """Backend-sharded Phase 2: one distill task per shard of devices.
+
+        The per-iteration synthetic batches are precomputed on the driver
+        (consuming the noise RNG in the serial order), every shard consumes
+        the same batches, and the loss list is reassembled iteration-major
+        so ``transfer_loss`` reduces in the serial order.
+        """
+        device_order = list(device_models.keys())
+        batches: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for _ in range(iterations):
+            batch, target = self._synthesize_batch()
+            batches.append(batch)
+            targets.append(target)
+
+        shards = partition_shards(device_order, self.config.server_shards)
+        # Pack the shared batch/target payloads once; every shard task's
+        # pickle then reuses the same blobs instead of re-serializing them.
+        # In-process backends skip packing (tasks are never pickled).
+        ship = self._ship_payloads
+        packed_inputs = pack_array_list(batches) if ship else batches
+        packed_targets = pack_array_list(targets) if ship else targets
+        tasks = [DeviceDistillTask(
+            device_ids=list(shard),
+            states=[device_models[device_id].state_dict() for device_id in shard],
+            velocities=[optimizers[device_id].velocity_state() for device_id in shard],
+            inputs=packed_inputs, targets=packed_targets,
+            lr=self.config.device_distill_lr, momentum=0.9,
+        ) for shard in shards]
+        results = self.backend.run_tasks(tasks)
+
+        losses_by_device: Dict[int, List[float]] = {}
+        for result in results:
+            for index, device_id in enumerate(result.device_ids):
+                device_models[device_id].load_state_dict(result.state_dict_for(index))
+                optimizers[device_id].load_velocity_state(result.velocity_for(index))
+                losses_by_device[device_id] = result.losses[index]
+
+        transfer_losses = [losses_by_device[device_id][iteration]
+                           for iteration in range(iterations)
+                           for device_id in device_order]
+        updates = iterations * sum(self._count_parameters(model)
+                                   for model in device_models.values())
+        return transfer_losses, updates
+
     # ------------------------------------------------------------------ #
     # Full server update (Algorithm 3)
     # ------------------------------------------------------------------ #
     def server_update(self, device_models: Dict[int, ClassificationModel]) -> DistillationReport:
         """Run both phases and return the merged metrics."""
         teachers = list(device_models.values())
-        phase1 = self.adversarial_distillation(teachers)
+        phase1 = self.adversarial_distillation(teachers,
+                                               teacher_ids=list(device_models.keys()))
         phase2 = self.transfer_to_devices(device_models)
         return DistillationReport(
             generator_loss=phase1["generator_loss"],

@@ -140,13 +140,15 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
                          distillation_loss: str = "sl", seed: int = 0,
                          rounds: int = None, local_epochs: int = None,
                          distillation_iterations: int = None,
+                         server_shards: int = 1,
                          scheduler: SchedulerConfig = None,
                          heterogeneity: HeterogeneityConfig = None) -> FederatedConfig:
     """Build a :class:`FederatedConfig` for a dataset family at a given scale.
 
     ``scheduler`` / ``heterogeneity`` select the round-scheduling policy and
     the device timing model (both default to the synchronous, homogeneous
-    historical behaviour).
+    historical behaviour); ``server_shards > 1`` dispatches the FedZKT
+    server update through the execution backend in that many shards.
     """
     server = ServerConfig(
         distillation_iterations=(distillation_iterations
@@ -157,6 +159,7 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
         global_lr=scale.global_lr,
         device_distill_lr=scale.device_distill_lr,
         distillation_loss=distillation_loss,
+        server_shards=server_shards,
     )
     return FederatedConfig(
         num_devices=num_devices if num_devices is not None else scale.num_devices,

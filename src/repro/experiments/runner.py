@@ -106,7 +106,8 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                scheduler: Optional[str] = None, deadline: Optional[float] = None,
                buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
                latency_mean: Optional[float] = None,
-               dropout_rate: Optional[float] = None) -> TrainingHistory:
+               dropout_rate: Optional[float] = None,
+               server_shards: Optional[int] = None) -> TrainingHistory:
     """Run FedZKT on a named dataset and return its training history."""
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
@@ -116,6 +117,7 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                                   participation_fraction=participation_fraction,
                                   prox_mu=prox_mu, distillation_loss=distillation_loss,
                                   seed=seed, rounds=rounds,
+                                  server_shards=server_shards if server_shards is not None else 1,
                                   scheduler=scheduler_config,
                                   heterogeneity=heterogeneity_config)
     train, test = load_dataset(dataset_name, train_size=scale.train_size,

@@ -39,10 +39,12 @@ import numpy as np
 from ..datasets.base import ImageDataset
 from ..models.base import ClassificationModel
 from ..utils.serialization import (
+    StateLike,
+    as_array_list,
+    as_state_dict,
     pack_array_list,
     pack_state_dict,
     unpack_array_list,
-    unpack_state_dict,
 )
 from .trainer import (
     DeviceTrainingConfig,
@@ -137,16 +139,10 @@ def execute_task(task):
 # Task payloads hold parameter state as a plain dict in-process and are
 # packed into the npz wire format only when they actually cross a process
 # boundary (``__getstate__`` below), so the serial backend pays zero
-# serialization cost while the parallel path stays lossless.
-StateLike = Union[bytes, Dict[str, np.ndarray]]
-
-
-def _as_state_dict(state: StateLike) -> Dict[str, np.ndarray]:
-    return unpack_state_dict(state) if isinstance(state, bytes) else state
-
-
-def _as_array_list(arrays) -> Optional[List[np.ndarray]]:
-    return unpack_array_list(arrays) if isinstance(arrays, bytes) else arrays
+# serialization cost while the parallel path stays lossless.  The
+# ``StateLike`` alias and the bytes-vs-dict/list coercions are shared with
+# the server-side shard tasks (:mod:`repro.core.server_tasks`) via
+# :mod:`repro.utils.serialization`.
 
 
 # --------------------------------------------------------------------------- #
@@ -212,7 +208,7 @@ class LocalTrainTask(_PacksStateOnPickle):
 
     def run(self, context: WorkerContext) -> "LocalTrainResult":
         model = context.model_for(self.device_id)
-        model.load_state_dict(_as_state_dict(self.state))
+        model.load_state_dict(as_state_dict(self.state))
         config = context.train_configs[self.device_id]
         rng = np.random.default_rng()
         rng.bit_generator.state = self.rng_state
@@ -229,7 +225,7 @@ class LocalTrainTask(_PacksStateOnPickle):
                 batch_size=self.digest.batch_size, epochs=self.digest.epochs,
                 rng=np.random.default_rng(self.digest.seed))
 
-        anchor = _as_array_list(self.anchor)
+        anchor = as_array_list(self.anchor)
         report = local_sgd_train(model, context.shards[self.device_id], self.epochs,
                                  config, rng, anchor=anchor, device_id=self.device_id)
         return LocalTrainResult(
@@ -252,7 +248,7 @@ class LocalTrainResult(_PacksStateOnPickle):
     digest_loss: Optional[float] = None
 
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return _as_state_dict(self.state)
+        return as_state_dict(self.state)
 
 
 @dataclass
@@ -267,7 +263,7 @@ class EvaluateTask(_PacksStateOnPickle):
         if context.eval_dataset is None:
             raise RuntimeError("evaluate task requires an eval dataset in the worker context")
         model = context.model_for(self.device_id)
-        model.load_state_dict(_as_state_dict(self.state))
+        model.load_state_dict(as_state_dict(self.state))
         return evaluate_accuracy(model, context.eval_dataset, batch_size=self.batch_size)
 
 
@@ -283,7 +279,7 @@ class PublicLogitsTask(_PacksStateOnPickle):
         if context.public_dataset is None:
             raise RuntimeError("public-logits task requires a public dataset in the worker context")
         model = context.model_for(self.device_id)
-        model.load_state_dict(_as_state_dict(self.state))
+        model.load_state_dict(as_state_dict(self.state))
         return compute_public_logits(model, context.public_dataset, batch_size=self.batch_size)
 
 
@@ -301,6 +297,13 @@ class ExecutionBackend:
     """
 
     name = "base"
+
+    #: Whether tasks cross a process (or machine) boundary and therefore
+    #: get pickled.  Dispatchers that pre-pack payloads shared by several
+    #: tasks (the sharded server update) consult this to skip packing
+    #: entirely on in-process backends, preserving the zero-serialization
+    #: guarantee of serial execution.
+    ships_payloads = False
 
     def start(self, context: Optional[WorkerContext] = None) -> None:
         raise NotImplementedError
@@ -374,6 +377,7 @@ class ProcessPoolBackend(ExecutionBackend):
     """
 
     name = "process"
+    ships_payloads = True
 
     def __init__(self, max_workers: Optional[int] = None,
                  start_method: Optional[str] = None) -> None:

@@ -134,6 +134,14 @@ class ServerConfig:
         steps per generator step keeps the adversarial game from saturating
         at small iteration budgets (an implementation detail documented in
         DESIGN.md; set to 1 for the literal algorithm).
+    server_shards:
+        Number of shards the server update is split into when dispatched
+        through the simulation's execution backend (``1`` keeps the
+        historical in-process path).  Teacher-ensemble evaluation (Phase 1)
+        and per-device back-transfer (Phase 2) shard over models; results
+        are reduced on the driver in model order, so sharded and serial
+        server updates are bit-identical (see
+        :mod:`repro.core.server_tasks`).
     """
 
     distillation_iterations: int = 20
@@ -147,10 +155,20 @@ class ServerConfig:
     noise_dim: int = 64
     distillation_loss: str = "sl"
     global_steps_per_generator_step: int = 5
+    server_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.server_shards < 1:
+            raise ValueError("server_shards must be at least 1")
 
     @property
     def effective_transfer_iterations(self) -> int:
         return self.transfer_iterations if self.transfer_iterations is not None else self.distillation_iterations
+
+    @property
+    def shard_server_update(self) -> bool:
+        """Whether the server update should be dispatched through the backend."""
+        return self.server_shards > 1
 
 
 @dataclass(frozen=True)
@@ -232,6 +250,8 @@ class FederatedConfig:
             "server_batch_size": self.server.batch_size,
             "scheduler": self.scheduler.kind,
         }
+        if self.server.server_shards > 1:
+            summary["server_shards"] = self.server.server_shards
         if self.scheduler.kind == "deadline":
             summary["deadline"] = self.scheduler.deadline
         if self.scheduler.kind == "async":

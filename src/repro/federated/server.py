@@ -86,6 +86,18 @@ class FederatedServer:
         self.last_metrics: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
+    # Execution-backend plumbing
+    # ------------------------------------------------------------------ #
+    def bind_backend(self, backend) -> None:
+        """Receive the engine's execution backend (called by
+        ``RoundEngine.ensure_backend``).
+
+        Servers whose aggregation can shard work across workers — FedZKT's
+        zero-shot distillation — override this; the default server-side
+        aggregation rules are cheap and ignore it.
+        """
+
+    # ------------------------------------------------------------------ #
     # Round phases
     # ------------------------------------------------------------------ #
     def collect(self, device_id: int, state: Dict[str, np.ndarray],

@@ -89,10 +89,18 @@ class RoundEngine:
         raise NotImplementedError
 
     def ensure_backend(self) -> None:
-        """Build the worker context lazily and (re)start the backend with it."""
+        """Build the worker context lazily and (re)start the backend with it.
+
+        Also hands the backend to the server (``bind_backend``) so servers
+        that shard their aggregation — FedZKT's server update — dispatch
+        through the same worker pool as the device phases.
+        """
         if self._context is None:
             self._context = self._build_context()
         self.backend.start(self._context)
+        server = getattr(self, "server", None)
+        if server is not None:
+            server.bind_backend(self.backend)
         self._closed = False
 
     def close(self) -> None:

@@ -78,6 +78,24 @@ class SGD(Optimizer):
                 grad = self._velocity[index]
             param.data = param.data - self.lr * grad
 
+    def velocity_state(self) -> List[np.ndarray]:
+        """Momentum buffers as plain arrays (zeros for never-stepped parameters).
+
+        Representing an uninitialized buffer as zeros is bit-exact: the next
+        ``step`` computes ``momentum * 0 + grad == grad`` either way.  Used
+        by the sharded server update to ship optimizer state to workers.
+        """
+        return [np.zeros_like(param.data) if velocity is None else velocity
+                for velocity, param in zip(self._velocity, self.parameters)]
+
+    def load_velocity_state(self, buffers: Sequence[np.ndarray]) -> None:
+        """Install momentum buffers previously produced by :meth:`velocity_state`."""
+        buffers = list(buffers)
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} momentum buffers, got {len(buffers)}")
+        self._velocity = [np.asarray(buffer, dtype=np.float64) for buffer in buffers]
+
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba), used for the server-side generator."""

@@ -25,11 +25,19 @@ if TYPE_CHECKING:  # avoid a circular import: federated.backend uses this module
 __all__ = [
     "save_history_json",
     "load_history_json",
+    "StateLike",
     "pack_state_dict",
     "unpack_state_dict",
     "pack_array_list",
     "unpack_array_list",
+    "as_state_dict",
+    "as_array_list",
 ]
+
+#: A parameter payload on either side of the wire: a plain state dict
+#: in-process, or a packed npz blob once it has crossed (or is about to
+#: cross) a process boundary.
+StateLike = Union[bytes, Dict[str, np.ndarray]]
 
 
 # --------------------------------------------------------------------------- #
@@ -66,6 +74,16 @@ def unpack_array_list(blob: Optional[bytes]) -> Optional[List[np.ndarray]]:
         return None
     state = unpack_state_dict(blob)
     return [state[key] for key in sorted(state)]
+
+
+def as_state_dict(state: StateLike) -> Dict[str, np.ndarray]:
+    """Coerce a wire-format payload to a plain state dict (no-op in-process)."""
+    return unpack_state_dict(state) if isinstance(state, bytes) else state
+
+
+def as_array_list(value) -> Optional[List[np.ndarray]]:
+    """Coerce a wire-format payload to a list of arrays (no-op in-process)."""
+    return unpack_array_list(value) if isinstance(value, bytes) else value
 
 
 def save_history_json(history: "TrainingHistory", path: Union[str, Path]) -> Path:

@@ -121,9 +121,13 @@ class TestKnowledgeTransferQuality:
         """After a few rounds, mean on-device accuracy is clearly above chance,
         i.e. bidirectional transfer does not destroy local learning."""
         train, test = rgb_data
+        # distill lr 0.01: back-transfer momentum persists across rounds, so
+        # its steady-state step is ~1/(1-momentum) times the lr; 0.02 was
+        # calibrated for the old per-round optimizer reset and over-distills
+        # at this micro scale.
         config = _config(rounds=3, local_epochs=2,
                          server=ServerConfig(distillation_iterations=10, batch_size=8,
-                                             noise_dim=16, device_distill_lr=0.02))
+                                             noise_dim=16, device_distill_lr=0.01))
         models = [SimpleCNN((3, 8, 8), 4, channels=(4, 8), hidden_size=16, seed=i)
                   for i in range(3)]
         simulation = build_fedzkt(train, test, config, family="small", device_models=models)

@@ -131,3 +131,22 @@ def test_experiment_command_micro(monkeypatch, tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "Compute-split ablation" in printed
     assert (out_dir / "compute_split.json").exists()
+
+
+def test_server_shards_flag_requires_fedzkt():
+    with pytest.raises(SystemExit, match="--algorithm fedzkt"):
+        cli.main(["run", "mnist", "--algorithm", "fedmd", "--server-shards", "2",
+                  "--quiet"])
+    with pytest.raises(SystemExit, match="at least 1"):
+        cli.main(["run", "mnist", "--server-shards", "0", "--quiet"])
+
+
+def test_run_command_with_server_shards(monkeypatch, tmp_path):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--scale", "tiny", "--rounds", "1",
+                     "--server-shards", "2", "--output", str(output), "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["config"]["server_shards"] == 2
+    assert len(payload["rounds"]) == 1
