@@ -10,12 +10,9 @@ mean on-device accuracy; the trained generator should do at least as well.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import ZeroShotDistiller, build_fedzkt
+from repro.core import build_fedzkt
 from repro.datasets import load_dataset
 from repro.experiments import federated_config_for, get_scale
-from repro.federated import evaluate_model
 from repro.models import build_generator
 
 from conftest import run_once

@@ -1,0 +1,255 @@
+"""Strategy-indirection overhead: the new engine vs a hard-wired round loop.
+
+ISSUE 4 rebuilt the algorithm layer around a ``Strategy`` protocol: the
+scheduler drives the generic ``Simulation`` engine, which delegates each
+round phase to the strategy (one extra method hop per phase, plus the
+``on_round_start``/``on_round_end`` lifecycle template).  This benchmark
+quantifies what that indirection costs per round for fedzkt / fedavg /
+fedmd by running the same workload two ways:
+
+* **engine** — through ``Simulation.run`` (scheduler → engine → strategy),
+  i.e. the shipping path;
+* **direct** — an inline transcription of the synchronous round loop that
+  calls the strategy's phase methods directly, reproducing the call depth
+  of the PR 3 engine (phases hard-wired as simulation methods, no
+  delegation layer, no lifecycle template).
+
+Both paths produce bit-identical histories (asserted); the acceptance
+criterion is that the per-round delta is within run-to-run noise.  A
+microbenchmark of the bare delegation hop (engine → strategy vs direct
+strategy call) is included for scale: the hop costs ~100 ns against rounds
+measured in tens of milliseconds.
+
+Not a pytest file on purpose (no ``test_`` prefix): run it directly with
+
+    PYTHONPATH=src python benchmarks/bench_strategy_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import timeit
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines import build_fedavg, build_fedmd  # noqa: E402
+from repro.core import build_fedzkt  # noqa: E402
+from repro.datasets import SyntheticImageConfig, SyntheticImageGenerator  # noqa: E402
+from repro.federated import FederatedConfig, ServerConfig, UploadMeta  # noqa: E402
+from repro.federated.history import RoundRecord  # noqa: E402
+from repro.models import ModelSpec  # noqa: E402
+
+
+def _data(train=160, test=60):
+    config = SyntheticImageConfig(name="bench-strat", num_classes=4, channels=3, height=8,
+                                  width=8, family_seed=21, noise_level=0.2, max_shift=1,
+                                  modes_per_class=1, background_strength=0.2)
+    generator = SyntheticImageGenerator(config)
+    return generator.sample(train, seed=1), generator.sample(test, seed=2)
+
+
+def _public():
+    config = SyntheticImageConfig(name="bench-strat-public", num_classes=4, channels=3,
+                                  height=8, width=8, family_seed=77, modes_per_class=1)
+    return SyntheticImageGenerator(config).sample(60, seed=5)
+
+
+def _config(rounds):
+    return FederatedConfig(
+        num_devices=4, rounds=rounds, local_epochs=1, batch_size=16, device_lr=0.05,
+        seed=7,
+        server=ServerConfig(distillation_iterations=4, batch_size=8, noise_dim=16,
+                            device_distill_lr=0.02),
+    )
+
+
+def _build(algorithm, rounds):
+    train, test = _data()
+    config = _config(rounds)
+    if algorithm == "fedzkt":
+        return build_fedzkt(train, test, config, family="small")
+    if algorithm == "fedavg":
+        return build_fedavg(train, test, config,
+                            model_spec=ModelSpec("cnn", {"channels": (4, 8),
+                                                         "hidden_size": 16}))
+    if algorithm == "fedmd":
+        return build_fedmd(train, test, _public(), config, family="small")
+    raise ValueError(algorithm)
+
+
+def run_engine(algorithm, rounds):
+    """The shipping path: scheduler → Simulation → Strategy.
+
+    Backend start and the ``on_run_start`` warm-up (FedMD trains every
+    device once before communicating) happen outside the timed region so
+    both paths time exactly ``rounds`` scheduler rounds.
+    """
+    with _build(algorithm, rounds) as simulation:
+        simulation.ensure_backend()
+        simulation.strategy.on_run_start(rounds)
+        start = time.perf_counter()
+        history = simulation.scheduler.run(simulation, rounds,
+                                           state=simulation._scheduler_state())
+        elapsed = time.perf_counter() - start
+    return elapsed / rounds, history
+
+
+def run_direct(algorithm, rounds):
+    """Inline synchronous loop calling the strategy phases directly.
+
+    Phase-for-phase transcription of ``SynchronousScheduler._run_round`` +
+    ``Simulation.evaluate_round`` with the engine delegation layer and the
+    lifecycle template removed — the call depth of the pre-strategy (PR 3)
+    engine, whose phases were hard-wired simulation methods.
+    """
+    simulation = _build(algorithm, rounds)
+    strategy = simulation.strategy
+    with simulation:
+        simulation.ensure_backend()
+        strategy.on_run_start(rounds)
+        start = time.perf_counter()
+        hetero = simulation.heterogeneity
+        now = 0.0
+        for round_index in range(1, rounds + 1):
+            sampled = strategy.sample(round_index)
+            active = hetero.filter_available(sampled, round_index)
+            tasks = strategy.device_tasks(active, round_index)
+            results = simulation.backend.run_tasks(tasks)
+            losses, meta, durations = [], {}, []
+            for device_id, result in zip(active, results):
+                duration = hetero.duration(device_id, round_index)
+                durations.append(duration)
+                upload = UploadMeta(device_id=device_id, dispatch_round=round_index,
+                                    arrival_time=now + duration)
+                losses.append(strategy.process_result(result, upload))
+                meta[device_id] = upload
+            strategy.aggregate(round_index, active, meta)
+            strategy.broadcast(None)
+            now += max(durations) if durations else 1.0
+
+            record = RoundRecord(round_index=round_index, active_devices=list(active),
+                                 sim_time=now)
+            record.local_loss = float(np.mean(losses)) if losses else None
+            record.global_accuracy = strategy.evaluate_global(simulation.test_dataset)
+            eval_tasks = [device.evaluate_task() for device in simulation.devices]
+            accuracies = simulation.backend.run_tasks(eval_tasks)
+            for device, accuracy in zip(simulation.devices, accuracies):
+                record.device_accuracies[device.device_id] = accuracy
+            record.server_metrics = dict(strategy.round_metrics())
+            simulation.history.append(record)
+        elapsed = time.perf_counter() - start
+    return elapsed / rounds, simulation.history
+
+
+def histories_match(first, second):
+    if len(first) != len(second):
+        return False
+    for record_a, record_b in zip(first.records, second.records):
+        if (record_a.active_devices != record_b.active_devices
+                or record_a.global_accuracy != record_b.global_accuracy
+                or record_a.local_loss != record_b.local_loss
+                or record_a.device_accuracies != record_b.device_accuracies
+                or record_a.server_metrics != record_b.server_metrics
+                or record_a.sim_time != record_b.sim_time):
+            return False
+    return True
+
+
+def dispatch_hop_nanoseconds():
+    """Cost of the one extra delegation hop the engine adds per phase call."""
+    class _Strategy:
+        def phase(self):
+            return 0
+
+    class _Engine:
+        def __init__(self):
+            self.strategy = _Strategy()
+
+        def phase(self):
+            return self.strategy.phase()
+
+    engine = _Engine()
+    number = 200_000
+    direct = min(timeit.repeat(engine.strategy.phase, number=number, repeat=5)) / number
+    delegated = min(timeit.repeat(engine.phase, number=number, repeat=5)) / number
+    return (delegated - direct) * 1e9
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer rounds/repeats (sanity check, not a real measurement)")
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_strategy_overhead.json"))
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds if args.rounds is not None else (2 if args.quick else 4)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+
+    hop_ns = dispatch_hop_nanoseconds()
+    print(f"delegation hop: {hop_ns:.0f} ns per phase call\n")
+
+    results = {}
+    for algorithm in ("fedzkt", "fedavg", "fedmd"):
+        engine_times, direct_times = [], []
+        parity = True
+        for _ in range(repeats):
+            engine_s, engine_history = run_engine(algorithm, rounds)
+            direct_s, direct_history = run_direct(algorithm, rounds)
+            engine_times.append(engine_s)
+            direct_times.append(direct_s)
+            parity = parity and histories_match(engine_history, direct_history)
+        engine_best = min(engine_times)
+        direct_best = min(direct_times)
+        overhead_ms = (engine_best - direct_best) * 1e3
+        spread_ms = (max(engine_times) - min(engine_times)) * 1e3 if repeats > 1 else None
+        results[algorithm] = {
+            "engine_s_per_round": engine_best,
+            "direct_s_per_round": direct_best,
+            "overhead_ms_per_round": overhead_ms,
+            "overhead_ratio": engine_best / direct_best if direct_best else None,
+            "engine_run_spread_ms": spread_ms,
+            "history_parity": parity,
+        }
+        spread = f", run spread {spread_ms:.2f} ms" if spread_ms is not None else ""
+        print(f"[{algorithm}] engine {engine_best * 1e3:.1f} ms/round, "
+              f"direct {direct_best * 1e3:.1f} ms/round, "
+              f"delta {overhead_ms:+.2f} ms{spread}, parity={parity}")
+
+    payload = {
+        "benchmark": "strategy_overhead",
+        "rounds": rounds,
+        "repeats": repeats,
+        "dispatch_hop_ns": hop_ns,
+        "results": results,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {output}")
+    broken = [name for name, entry in results.items() if not entry["history_parity"]]
+    if broken:
+        # Engine/strategy drift is exactly what this benchmark exists to
+        # catch — fail the CI step, don't just record it.
+        print(f"ERROR: engine and direct histories diverged for: {', '.join(broken)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,18 @@ This is the smallest end-to-end use of the public API:
    global model and generator, IID data partitioning;
 3. run a few communication rounds and print the learning curve.
 
-Run with:  python examples/quickstart.py
+Since the Strategy redesign, every algorithm runs through the same generic
+``Simulation`` engine with a pluggable strategy: swap ``build_fedzkt`` for
+``build_fedavg`` / ``build_fedmd`` / ``build_standalone`` (or any strategy
+registered via ``repro.federated.register_strategy``) and everything else
+here stays the same.  The equivalent CLI one-liner is::
+
+    repro run mnist --algorithm fedzkt --rounds 3
+
+Run with:  python examples/quickstart.py [--rounds N]
 """
+
+import argparse
 
 from repro.core import build_fedzkt
 from repro.datasets import load_dataset
@@ -16,16 +26,21 @@ from repro.federated import FederatedConfig, ServerConfig
 from repro.utils import Timer
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="FedZKT quickstart")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="communication rounds (default: 3)")
+    args = parser.parse_args(argv)
+
     # A small synthetic MNIST stand-in (1x16x16 images, 10 classes).
     train, test = load_dataset("mnist", train_size=1200, test_size=300, seed=0)
     print(f"train: {train.describe()}")
     print(f"test:  {test.describe()}")
 
-    # Five devices, three communication rounds, server-side zero-shot distillation.
+    # Five devices, server-side zero-shot distillation.
     config = FederatedConfig(
         num_devices=5,
-        rounds=3,
+        rounds=args.rounds,
         local_epochs=3,
         batch_size=32,
         device_lr=0.05,
@@ -34,7 +49,9 @@ def main() -> None:
     )
 
     simulation = build_fedzkt(train, test, config, family="small")
-    print("\nOn-device models (independently designed, heterogeneous):")
+    print(f"\nstrategy: {simulation.strategy.name} "
+          f"(schedulers: {', '.join(simulation.strategy.supports_schedulers)})")
+    print("On-device models (independently designed, heterogeneous):")
     for device in simulation.devices:
         print(f"  {device.describe()}")
     print(f"server global model: {simulation.server.global_model.describe()}")

@@ -6,17 +6,27 @@
 * standalone lower/upper bounds (Table III).
 """
 
-from .fedavg import FedAvgServer, build_fedavg, build_fedprox
-from .fedmd import FedMDSimulation, build_fedmd
-from .standalone import StandaloneBounds, compute_bounds, train_standalone
+from .fedavg import FedAvgServer, FedAvgStrategy, build_fedavg, build_fedprox
+from .fedmd import FedMDSimulation, FedMDStrategy, build_fedmd
+from .standalone import (
+    StandaloneBounds,
+    StandaloneStrategy,
+    build_standalone,
+    compute_bounds,
+    train_standalone,
+)
 
 __all__ = [
     "FedAvgServer",
+    "FedAvgStrategy",
     "build_fedavg",
     "build_fedprox",
     "FedMDSimulation",
+    "FedMDStrategy",
     "build_fedmd",
     "StandaloneBounds",
+    "StandaloneStrategy",
+    "build_standalone",
     "compute_bounds",
     "train_standalone",
 ]

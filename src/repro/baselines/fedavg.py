@@ -3,10 +3,12 @@
 The paper positions FedZKT against the classical parameter-averaging
 paradigm, which requires every device to run the *same* architecture.
 These reference implementations reuse the generic Device / Server /
-Simulation substrate: the server element-wise averages the uploaded
-parameters (weighted by shard size) and broadcasts the result.  FedProx is
-FedAvg plus the on-device ℓ2 proximal term (``prox_mu > 0``), the same
-mechanism FedZKT adapts for its non-IID regularizer (Eq. 9).
+Strategy / Simulation substrate: the server element-wise averages the
+uploaded parameters (weighted by shard size) and broadcasts the result.
+FedProx is FedAvg plus the on-device ℓ2 proximal term (``prox_mu > 0``),
+the same mechanism FedZKT adapts for its non-IID regularizer (Eq. 9).
+``FedAvgStrategy`` is the registry plugin behind
+``repro run --algorithm fedavg``.
 """
 
 from __future__ import annotations
@@ -22,13 +24,14 @@ from ..federated.config import FederatedConfig
 from ..federated.device import Device
 from ..federated.sampling import DeviceSampler
 from ..federated.server import FederatedServer
-from ..federated.simulation import FederatedSimulation
+from ..federated.simulation import Simulation
+from ..federated.strategy import ParameterServerStrategy
 from ..models.base import ClassificationModel
 from ..models.registry import ModelSpec, build_model
 from ..partition.base import Partitioner
 from ..partition.iid import IIDPartitioner
 
-__all__ = ["FedAvgServer", "build_fedavg", "build_fedprox"]
+__all__ = ["FedAvgServer", "FedAvgStrategy", "build_fedavg", "build_fedprox"]
 
 
 class FedAvgServer(FederatedServer):
@@ -101,11 +104,28 @@ class FedAvgServer(FederatedServer):
         return self._payload
 
 
+class FedAvgStrategy(ParameterServerStrategy):
+    """Classical parameter averaging (McMahan et al.): homogeneous devices
+    upload full parameters, the server computes a shard-size-weighted
+    average (staleness-discounted under reordering schedulers) and
+    broadcasts it back.  FedProx reuses this strategy with a non-zero
+    on-device proximal term (the ``fedprox`` labelling rides on ``name``).
+    """
+
+    name = "fedavg"
+    supports_schedulers = ("sync", "deadline", "async")
+    supports_server_shards = False
+
+    def __init__(self, server: FedAvgServer, name: Optional[str] = None) -> None:
+        super().__init__(server, name=name if name is not None else self.name)
+
+
 def _build_homogeneous(train_dataset: ImageDataset, test_dataset: ImageDataset,
                        config: FederatedConfig, model_spec: ModelSpec,
                        partitioner: Optional[Partitioner], sampler: Optional[DeviceSampler],
                        prox_mu: float,
-                       backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
+                       backend: Optional[ExecutionBackend] = None) -> Simulation:
+    config = config.with_strategy("fedavg")
     num_classes = train_dataset.num_classes
     input_shape = train_dataset.input_shape
     partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
@@ -122,8 +142,8 @@ def _build_homogeneous(train_dataset: ImageDataset, test_dataset: ImageDataset,
                               seed=config.seed + 1000 + index))
     weights = {device.device_id: float(len(device.dataset)) for device in devices}
     server = FedAvgServer(copy.deepcopy(reference), device_weights=weights)
-    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler,
-                               backend=backend)
+    return Simulation(devices, config, test_dataset, FedAvgStrategy(server),
+                      sampler=sampler, backend=backend)
 
 
 def build_fedavg(train_dataset: ImageDataset, test_dataset: ImageDataset,
@@ -131,7 +151,7 @@ def build_fedavg(train_dataset: ImageDataset, test_dataset: ImageDataset,
                  model_spec: ModelSpec = ModelSpec("cnn", {"channels": (16, 32)}),
                  partitioner: Optional[Partitioner] = None,
                  sampler: Optional[DeviceSampler] = None,
-                 backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
+                 backend: Optional[ExecutionBackend] = None) -> Simulation:
     """FedAvg: homogeneous devices, weighted parameter averaging, no proximal term."""
     return _build_homogeneous(train_dataset, test_dataset, config, model_spec,
                               partitioner, sampler, prox_mu=0.0, backend=backend)
@@ -142,10 +162,11 @@ def build_fedprox(train_dataset: ImageDataset, test_dataset: ImageDataset,
                   model_spec: ModelSpec = ModelSpec("cnn", {"channels": (16, 32)}),
                   partitioner: Optional[Partitioner] = None,
                   sampler: Optional[DeviceSampler] = None,
-                  backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
+                  backend: Optional[ExecutionBackend] = None) -> Simulation:
     """FedProx: FedAvg plus the on-device ℓ2 proximal regularizer."""
     simulation = _build_homogeneous(train_dataset, test_dataset, config, model_spec,
                                     partitioner, sampler, prox_mu=prox_mu, backend=backend)
     simulation.server.name = "fedprox"
+    simulation.strategy.name = "fedprox"
     simulation.history.algorithm = "fedprox"
     return simulation

@@ -16,18 +16,33 @@ depends on how close the public data is to the private distribution, which
 is exactly the sensitivity the paper demonstrates with the CIFAR-100 vs
 SVHN pairing (reproduced here with the synthetic close/far datasets).
 
-The implementation keeps the same Device / Server / Simulation interfaces
-as FedZKT, but the exchanged payloads are logit matrices rather than model
-parameters; the devices keep their own parameters throughout.  All
-device-side phases (logit computation, digest + revisit, evaluation) are
-dispatched as picklable tasks through an
+:class:`FedMDStrategy` implements the protocol as a registry plugin for the
+generic :class:`~repro.federated.simulation.Simulation` engine.  The
+exchanged payloads are logit matrices rather than model parameters; the
+devices keep their own parameters throughout.  All device-side phases
+(logit computation, digest + revisit, evaluation) are dispatched as
+picklable tasks through an
 :class:`~repro.federated.backend.ExecutionBackend`, so the round fans out
 across worker processes when a parallel backend is selected — with
 bit-identical results to the serial path.
+
+Partial consensus
+-----------------
+Classic FedMD is lockstep: the consensus averages *every* active device's
+scores, which is why it historically refused the deadline/async schedulers.
+This implementation relaxes that: the consensus is computed over the
+*dispatch cohort* — whichever sampled devices are free and available when
+the scheduler dispatches work.  Under the synchronous scheduler the cohort
+is all active devices, reproducing classic (full-consensus) FedMD bit for
+bit; under the ``deadline`` and ``async`` schedulers the cohort is partial
+and each straggler digests the (possibly stale) consensus its dispatch
+batch agreed on — a *partial-consensus* FedMD that keeps every timing draw
+keyed and deterministic.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -37,76 +52,60 @@ from ..federated.backend import (
     DigestSpec,
     ExecutionBackend,
     PublicLogitsTask,
-    WorkerContext,
-    build_worker_context,
 )
 from ..federated.config import FederatedConfig
 from ..federated.device import Device
-from ..federated.history import RoundRecord, TrainingHistory
-from ..federated.sampling import DeviceSampler, UniformSampler
+from ..federated.sampling import DeviceSampler
 from ..federated.scheduler import RoundScheduler
 from ..federated.server import UploadMeta
-from ..federated.simulation import RoundEngine
-from ..federated.trainer import compute_public_logits, digest_on_public
+from ..federated.simulation import Simulation
+from ..federated.strategy import Strategy
 from ..models.base import ClassificationModel
 from ..partition.base import Partitioner
 from ..partition.iid import IIDPartitioner
+from ..federated.trainer import compute_public_logits, digest_on_public
 
-__all__ = ["FedMDSimulation", "build_fedmd"]
+__all__ = ["FedMDStrategy", "FedMDSimulation", "build_fedmd"]
 
 
-class FedMDSimulation(RoundEngine):
-    """End-to-end FedMD training loop (scheduler-driven round engine).
+class FedMDStrategy(Strategy):
+    """Public-dataset logit-consensus distillation (FedMD, Li & Wang 2019).
 
     Parameters
     ----------
-    devices:
-        Federated devices with heterogeneous models and private shards.
     public_dataset:
         The shared public dataset (labels are not used; only inputs).
-    config:
-        Federated configuration; ``config.server.device_distill_lr`` is the
-        digest-phase learning rate and ``config.local_epochs`` the revisit
-        epochs.
-    test_dataset:
-        Held-out test set for per-round evaluation.
     digest_epochs:
-        Passes over the public dataset during the digest phase.
-    backend:
-        Execution backend for device-side work (default: serial).  A
-        backend passed in explicitly is owned by the caller; an internally
-        created default is released by :meth:`close` / ``with``-exit.
+        Passes over the public dataset during the digest phase;
+        ``config.server.device_distill_lr`` is the digest learning rate and
+        ``config.local_epochs`` the revisit epochs.
     """
 
     name = "fedmd"
+    #: Under ``deadline``/``async`` the consensus is computed over the
+    #: dispatch cohort (partial consensus, see the module docstring).
+    supports_schedulers = ("sync", "deadline", "async")
+    supports_server_shards = False
+    uses_public_dataset = True
 
-    #: FedMD's consensus phase needs every active upload before the digest
-    #: can start, so only the synchronous scheduler applies.
-    supports_async = False
-
-    def __init__(self, devices: Sequence[Device], public_dataset: ImageDataset,
-                 config: FederatedConfig, test_dataset: ImageDataset,
-                 sampler: Optional[DeviceSampler] = None, digest_epochs: int = 1,
-                 backend: Optional[ExecutionBackend] = None,
-                 scheduler: Optional[RoundScheduler] = None) -> None:
-        if not devices:
-            raise ValueError("at least one device is required")
-        self.devices = list(devices)
+    def __init__(self, public_dataset: ImageDataset, digest_epochs: int = 1) -> None:
+        super().__init__()
         self.public_dataset = public_dataset
-        self.config = config
-        self.test_dataset = test_dataset
-        self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
         self.digest_epochs = int(digest_epochs)
-        self._init_engine(config, backend, scheduler)
         self._round_digest_losses: List[float] = []
-        self.history = TrainingHistory(algorithm=self.name, config=config.describe())
 
-    def _build_context(self) -> WorkerContext:
-        return build_worker_context(self.devices, eval_dataset=self.test_dataset,
-                                    public_dataset=self.public_dataset)
+    # ------------------------------------------------------------------ #
+    @property
+    def consensus_mode(self) -> str:
+        """``"full"`` under the synchronous scheduler, ``"partial"`` when a
+        reordering scheduler dispatches cohorts."""
+        simulation = self.simulation
+        if simulation is None or simulation.scheduler.name == "sync":
+            return "full"
+        return "partial"
 
     def _digest_seed(self, device_id: int) -> int:
-        return self.config.seed + 500 + device_id
+        return self.simulation.config.seed + 500 + device_id
 
     # ------------------------------------------------------------------ #
     # In-process helpers (kept for direct use and tests; same code paths
@@ -118,106 +117,109 @@ class FedMDSimulation(RoundEngine):
 
     def _digest(self, device: Device, consensus: np.ndarray) -> float:
         """Train the device model to match the consensus scores on public data."""
+        config = self.simulation.config
         return digest_on_public(
             device.model, self.public_dataset, consensus,
-            lr=self.config.server.device_distill_lr,
-            batch_size=self.config.batch_size, epochs=self.digest_epochs,
+            lr=config.server.device_distill_lr,
+            batch_size=config.batch_size, epochs=self.digest_epochs,
             rng=np.random.default_rng(self._digest_seed(device.device_id)))
 
     # ------------------------------------------------------------------ #
-    # Round phases (driven by the scheduler)
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def on_run_start(self, total_rounds: int) -> None:
+        """FedMD's transfer-learning warm-up: each device first trains on
+        its private data before any communication (fanned out through the
+        backend)."""
+        simulation = self.simulation
+        warmup_tasks = [device.local_train_task(simulation.config.local_epochs)
+                        for device in simulation.devices]
+        for result in simulation.backend.run_tasks(warmup_tasks):
+            simulation.devices[result.device_id].absorb_training_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Round phases
     # ------------------------------------------------------------------ #
     def device_tasks(self, device_ids: Sequence[int], round_index: int) -> List:
         """Communicate + aggregate consensus, then package digest + revisit.
 
         FedMD's knowledge carrier is the consensus over public-data scores,
         so the communicate/aggregate phases run *inside* task packaging: the
-        per-device class scores are collected through the backend, averaged,
-        and the resulting consensus rides along with each device's
-        digest-plus-revisit training task.
+        per-device class scores are collected through the backend, averaged
+        over the dispatch cohort, and the resulting consensus rides along
+        with each device's digest-plus-revisit training task.
         """
-        self._round_digest_losses = []
         if not device_ids:
             return []
+        simulation = self.simulation
         logit_tasks = [
             PublicLogitsTask(device_id=device_id,
-                             state=self.devices[device_id].model.state_dict())
+                             state=simulation.devices[device_id].model.state_dict())
             for device_id in device_ids
         ]
-        uploaded = self.backend.run_tasks(logit_tasks)
+        uploaded = simulation.backend.run_tasks(logit_tasks)
         consensus = np.mean(np.stack(uploaded, axis=0), axis=0)
 
         train_tasks = []
         for device_id in device_ids:
-            task = self.devices[device_id].local_train_task(self.config.local_epochs)
+            task = simulation.devices[device_id].local_train_task(
+                simulation.config.local_epochs)
             task.digest = DigestSpec(
                 consensus=consensus,
                 epochs=self.digest_epochs,
-                lr=self.config.server.device_distill_lr,
-                batch_size=self.config.batch_size,
+                lr=simulation.config.server.device_distill_lr,
+                batch_size=simulation.config.batch_size,
                 seed=self._digest_seed(device_id),
             )
             train_tasks.append(task)
         return train_tasks
 
     def process_result(self, result, meta: UploadMeta) -> float:
-        device = self.devices[result.device_id]
+        device = self.simulation.devices[result.device_id]
         report = device.absorb_training_result(result)
         self._round_digest_losses.append(
             result.digest_loss if result.digest_loss is not None else 0.0)
         return report.mean_loss
 
-    def aggregate_round(self, round_index: int, device_ids: Sequence[int],
-                        upload_meta) -> None:
-        """Consensus aggregation already happened in :meth:`device_tasks`."""
-
-    def broadcast(self, device_ids: Optional[Sequence[int]] = None) -> None:
-        """FedMD exchanges logits, not parameters — nothing to broadcast."""
-
-    def evaluate_round(self, round_index: int, active: Sequence[int],
-                       losses: Sequence[float], sim_time: Optional[float] = None,
-                       extra_metrics: Optional[dict] = None) -> RoundRecord:
-        record = RoundRecord(round_index=round_index, active_devices=list(active),
-                             sim_time=sim_time)
-        record.local_loss = float(np.mean(losses)) if losses else None
-        record.server_metrics = {
-            "digest_loss": (float(np.mean(self._round_digest_losses))
-                            if self._round_digest_losses else 0.0),
+    def round_metrics(self) -> dict:
+        """Digest statistics over the uploads absorbed since the last round
+        record (drained here so deferred-absorb schedulers attribute each
+        digest loss to the round its upload landed in)."""
+        losses = self._round_digest_losses
+        self._round_digest_losses = []
+        return {
+            "digest_loss": float(np.mean(losses)) if losses else 0.0,
             "public_dataset": self.public_dataset.name,
         }
-        if extra_metrics:
-            record.server_metrics.update(extra_metrics)
-        eval_tasks = [device.evaluate_task() for device in self.devices]
-        accuracies = self.backend.run_tasks(eval_tasks)
-        for device, accuracy in zip(self.devices, accuracies):
-            record.device_accuracies[device.device_id] = accuracy
-        self.history.append(record)
-        return record
 
-    def verbose_line(self, record: RoundRecord, total_rounds: int) -> str:
+    def verbose_line(self, record, total_rounds: int) -> str:
         return (f"[fedmd] round {record.round_index}/{total_rounds} "
                 f"mean_device={record.mean_device_accuracy:.3f}")
 
-    # ------------------------------------------------------------------ #
-    def run_round(self, round_index: int) -> RoundRecord:
-        """One FedMD communication round: communicate, aggregate, digest, revisit."""
-        return self.scheduler.run_round(self, round_index, self._scheduler_state())
 
-    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
-        """Run the configured number of rounds (with an initial local warm-up).
+class FedMDSimulation(Simulation):
+    """Deprecated FedMD engine — use :class:`Simulation` with
+    :class:`FedMDStrategy` (or :func:`build_fedmd`).
 
-        FedMD's transfer-learning protocol first trains each device on its
-        private data before any communication; one warm-up pass of local
-        epochs reproduces that step (also fanned out through the backend).
-        """
-        total_rounds = rounds if rounds is not None else self.config.rounds
-        self.ensure_backend()
-        warmup_tasks = [device.local_train_task(self.config.local_epochs)
-                        for device in self.devices]
-        for result in self.backend.run_tasks(warmup_tasks):
-            self.devices[result.device_id].absorb_training_result(result)
-        return self.scheduler.run(self, total_rounds, verbose=verbose,
-                                  state=self._scheduler_state())
+    Kept as a shim for the pre-strategy API: ``FedMDSimulation(devices,
+    public_dataset, config, test_dataset, ...)`` constructs the generic
+    engine with a :class:`FedMDStrategy`, producing bit-identical
+    histories.  Emits a :class:`DeprecationWarning` on construction.
+    """
+
+    def __init__(self, devices: Sequence[Device], public_dataset: ImageDataset,
+                 config: FederatedConfig, test_dataset: ImageDataset,
+                 sampler: Optional[DeviceSampler] = None, digest_epochs: int = 1,
+                 backend: Optional[ExecutionBackend] = None,
+                 scheduler: Optional[RoundScheduler] = None) -> None:
+        warnings.warn(
+            "FedMDSimulation is deprecated; construct Simulation(devices, "
+            "config, test_dataset, FedMDStrategy(public_dataset)) or use "
+            "build_fedmd",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(devices, config, test_dataset,
+                         FedMDStrategy(public_dataset, digest_epochs=digest_epochs),
+                         sampler=sampler, backend=backend, scheduler=scheduler)
 
 
 def build_fedmd(train_dataset: ImageDataset, test_dataset: ImageDataset,
@@ -225,11 +227,18 @@ def build_fedmd(train_dataset: ImageDataset, test_dataset: ImageDataset,
                 partitioner: Optional[Partitioner] = None,
                 device_models: Optional[Sequence[ClassificationModel]] = None,
                 sampler: Optional[DeviceSampler] = None,
-                digest_epochs: int = 1,
-                backend: Optional[ExecutionBackend] = None) -> FedMDSimulation:
-    """Construct a ready-to-run FedMD simulation mirroring :func:`build_fedzkt`."""
+                digest_epochs: Optional[int] = None,
+                backend: Optional[ExecutionBackend] = None) -> Simulation:
+    """Construct a ready-to-run FedMD simulation mirroring :func:`build_fedzkt`.
+
+    ``digest_epochs`` defaults to the config's strategy block
+    (``config.strategy.digest_epochs``).
+    """
     from ..models.registry import device_suite_for_family  # local import to avoid cycle
 
+    if digest_epochs is None:
+        digest_epochs = config.strategy.digest_epochs
+    config = config.with_strategy("fedmd", digest_epochs=digest_epochs)
     num_classes = train_dataset.num_classes
     input_shape = train_dataset.input_shape
     partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
@@ -249,5 +258,6 @@ def build_fedmd(train_dataset: ImageDataset, test_dataset: ImageDataset,
                prox_mu=config.prox_mu, seed=config.seed + 1000 + index)
         for index, (model, shard) in enumerate(zip(device_models, shards))
     ]
-    return FedMDSimulation(devices, public_dataset, config, test_dataset,
-                           sampler=sampler, digest_epochs=digest_epochs, backend=backend)
+    strategy = FedMDStrategy(public_dataset, digest_epochs=digest_epochs)
+    return Simulation(devices, config, test_dataset, strategy,
+                      sampler=sampler, backend=backend)

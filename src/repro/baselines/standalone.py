@@ -1,4 +1,4 @@
-"""Standalone training bounds (Table III of the paper).
+"""Standalone training: the no-collaboration baseline and Table III bounds.
 
 For every device, the paper reports:
 
@@ -10,6 +10,16 @@ For every device, the paper reports:
 FedZKT's per-device accuracy should land close to the upper bound, which is
 the evidence Fig. 5 / Table III present for effective knowledge transfer
 across heterogeneous models.
+
+Two entry points:
+
+* :func:`compute_bounds` trains fresh copies for the Table III bounds (a
+  one-shot computation, no round structure);
+* :class:`StandaloneStrategy` (``repro run --algorithm standalone``) runs
+  the *lower-bound trajectory* as a federated history — each round every
+  sampled device trains locally with no exchange of any kind, and the
+  per-round on-device accuracies trace how far isolated training gets.
+  Useful as the per-round floor any collaboration curve should clear.
 """
 
 from __future__ import annotations
@@ -21,12 +31,86 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
+from ..federated.backend import ExecutionBackend
+from ..federated.config import FederatedConfig
+from ..federated.device import Device
+from ..federated.sampling import DeviceSampler
 from ..federated.server import evaluate_model
+from ..federated.simulation import Simulation
+from ..federated.strategy import Strategy
 from ..federated.trainer import DeviceTrainingConfig, local_sgd_train
 from ..models.base import ClassificationModel
 from ..partition.base import Partitioner
+from ..partition.iid import IIDPartitioner
 
-__all__ = ["StandaloneBounds", "train_standalone", "compute_bounds"]
+__all__ = [
+    "StandaloneBounds",
+    "StandaloneStrategy",
+    "build_standalone",
+    "train_standalone",
+    "compute_bounds",
+]
+
+
+class StandaloneStrategy(Strategy):
+    """No-collaboration baseline: every round is pure local training.
+
+    Devices never exchange parameters or logits, so there is no collect /
+    aggregate / broadcast payload — the base-class defaults (absorb the
+    training result, do nothing centrally) are exactly right.  Round
+    records carry per-device accuracies and mean local loss, tracing the
+    standalone lower bound per round.
+
+    Only the synchronous scheduler applies: with no aggregation event
+    there is no buffer to fill or deadline to beat, so staleness and
+    reordering are meaningless for this strategy.
+    """
+
+    name = "standalone"
+    supports_schedulers = ("sync",)
+    supports_server_shards = False
+
+    def verbose_line(self, record, total_rounds: int) -> str:
+        return (f"[standalone] round {record.round_index}/{total_rounds} "
+                f"mean_device={record.mean_device_accuracy:.3f}")
+
+
+def build_standalone(train_dataset: ImageDataset, test_dataset: ImageDataset,
+                     config: FederatedConfig, family: str = "cifar",
+                     partitioner: Optional[Partitioner] = None,
+                     device_models: Optional[Sequence[ClassificationModel]] = None,
+                     sampler: Optional[DeviceSampler] = None,
+                     backend: Optional[ExecutionBackend] = None) -> Simulation:
+    """Construct a standalone (no-collaboration) simulation.
+
+    Mirrors :func:`repro.core.fedzkt.build_fedzkt`'s wiring — the same
+    heterogeneous device suite, partitioning, and seeding — so standalone
+    histories are directly comparable with FedZKT/FedMD runs on the same
+    config.
+    """
+    from ..models.registry import device_suite_for_family  # local import to avoid cycle
+
+    config = config.with_strategy("standalone")
+    partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
+    shards = partitioner.partition(train_dataset)
+
+    if device_models is None:
+        device_models = device_suite_for_family(
+            family, config.num_devices, train_dataset.input_shape,
+            train_dataset.num_classes, seed=config.seed)
+    device_models = list(device_models)
+    if len(device_models) != config.num_devices:
+        raise ValueError("need exactly one model per device")
+
+    devices = [
+        Device(device_id=index, model=model, dataset=shard,
+               lr=config.device_lr, momentum=config.device_momentum,
+               weight_decay=config.device_weight_decay, batch_size=config.batch_size,
+               prox_mu=config.prox_mu, seed=config.seed + 1000 + index)
+        for index, (model, shard) in enumerate(zip(device_models, shards))
+    ]
+    return Simulation(devices, config, test_dataset, StandaloneStrategy(),
+                      sampler=sampler, backend=backend)
 
 
 @dataclass

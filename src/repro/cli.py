@@ -6,13 +6,18 @@ also runnable as ``python -m repro.cli``.
 Subcommands
 -----------
 ``repro run``
-    Run a single federated training session (FedZKT or FedMD) and
+    Run a single federated training session with any registered algorithm
+    strategy (``--algorithm fedzkt|fedavg|fedmd|standalone``; plugins
+    registered via :func:`repro.federated.strategies.register_strategy`
+    are accepted once they attach a runner with
+    :func:`repro.experiments.runner.register_algorithm_runner`) and
     optionally save its :class:`TrainingHistory` as JSON.
 ``repro experiment``
     Run one of the paper's table/figure experiments, printing the
     formatted rendering and optionally emitting per-variant JSON.
 ``repro list``
-    List available experiments, scales, backends, and schedulers.
+    List available strategies (with their capability declarations),
+    experiments, scales, backends, and schedulers.
 
 Every subcommand accepts ``--backend serial|process[:N]`` to select the
 execution engine; ``process`` fans device training (for ``run``) or whole
@@ -20,8 +25,12 @@ experiment variants (for ``experiment``) out across worker processes.
 ``repro run`` additionally accepts ``--scheduler sync|deadline|async``
 plus ``--deadline``, ``--buffer-size``, the device-heterogeneity knobs
 ``--speed-skew`` / ``--latency-mean`` / ``--dropout-rate``, and
-``--server-shards N`` to shard the FedZKT server update through the
-selected backend (bit-identical to the serial server update).
+``--server-shards N`` to shard a strategy's server update through the
+selected backend.  Whether a given strategy supports a scheduler kind or
+server sharding is no longer hard-coded here: the strategy's capability
+declarations are validated in one place
+(:func:`repro.federated.strategies.validate_strategy`) and violations
+surface as the same message from every entry point.
 """
 
 from __future__ import annotations
@@ -33,8 +42,9 @@ from typing import List, Optional
 
 from . import __version__
 from .experiments.configs import SCALES
-from .experiments.runner import EXPERIMENTS, run_experiment, run_fedmd, run_fedzkt
+from .experiments.runner import EXPERIMENTS, run_algorithm, run_experiment
 from .federated.backend import make_backend
+from .federated.strategies import get_strategy_class, strategy_capabilities, strategy_names
 from .utils.serialization import save_history_json
 
 __all__ = ["build_parser", "main"]
@@ -51,7 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
     # ---------------------------------------------------------------- run
     run_parser = subparsers.add_parser("run", help="run one federated training session")
     run_parser.add_argument("dataset", help="dataset name (mnist, fashion, kmnist, cifar10, ...)")
-    run_parser.add_argument("--algorithm", choices=["fedzkt", "fedmd"], default="fedzkt")
+    run_parser.add_argument("--algorithm", choices=strategy_names(), default="fedzkt",
+                            help="algorithm strategy from the registry (default: fedzkt)")
     run_parser.add_argument("--scale", default="tiny", choices=sorted(SCALES),
                             help="experiment scale preset (default: tiny)")
     run_parser.add_argument("--seed", type=int, default=0)
@@ -62,19 +73,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--participation", type=float, default=1.0,
                             help="active-device fraction p (straggler study)")
     run_parser.add_argument("--prox-mu", type=float, default=0.0,
-                            help="coefficient of the on-device l2 proximal term")
+                            help="coefficient of the on-device l2 proximal term "
+                                 "(with --algorithm fedavg, >0 runs FedProx)")
     run_parser.add_argument("--public-choice", default=None,
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
                             help="execution backend: serial, process, or process:N")
     run_parser.add_argument("--server-shards", type=int, default=None,
-                            help="shard the FedZKT server update through the backend "
-                                 "into this many shards (>1 enables sharding; "
-                                 "bit-identical to the serial server update)")
+                            help="shard the strategy's server update through the backend "
+                                 "into this many shards (requires a strategy declaring "
+                                 "supports_server_shards, i.e. fedzkt; bit-identical "
+                                 "to the serial server update)")
     run_parser.add_argument("--scheduler", default=None,
                             choices=["sync", "deadline", "async"],
-                            help="round scheduler (default: sync; fedzkt only for "
-                                 "deadline/async — FedMD rounds are inherently synchronous)")
+                            help="round scheduler (default: sync; must be declared in "
+                                 "the strategy's supports_schedulers — fedmd runs its "
+                                 "partial-consensus variant under deadline/async)")
     run_parser.add_argument("--deadline", type=float, default=None,
                             help="simulated per-round deadline for --scheduler deadline "
                                  "(units of the fastest device's round time)")
@@ -102,46 +116,41 @@ def build_parser() -> argparse.ArgumentParser:
                             help="emit per-variant JSON results into this directory")
 
     # --------------------------------------------------------------- list
-    subparsers.add_parser("list", help="list experiments, scales, and backends")
+    subparsers.add_parser("list", help="list strategies, experiments, scales, and backends")
 
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    # Reject knob combinations that would silently do nothing.
+    # Flag-consistency checks: reject knob combinations that would silently
+    # do nothing.  (Capability checks — which strategies support which
+    # schedulers / server sharding — live in the config's strategy
+    # validation, not here.)
     if args.deadline is not None and args.scheduler != "deadline":
         raise SystemExit("--deadline only applies with --scheduler deadline")
     if args.buffer_size is not None and args.scheduler != "async":
         raise SystemExit("--buffer-size only applies with --scheduler async")
-    if args.server_shards is not None and args.algorithm != "fedzkt":
-        raise SystemExit("--server-shards only applies with --algorithm fedzkt "
-                         "(only FedZKT has a server-side distillation phase)")
-    if args.server_shards is not None and args.server_shards < 1:
-        raise SystemExit("--server-shards must be at least 1")
+    if (args.public_choice is not None
+            and not get_strategy_class(args.algorithm).uses_public_dataset):
+        raise SystemExit(f"--public-choice only applies to strategies that use a "
+                         f"public dataset (strategy {args.algorithm!r} does not)")
+    kwargs = dict(
+        scale=args.scale, seed=args.seed, num_devices=args.num_devices,
+        participation_fraction=args.participation, prox_mu=args.prox_mu,
+        rounds=args.rounds, scheduler=args.scheduler, deadline=args.deadline,
+        buffer_size=args.buffer_size, speed_skew=args.speed_skew,
+        latency_mean=args.latency_mean, dropout_rate=args.dropout_rate,
+        server_shards=args.server_shards, verbose=not args.quiet,
+    )
+    if args.public_choice is not None:
+        kwargs["public_choice"] = args.public_choice
     backend = make_backend(args.backend)
-    heterogeneity = {"speed_skew": args.speed_skew, "latency_mean": args.latency_mean,
-                     "dropout_rate": args.dropout_rate}
     try:
-        if args.algorithm == "fedzkt":
-            history = run_fedzkt(args.dataset, scale=args.scale, seed=args.seed,
-                                 num_devices=args.num_devices,
-                                 participation_fraction=args.participation,
-                                 prox_mu=args.prox_mu, rounds=args.rounds,
-                                 scheduler=args.scheduler, deadline=args.deadline,
-                                 buffer_size=args.buffer_size, **heterogeneity,
-                                 server_shards=args.server_shards,
-                                 verbose=not args.quiet, backend=backend)
-        else:
-            if args.scheduler not in (None, "sync"):
-                raise SystemExit("fedmd rounds are inherently synchronous; "
-                                 "--scheduler deadline/async requires --algorithm fedzkt")
-            history = run_fedmd(args.dataset, public_choice=args.public_choice,
-                                scale=args.scale, seed=args.seed,
-                                num_devices=args.num_devices,
-                                participation_fraction=args.participation,
-                                prox_mu=args.prox_mu, rounds=args.rounds,
-                                **heterogeneity,
-                                verbose=not args.quiet, backend=backend)
+        history = run_algorithm(args.algorithm, args.dataset, backend=backend, **kwargs)
+    except ValueError as exc:
+        # Strategy capability violations (scheduler kind, server shards)
+        # surface here with the registry's uniform message.
+        raise SystemExit(str(exc))
     finally:
         backend.shutdown()
     summary = history.summary()
@@ -168,7 +177,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    print("experiments:")
+    print("strategies:")
+    for name in strategy_names():
+        caps = strategy_capabilities(name)
+        flags = [f"schedulers={','.join(caps['supports_schedulers'])}"]
+        if caps["supports_server_shards"]:
+            flags.append("server-shards")
+        if caps["uses_public_dataset"]:
+            flags.append("public-dataset")
+        print(f"  {name:15s} {caps['description']}")
+        print(f"  {'':15s} [{'; '.join(flags)}]")
+    print("\nexperiments:")
     for name in sorted(EXPERIMENTS):
         doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
         print(f"  {name:15s} {doc[0] if doc else ''}")

@@ -16,7 +16,7 @@ graph (gradients can flow back to the synthesized inputs), and
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 from ..models.base import ClassificationModel
 from ..nn.losses import get_distillation_loss

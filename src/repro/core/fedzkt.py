@@ -1,4 +1,4 @@
-"""FedZKT server and end-to-end builder (Algorithm 1 of the paper).
+"""FedZKT server, strategy, and end-to-end builder (Algorithm 1 of the paper).
 
 ``FedZKTServer`` plugs the zero-shot distiller into the generic federated
 round loop:
@@ -9,11 +9,13 @@ round loop:
   (:class:`repro.core.server_update.ZeroShotDistiller`), and prepares the
   updated per-device parameter payloads;
 * ``payload_for`` returns each device's updated parameters, which the
-  simulation loop delivers to **all** devices (stragglers included).
+  broadcast phase delivers to **all** devices (stragglers included).
 
-``build_fedzkt`` wires datasets, partitioners, heterogeneous device models,
-devices, and the server into a ready-to-run
-:class:`repro.federated.simulation.FederatedSimulation`.
+``FedZKTStrategy`` is the registry plugin
+(``repro run --algorithm fedzkt``) wrapping that server in the generic
+parameter-upload phase protocol; ``build_fedzkt`` wires datasets,
+partitioners, heterogeneous device models, devices, server, and strategy
+into a ready-to-run :class:`repro.federated.simulation.Simulation`.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ from ..federated.config import FederatedConfig
 from ..federated.device import Device
 from ..federated.sampling import DeviceSampler
 from ..federated.server import FederatedServer
-from ..federated.simulation import FederatedSimulation
+from ..federated.simulation import Simulation
+from ..federated.strategy import ParameterServerStrategy
 from ..models.base import ClassificationModel
 from ..models.generator import Generator
 from ..models.registry import build_generator, build_global_model, device_suite_for_family
@@ -37,7 +40,7 @@ from ..partition.base import Partitioner
 from ..partition.iid import IIDPartitioner
 from .server_update import ZeroShotDistiller
 
-__all__ = ["FedZKTServer", "build_fedzkt"]
+__all__ = ["FedZKTServer", "FedZKTStrategy", "build_fedzkt"]
 
 
 class FedZKTServer(FederatedServer):
@@ -129,6 +132,25 @@ class FedZKTServer(FederatedServer):
         return self.distiller.parameter_updates_total
 
 
+class FedZKTStrategy(ParameterServerStrategy):
+    """Zero-shot knowledge transfer (the paper's algorithm, Algorithms 1–3).
+
+    A :class:`~repro.federated.strategy.ParameterServerStrategy` around
+    :class:`FedZKTServer`: devices upload full parameters, the server runs
+    the adversarial generator / global-model distillation and distils the
+    result back into per-device replicas.  The server update can shard
+    through the execution backend (``ServerConfig.server_shards``), so this
+    is the one built-in strategy declaring ``supports_server_shards``.
+    """
+
+    name = "fedzkt"
+    supports_schedulers = ("sync", "deadline", "async")
+    supports_server_shards = True
+
+    def __init__(self, server: FedZKTServer) -> None:
+        super().__init__(server, name=self.name)
+
+
 def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
                  config: FederatedConfig, family: str = "cifar",
                  partitioner: Optional[Partitioner] = None,
@@ -136,7 +158,7 @@ def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
                  sampler: Optional[DeviceSampler] = None,
                  generator: Optional[Generator] = None,
                  global_model: Optional[ClassificationModel] = None,
-                 backend: Optional[ExecutionBackend] = None) -> FederatedSimulation:
+                 backend: Optional[ExecutionBackend] = None) -> Simulation:
     """Construct a ready-to-run FedZKT simulation.
 
     Parameters
@@ -155,6 +177,7 @@ def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
     backend:
         Execution backend for device-side work (default: serial).
     """
+    config = config.with_strategy("fedzkt")
     num_classes = train_dataset.num_classes
     input_shape = train_dataset.input_shape
     partitioner = partitioner or IIDPartitioner(config.num_devices, seed=config.seed)
@@ -184,5 +207,5 @@ def build_fedzkt(train_dataset: ImageDataset, test_dataset: ImageDataset,
     generator = generator or build_generator(input_shape, noise_dim=config.server.noise_dim,
                                              seed=config.seed + 13)
     server = FedZKTServer(global_model, generator, replicas, config)
-    return FederatedSimulation(devices, server, config, test_dataset, sampler=sampler,
-                               backend=backend)
+    return Simulation(devices, config, test_dataset, FedZKTStrategy(server),
+                      sampler=sampler, backend=backend)

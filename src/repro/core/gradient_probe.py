@@ -12,7 +12,7 @@ loss between the global model and the device ensemble, and records
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 

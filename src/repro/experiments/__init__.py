@@ -10,7 +10,10 @@ from .configs import SCALES, ExperimentScale, federated_config_for, get_scale
 from .reporting import format_percent, format_run_summary, format_series, format_table
 from .sweep import SweepResult, SweepSpec, SweepVariant, VariantResult, run_sweep
 from .runner import (
+    ALGORITHM_RUNNERS,
     EXPERIMENTS,
+    register_algorithm_runner,
+    run_algorithm,
     run_experiment,
     experiment_compute_split,
     experiment_fig2,
@@ -23,8 +26,10 @@ from .runner import (
     experiment_table1,
     experiment_table2,
     experiment_table4,
+    run_fedavg,
     run_fedmd,
     run_fedzkt,
+    run_standalone,
 )
 
 __all__ = [
@@ -37,7 +42,10 @@ __all__ = [
     "SweepResult",
     "VariantResult",
     "run_sweep",
+    "ALGORITHM_RUNNERS",
     "EXPERIMENTS",
+    "register_algorithm_runner",
+    "run_algorithm",
     "run_experiment",
     "format_table",
     "format_series",
@@ -45,6 +53,8 @@ __all__ = [
     "format_run_summary",
     "run_fedzkt",
     "run_fedmd",
+    "run_fedavg",
+    "run_standalone",
     "experiment_table1",
     "experiment_fig2",
     "experiment_fig3",

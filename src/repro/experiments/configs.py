@@ -17,8 +17,8 @@ All experiment runners accept a :class:`ExperimentScale` and derive their
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..federated.config import (
     FederatedConfig,

@@ -7,7 +7,7 @@ harness and the examples can show results in the same form the paper does.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "format_series", "format_percent", "format_run_summary",
            "format_timeline"]

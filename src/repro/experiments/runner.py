@@ -22,8 +22,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..baselines.fedavg import build_fedavg, build_fedprox
 from ..baselines.fedmd import build_fedmd
-from ..baselines.standalone import compute_bounds
+from ..baselines.standalone import build_standalone, compute_bounds
 from ..core.fedzkt import build_fedzkt
 from ..core.gradient_probe import GradientNormProbe
 from ..datasets.registry import dataset_family, load_dataset, public_dataset_for
@@ -40,6 +41,11 @@ from .sweep import SweepSpec, SweepVariant, run_sweep
 __all__ = [
     "run_fedzkt",
     "run_fedmd",
+    "run_fedavg",
+    "run_standalone",
+    "ALGORITHM_RUNNERS",
+    "register_algorithm_runner",
+    "run_algorithm",
     "experiment_table1",
     "experiment_fig2",
     "experiment_fig3",
@@ -97,18 +103,21 @@ def _scheduling_configs(scheduler: Optional[str], deadline: Optional[float],
 # --------------------------------------------------------------------------- #
 # Single-run helpers (the variant runners every sweep is built from)
 # --------------------------------------------------------------------------- #
-def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
-               seed: int = 0, num_devices: Optional[int] = None,
-               participation_fraction: float = 1.0, prox_mu: float = 0.0,
-               distillation_loss: str = "sl", rounds: Optional[int] = None,
-               probe_gradients: bool = False, verbose: bool = False,
-               backend: Optional[ExecutionBackend] = None,
-               scheduler: Optional[str] = None, deadline: Optional[float] = None,
-               buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
-               latency_mean: Optional[float] = None,
-               dropout_rate: Optional[float] = None,
-               server_shards: Optional[int] = None) -> TrainingHistory:
-    """Run FedZKT on a named dataset and return its training history."""
+def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
+                num_devices, participation_fraction, prox_mu, rounds, verbose,
+                scheduler, deadline, buffer_size, speed_skew, latency_mean,
+                dropout_rate, server_shards,
+                distillation_loss: str = "sl") -> TrainingHistory:
+    """Shared scaffold of every per-algorithm runner.
+
+    Resolves the scale, assembles the scheduling/heterogeneity/config
+    blocks (strategy capability validation fires when the builder
+    normalizes the strategy name), loads the dataset, partitions it, asks
+    ``make_simulation(train, test, config, family, partitioner, scale)``
+    for the algorithm-specific simulation, runs it, and annotates the
+    history.  Keeping this in one place means a new knob lands in every
+    algorithm at once instead of drifting per runner.
+    """
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
     scheduler_config, heterogeneity_config = _scheduling_configs(
@@ -123,55 +132,200 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
     train, test = load_dataset(dataset_name, train_size=scale.train_size,
                                test_size=scale.test_size, image_size=scale.image_size, seed=seed)
     partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
-    simulation = build_fedzkt(train, test, config, family=family, partitioner=partitioner,
-                              backend=backend)
-
-    if probe_gradients:
-        server = simulation.server
-        probe = GradientNormProbe(server.global_model, list(server.device_models.values()),
-                                  server.generator, batch_size=min(32, config.server.batch_size),
-                                  seed=seed + 99)
-        simulation.round_callback = probe
+    simulation = make_simulation(train, test, config, family, partitioner, scale)
     history = simulation.run(verbose=verbose)
     history.config["dataset"] = dataset_name
     history.config["partition"] = f"{partition[0]}{partition[1] or ''}"
     return history
+
+
+def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
+               seed: int = 0, num_devices: Optional[int] = None,
+               participation_fraction: float = 1.0, prox_mu: float = 0.0,
+               distillation_loss: str = "sl", rounds: Optional[int] = None,
+               probe_gradients: bool = False, verbose: bool = False,
+               backend: Optional[ExecutionBackend] = None,
+               scheduler: Optional[str] = None, deadline: Optional[float] = None,
+               buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
+               latency_mean: Optional[float] = None,
+               dropout_rate: Optional[float] = None,
+               server_shards: Optional[int] = None) -> TrainingHistory:
+    """Run FedZKT on a named dataset and return its training history."""
+    def make(train, test, config, family, partitioner, scale):
+        simulation = build_fedzkt(train, test, config, family=family,
+                                  partitioner=partitioner, backend=backend)
+        if probe_gradients:
+            server = simulation.server
+            probe = GradientNormProbe(server.global_model,
+                                      list(server.device_models.values()),
+                                      server.generator,
+                                      batch_size=min(32, config.server.batch_size),
+                                      seed=seed + 99)
+            simulation.round_callback = probe
+        return simulation
+
+    return _single_run(dataset_name, make, scale=scale, partition=partition, seed=seed,
+                       num_devices=num_devices,
+                       participation_fraction=participation_fraction, prox_mu=prox_mu,
+                       rounds=rounds, verbose=verbose, scheduler=scheduler,
+                       deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
+                       latency_mean=latency_mean, dropout_rate=dropout_rate,
+                       server_shards=server_shards, distillation_loss=distillation_loss)
 
 
 def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tiny",
               partition: Tuple[str, Dict] = ("iid", {}), seed: int = 0,
               num_devices: Optional[int] = None, participation_fraction: float = 1.0,
               prox_mu: float = 0.0, rounds: Optional[int] = None,
+              digest_epochs: Optional[int] = None,
               verbose: bool = False,
               backend: Optional[ExecutionBackend] = None,
+              scheduler: Optional[str] = None, deadline: Optional[float] = None,
+              buffer_size: Optional[int] = None,
               speed_skew: Optional[float] = None,
               latency_mean: Optional[float] = None,
-              dropout_rate: Optional[float] = None) -> TrainingHistory:
+              dropout_rate: Optional[float] = None,
+              server_shards: Optional[int] = None) -> TrainingHistory:
     """Run the FedMD baseline with the paper's public-dataset pairing.
 
-    FedMD's consensus round is inherently synchronous, so only the
-    heterogeneity knobs (timing/availability) apply — not a scheduler kind.
+    Under ``deadline``/``async`` schedulers FedMD runs its partial-consensus
+    variant (consensus over the dispatch cohort); ``server_shards`` is
+    accepted only so the strategy capability validation can reject it with
+    a uniform message (FedMD has no shardable server phase).
     """
-    scale = _resolve_scale(scale)
-    family = dataset_family(dataset_name)
-    _, heterogeneity_config = _scheduling_configs(
-        None, None, None, speed_skew, latency_mean, dropout_rate)
-    config = federated_config_for(scale, family, num_devices=num_devices,
-                                  participation_fraction=participation_fraction,
-                                  prox_mu=prox_mu, seed=seed, rounds=rounds,
-                                  heterogeneity=heterogeneity_config)
-    train, test = load_dataset(dataset_name, train_size=scale.train_size,
-                               test_size=scale.test_size, image_size=scale.image_size, seed=seed)
-    public = public_dataset_for(dataset_name, choice=public_choice, size=scale.public_size,
-                                image_size=scale.image_size, seed=seed + 321)
-    partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
-    simulation = build_fedmd(train, test, public, config, family=family, partitioner=partitioner,
-                             backend=backend)
-    history = simulation.run(verbose=verbose)
-    history.config["dataset"] = dataset_name
-    history.config["public_dataset"] = public.name
-    history.config["partition"] = f"{partition[0]}{partition[1] or ''}"
+    public_name = []
+
+    def make(train, test, config, family, partitioner, scale):
+        public = public_dataset_for(dataset_name, choice=public_choice,
+                                    size=scale.public_size,
+                                    image_size=scale.image_size, seed=seed + 321)
+        public_name.append(public.name)
+        return build_fedmd(train, test, public, config, family=family,
+                           partitioner=partitioner, digest_epochs=digest_epochs,
+                           backend=backend)
+
+    history = _single_run(dataset_name, make, scale=scale, partition=partition,
+                          seed=seed, num_devices=num_devices,
+                          participation_fraction=participation_fraction,
+                          prox_mu=prox_mu, rounds=rounds, verbose=verbose,
+                          scheduler=scheduler, deadline=deadline,
+                          buffer_size=buffer_size, speed_skew=speed_skew,
+                          latency_mean=latency_mean, dropout_rate=dropout_rate,
+                          server_shards=server_shards)
+    history.config["public_dataset"] = public_name[0]
     return history
+
+
+def run_fedavg(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
+               seed: int = 0, num_devices: Optional[int] = None,
+               participation_fraction: float = 1.0, prox_mu: float = 0.0,
+               rounds: Optional[int] = None, verbose: bool = False,
+               backend: Optional[ExecutionBackend] = None,
+               scheduler: Optional[str] = None, deadline: Optional[float] = None,
+               buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
+               latency_mean: Optional[float] = None,
+               dropout_rate: Optional[float] = None,
+               server_shards: Optional[int] = None) -> TrainingHistory:
+    """Run the FedAvg baseline (homogeneous devices, parameter averaging).
+
+    ``prox_mu > 0`` runs FedProx (FedAvg plus the on-device ℓ2 proximal
+    term); histories are labelled accordingly.
+    """
+    def make(train, test, config, family, partitioner, scale):
+        if prox_mu > 0:
+            return build_fedprox(train, test, config, prox_mu=prox_mu,
+                                 partitioner=partitioner, backend=backend)
+        return build_fedavg(train, test, config, partitioner=partitioner,
+                            backend=backend)
+
+    return _single_run(dataset_name, make, scale=scale, partition=partition, seed=seed,
+                       num_devices=num_devices,
+                       participation_fraction=participation_fraction, prox_mu=prox_mu,
+                       rounds=rounds, verbose=verbose, scheduler=scheduler,
+                       deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
+                       latency_mean=latency_mean, dropout_rate=dropout_rate,
+                       server_shards=server_shards)
+
+
+def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
+                   seed: int = 0, num_devices: Optional[int] = None,
+                   participation_fraction: float = 1.0, prox_mu: float = 0.0,
+                   rounds: Optional[int] = None, verbose: bool = False,
+                   backend: Optional[ExecutionBackend] = None,
+                   scheduler: Optional[str] = None, deadline: Optional[float] = None,
+                   buffer_size: Optional[int] = None,
+                   speed_skew: Optional[float] = None,
+                   latency_mean: Optional[float] = None,
+                   dropout_rate: Optional[float] = None,
+                   server_shards: Optional[int] = None) -> TrainingHistory:
+    """Run the standalone (no-collaboration) lower-bound trajectory.
+
+    Same heterogeneous device suite and partitioning as FedZKT, but devices
+    never exchange anything — the per-round history is the floor any
+    collaboration curve should clear.  Scheduler/sharding knobs are
+    accepted only so capability validation can reject them uniformly.
+    """
+    def make(train, test, config, family, partitioner, scale):
+        return build_standalone(train, test, config, family=family,
+                                partitioner=partitioner, backend=backend)
+
+    return _single_run(dataset_name, make, scale=scale, partition=partition, seed=seed,
+                       num_devices=num_devices,
+                       participation_fraction=participation_fraction, prox_mu=prox_mu,
+                       rounds=rounds, verbose=verbose, scheduler=scheduler,
+                       deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
+                       latency_mean=latency_mean, dropout_rate=dropout_rate,
+                       server_shards=server_shards)
+
+
+#: Strategy-registry-name → single-run entry point; the CLI's
+#: ``repro run --algorithm`` dispatches through this.  Plugins registered
+#: with :func:`repro.federated.strategies.register_strategy` become CLI-
+#: runnable by attaching a runner via :func:`register_algorithm_runner`.
+ALGORITHM_RUNNERS: Dict[str, Callable[..., TrainingHistory]] = {
+    "fedzkt": run_fedzkt,
+    "fedavg": run_fedavg,
+    "fedmd": run_fedmd,
+    "standalone": run_standalone,
+}
+
+
+def register_algorithm_runner(name: str, runner: Callable[..., TrainingHistory], *,
+                              replace: bool = False) -> Callable[..., TrainingHistory]:
+    """Attach a single-run entry point to a registered strategy name.
+
+    ``runner(dataset_name, **kwargs)`` should accept the same keyword set
+    as the built-in runners (see :func:`run_fedavg` for the minimal
+    surface) and return a :class:`TrainingHistory`.  Once attached, the
+    strategy is runnable via :func:`run_algorithm` and
+    ``repro run --algorithm <name>``.
+    """
+    if not replace and name in ALGORITHM_RUNNERS:
+        raise ValueError(f"algorithm runner {name!r} is already registered; "
+                         "pass replace=True to override")
+    ALGORITHM_RUNNERS[name] = runner
+    return runner
+
+
+def run_algorithm(algorithm: str, dataset_name: str, **kwargs) -> TrainingHistory:
+    """Run any algorithm with a registered runner by strategy name.
+
+    Capability violations (unsupported scheduler kind, ``server_shards``
+    on a strategy without a shardable server phase) surface as
+    ``ValueError`` from the config's strategy validation.
+    """
+    if algorithm not in ALGORITHM_RUNNERS:
+        from ..federated.strategies import strategy_names
+
+        if algorithm in strategy_names():
+            raise ValueError(
+                f"strategy {algorithm!r} is registered but has no single-run "
+                "entry point; attach one with repro.experiments.runner."
+                "register_algorithm_runner, or drive it from Python via "
+                "repro.federated.Simulation")
+        raise ValueError(f"unknown algorithm {algorithm!r}; "
+                         f"choose from {sorted(ALGORITHM_RUNNERS)}")
+    return ALGORITHM_RUNNERS[algorithm](dataset_name, **kwargs)
 
 
 def _headline_accuracy(history: TrainingHistory) -> float:

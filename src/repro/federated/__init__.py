@@ -14,7 +14,13 @@ from .backend import (
     WorkerContext,
     make_backend,
 )
-from .config import FederatedConfig, HeterogeneityConfig, SchedulerConfig, ServerConfig
+from .config import (
+    FederatedConfig,
+    HeterogeneityConfig,
+    SchedulerConfig,
+    ServerConfig,
+    StrategyConfig,
+)
 from .device import Device, LocalTrainingReport
 from .heterogeneity import HeterogeneityModel
 from .history import RoundRecord, TrainingHistory
@@ -35,7 +41,15 @@ from .scheduler import (
     make_scheduler,
 )
 from .server import FederatedServer, UploadMeta, evaluate_model
-from .simulation import FederatedSimulation
+from .simulation import FederatedSimulation, Simulation
+from .strategy import ParameterServerStrategy, Strategy
+from .strategies import (
+    get_strategy_class,
+    register_strategy,
+    strategy_capabilities,
+    strategy_names,
+    validate_strategy,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -66,7 +80,16 @@ __all__ = [
     "FixedSampler",
     "FederatedServer",
     "evaluate_model",
+    "Simulation",
     "FederatedSimulation",
+    "Strategy",
+    "ParameterServerStrategy",
+    "StrategyConfig",
+    "register_strategy",
+    "get_strategy_class",
+    "strategy_names",
+    "strategy_capabilities",
+    "validate_strategy",
     "CommunicationReport",
     "communication_report",
     "model_size_bytes",

@@ -10,9 +10,9 @@ explicit phases —
 — and decides **when** each upload joins an aggregation on a simulated
 clock fed by the :class:`~repro.federated.heterogeneity.HeterogeneityModel`.
 
-A round engine is any object exposing the phase protocol (duck-typed; both
-:class:`~repro.federated.simulation.FederatedSimulation` and
-:class:`~repro.baselines.fedmd.FedMDSimulation` implement it):
+A round engine is any object exposing the phase protocol (duck-typed; the
+generic :class:`~repro.federated.simulation.Simulation` implements it by
+delegating to its :class:`~repro.federated.strategy.Strategy`):
 
 ``devices``, ``backend``, ``config``, ``history``, ``heterogeneity``
     attributes shared with the scheduler;
@@ -35,9 +35,15 @@ A round engine is any object exposing the phase protocol (duck-typed; both
 ``verbose_line(record, total_rounds)``
     the progress line printed in verbose mode;
 ``supports_async``
-    class flag; engines whose round structure cannot tolerate reordered or
-    partial uploads (FedMD's consensus phase) set it to ``False`` and only
-    run under :class:`SynchronousScheduler`.
+    flag; engines whose round structure cannot tolerate reordered or
+    partial uploads set it to ``False`` and only run under
+    :class:`SynchronousScheduler` (the generic engine derives it from its
+    strategy's ``supports_schedulers`` capability declaration).
+
+Engines may also expose a ``strategy`` attribute with
+``on_round_start(round_index)`` / ``on_round_end(record)`` lifecycle
+hooks; the base :meth:`RoundScheduler.run_round` template invokes them
+around every round regardless of scheduler kind.
 
 Three schedulers ship:
 
@@ -149,6 +155,16 @@ class RoundScheduler:
         return SchedulerState()
 
     def run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
+        """One scheduler round, wrapped in the strategy lifecycle hooks."""
+        strategy = getattr(engine, "strategy", None)
+        if strategy is not None:
+            strategy.on_round_start(round_index)
+        record = self._run_round(engine, round_index, state)
+        if strategy is not None:
+            strategy.on_round_end(record)
+        return record
+
+    def _run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
@@ -210,7 +226,7 @@ class SynchronousScheduler(RoundScheduler):
 
     name = "sync"
 
-    def run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
+    def _run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
         engine.ensure_backend()
         hetero = engine.heterogeneity
         sampled = engine.sample_round(round_index)
@@ -252,7 +268,7 @@ class DeadlineScheduler(RoundScheduler):
     name = "deadline"
     reorders_uploads = True
 
-    def run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
+    def _run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
         engine.ensure_backend()
         hetero = engine.heterogeneity
         sampled = engine.sample_round(round_index)
@@ -346,7 +362,7 @@ class AsyncBufferedScheduler(RoundScheduler):
                 version=state.version,
             )
 
-    def run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
+    def _run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
         engine.ensure_backend()
         # Pop the earliest arrivals until the aggregation buffer is full
         # (the buffer never carries across events — every aggregation

@@ -1,37 +1,49 @@
-"""The federated simulation (Algorithm 1 of the paper), scheduler-driven.
+"""The generic federated simulation engine (Algorithm 1, strategy-driven).
 
-``FederatedSimulation`` wires together devices, a server, a device sampler,
-and a test set.  The round loop itself no longer lives here: a pluggable
-:class:`~repro.federated.scheduler.RoundScheduler` drives the simulation
-through explicit phases —
+One :class:`Simulation` runs *every* algorithm.  It owns the pieces that
+are not algorithm-specific — devices, execution backend, round scheduler,
+simulated clock state, heterogeneity model, sampler, and the training
+history — and delegates the algorithm-specific round phases to a pluggable
+:class:`~repro.federated.strategy.Strategy`:
 
-1. ``sample_round``   — the sampler picks the round's candidate devices;
-2. ``device_tasks``   — local training (Algorithm 2) packaged as picklable
-   tasks and fanned out through the configured
+1. ``sample``          — the strategy (default: the sampler) picks the
+   round's candidate devices;
+2. ``dispatch``        — ``strategy.device_tasks`` packages device-side
+   work (local training, FedMD digest+revisit, ...) as picklable tasks
+   fanned out through the configured
    :class:`~repro.federated.backend.ExecutionBackend`;
-3. ``process_result`` — each completed task is absorbed into its device and
-   the upload (with scheduler-attached staleness metadata) handed to the
-   server;
-4. ``aggregate_round`` — the server aggregates (FedZKT: Algorithm 3;
-   baselines: their own rules), staleness-aware when uploads arrive late;
-5. ``broadcast``      — per-device payloads are delivered (Algorithm 1,
-   lines 11–13 — under the synchronous scheduler *all* devices receive
-   updates, stragglers included);
-6. ``evaluate_round`` — the global model and every on-device model are
-   evaluated on the held-out test set and a :class:`RoundRecord` (including
-   the simulated wall-clock time) is appended.
+3. ``collect``         — ``strategy.process_result`` absorbs each completed
+   task and hands any upload (with scheduler-attached staleness metadata)
+   to its server;
+4. ``aggregate``       — ``strategy.aggregate`` runs the central
+   computation (FedZKT: Algorithm 3; FedAvg: weighted averaging; FedMD /
+   standalone: nothing), staleness-aware when uploads arrive late;
+5. ``broadcast``       — ``strategy.broadcast`` delivers per-device
+   payloads (Algorithm 1, lines 11–13);
+6. ``evaluate``        — the engine evaluates the global model (if the
+   strategy has one) and every on-device model, merges the strategy's
+   round metrics, and appends a :class:`RoundRecord` (with simulated
+   wall-clock time).
 
-The default :class:`~repro.federated.scheduler.SynchronousScheduler`
-replays the historical lockstep loop bit for bit; ``deadline`` and
-``async`` schedulers reorder the same phases on a simulated clock fed by
-the :class:`~repro.federated.heterogeneity.HeterogeneityModel`.  Serial and
-parallel backends produce bit-identical histories because each task carries
-the device's exact parameters and RNG state and returns the updated
-versions.
+*When* those phases run is the round scheduler's decision
+(:mod:`repro.federated.scheduler`): the default
+:class:`~repro.federated.scheduler.SynchronousScheduler` replays the
+historical lockstep loop bit for bit (pinned by the golden-history
+fixtures); ``deadline`` and ``async`` reorder the same phases on a
+simulated clock.  Serial and parallel backends remain bit-identical because
+each task carries exact parameters and RNG state.
+
+``FederatedSimulation`` survives as a thin deprecation shim that wraps a
+server in a
+:class:`~repro.federated.strategy.ParameterServerStrategy`; new code should
+construct ``Simulation(devices, config, test_dataset, strategy)`` directly
+or use the per-algorithm builders (``build_fedzkt``, ``build_fedavg``,
+``build_fedmd``, ``build_standalone``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -45,36 +57,90 @@ from .history import RoundRecord, TrainingHistory
 from .sampling import DeviceSampler, UniformSampler
 from .scheduler import RoundScheduler, SchedulerState, make_scheduler
 from .server import FederatedServer, UploadMeta
+from .strategy import ParameterServerStrategy, Strategy
 
-__all__ = ["RoundEngine", "FederatedSimulation"]
+__all__ = ["Simulation", "FederatedSimulation"]
 
 
-class RoundEngine:
-    """Shared plumbing for scheduler-driven simulations.
+class Simulation:
+    """Run any federated algorithm end to end via its strategy.
 
-    Holds everything a :class:`~repro.federated.scheduler.RoundScheduler`
-    needs that is not algorithm-specific: backend wiring and ownership
-    (``close`` / context-manager lifetime), scheduler construction and
-    validation, the heterogeneity model, the persistent scheduler state
-    shared by ``run``/``run_round``, and the sampler-driven
-    ``sample_round`` phase.  Subclasses implement ``_build_context`` plus
-    the algorithm-specific phases (``device_tasks``, ``process_result``,
-    ``aggregate_round``, ``broadcast``, ``evaluate_round``,
-    ``verbose_line``).
+    Parameters
+    ----------
+    devices:
+        The federated devices (with their heterogeneous models and shards).
+    config:
+        Federated configuration (rounds, local epochs, participation,
+        strategy / scheduler / heterogeneity blocks, ...).
+    test_dataset:
+        Held-out test set used for per-round evaluation.
+    strategy:
+        The algorithm plugin implementing the round phases (see
+        :mod:`repro.federated.strategy`); bound to this engine on
+        construction.
+    sampler:
+        Device sampler; defaults to :class:`UniformSampler` with the
+        config's participation fraction.
+    evaluate_devices:
+        Whether to evaluate every on-device model each round (needed for
+        Figs. 5–7; can be disabled to speed up global-model-only studies).
+    round_callback:
+        Optional hook invoked with each completed :class:`RoundRecord`
+        (used by diagnostics such as the Fig. 2 gradient probe).
+    backend:
+        Execution backend for device-side work; defaults to
+        :class:`~repro.federated.backend.SerialBackend`.  A backend passed
+        in explicitly is owned by the caller; an internally-created default
+        is owned by the simulation and released by :meth:`close` (also
+        called on ``with``-block exit).
+    scheduler:
+        Round scheduler; defaults to the one described by
+        ``config.scheduler`` (synchronous unless configured otherwise).
+        Must be a kind the strategy declares in ``supports_schedulers``.
+    heterogeneity:
+        Device timing/availability model; defaults to one built from
+        ``config.heterogeneity`` and the config seed.
     """
 
-    #: Whether the engine's round structure tolerates reordered / partial
-    #: uploads (deadline and async schedulers).
-    supports_async = True
+    def __init__(self, devices: Sequence[Device], config: FederatedConfig,
+                 test_dataset: ImageDataset, strategy: Strategy,
+                 sampler: Optional[DeviceSampler] = None,
+                 evaluate_devices: bool = True,
+                 round_callback: Optional[Callable[[RoundRecord], None]] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 scheduler: Optional[RoundScheduler] = None,
+                 heterogeneity: Optional[HeterogeneityModel] = None) -> None:
+        if not devices:
+            raise ValueError("at least one device is required")
+        if not isinstance(strategy, Strategy):
+            raise TypeError(f"strategy must be a Strategy instance, got {type(strategy).__name__}")
+        self.devices = list(devices)
+        self.config = config
+        self.test_dataset = test_dataset
+        self.strategy = strategy
+        self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
+        self.evaluate_devices = evaluate_devices
+        self.round_callback = round_callback
+        strategy.bind(self)
+        self._init_engine(config, backend, scheduler, heterogeneity)
+        self.history = TrainingHistory(algorithm=strategy.name, config=config.describe())
 
+    # ------------------------------------------------------------------ #
+    # Engine wiring
+    # ------------------------------------------------------------------ #
     def _init_engine(self, config: FederatedConfig,
                      backend: Optional[ExecutionBackend],
                      scheduler: Optional[RoundScheduler],
                      heterogeneity: Optional[HeterogeneityModel] = None) -> None:
-        """Wire backend/scheduler/heterogeneity; call after ``self.devices`` is set."""
+        """Wire backend/scheduler/heterogeneity; called after ``devices``."""
         self._owns_backend = backend is None
         self.backend = backend or SerialBackend()
         self.scheduler = scheduler or make_scheduler(config.scheduler)
+        kind = getattr(self.scheduler, "name", None)
+        if kind is not None and kind not in self.strategy.supports_schedulers:
+            raise ValueError(
+                f"strategy {self.strategy.name!r} does not support the {kind!r} "
+                f"scheduler (supported: {', '.join(self.strategy.supports_schedulers)})")
         self.scheduler.check_engine(self)
         self.heterogeneity = heterogeneity or HeterogeneityModel(
             len(self.devices), config.heterogeneity, seed=config.seed)
@@ -82,25 +148,44 @@ class RoundEngine:
         self._round_state: Optional[SchedulerState] = None
         self._closed = False
 
+    @property
+    def server(self) -> Optional[FederatedServer]:
+        """The strategy's server, if the algorithm has one."""
+        return self.strategy.server
+
+    @property
+    def supports_async(self) -> bool:
+        """Whether the strategy tolerates reordered / partial uploads."""
+        return self.strategy.supports_reordering
+
+    def __getattr__(self, name: str):
+        # Delegate unknown attributes to the strategy so algorithm-specific
+        # helpers (e.g. FedMD's digest knobs) stay reachable from the
+        # simulation, as they were on the per-algorithm engine classes.
+        strategy = self.__dict__.get("strategy")
+        if strategy is not None and hasattr(strategy, name):
+            return getattr(strategy, name)
+        raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
+
     # ------------------------------------------------------------------ #
     # Backend plumbing and lifetime
     # ------------------------------------------------------------------ #
     def _build_context(self) -> WorkerContext:
-        raise NotImplementedError
+        return build_worker_context(self.devices, eval_dataset=self.test_dataset,
+                                    public_dataset=self.strategy.public_dataset)
 
     def ensure_backend(self) -> None:
         """Build the worker context lazily and (re)start the backend with it.
 
-        Also hands the backend to the server (``bind_backend``) so servers
-        that shard their aggregation — FedZKT's server update — dispatch
-        through the same worker pool as the device phases.
+        Also hands the backend to the strategy's server (``bind_backend``)
+        so servers that shard their aggregation — FedZKT's server update —
+        dispatch through the same worker pool as the device phases.
         """
         if self._context is None:
             self._context = self._build_context()
         self.backend.start(self._context)
-        server = getattr(self, "server", None)
-        if server is not None:
-            server.bind_backend(self.backend)
+        if self.server is not None:
+            self.server.bind_backend(self.backend)
         self._closed = False
 
     def close(self) -> None:
@@ -131,78 +216,16 @@ class RoundEngine:
             self._round_state = self.scheduler.initial_state(self)
         return self._round_state
 
+    # ------------------------------------------------------------------ #
+    # Round phases (driven by the scheduler, delegated to the strategy)
+    # ------------------------------------------------------------------ #
     def sample_round(self, round_index: int) -> List[int]:
-        """The sampler's candidate devices for this round."""
-        return self.sampler.sample(round_index, len(self.devices))
+        """The strategy's candidate devices for this round."""
+        return self.strategy.sample(round_index)
 
-
-class FederatedSimulation(RoundEngine):
-    """Run a federated algorithm end to end.
-
-    Parameters
-    ----------
-    devices:
-        The federated devices (with their heterogeneous models and shards).
-    server:
-        The algorithm-specific server.
-    config:
-        Federated configuration (rounds, local epochs, participation,
-        scheduler and heterogeneity blocks, ...).
-    test_dataset:
-        Held-out test set used for per-round evaluation.
-    sampler:
-        Device sampler; defaults to :class:`UniformSampler` with the
-        config's participation fraction.
-    evaluate_devices:
-        Whether to evaluate every on-device model each round (needed for
-        Figs. 5–7; can be disabled to speed up global-model-only studies).
-    round_callback:
-        Optional hook invoked with each completed :class:`RoundRecord`
-        (used by diagnostics such as the Fig. 2 gradient probe).
-    backend:
-        Execution backend for device-side work; defaults to
-        :class:`~repro.federated.backend.SerialBackend`.  A backend passed
-        in explicitly is owned by the caller; an internally-created default
-        is owned by the simulation and released by :meth:`close` (also
-        called on ``with``-block exit).
-    scheduler:
-        Round scheduler; defaults to the one described by
-        ``config.scheduler`` (synchronous unless configured otherwise).
-    heterogeneity:
-        Device timing/availability model; defaults to one built from
-        ``config.heterogeneity`` and the config seed.
-    """
-
-    def __init__(self, devices: Sequence[Device], server: FederatedServer,
-                 config: FederatedConfig, test_dataset: ImageDataset,
-                 sampler: Optional[DeviceSampler] = None,
-                 evaluate_devices: bool = True,
-                 round_callback: Optional[Callable[[RoundRecord], None]] = None,
-                 backend: Optional[ExecutionBackend] = None,
-                 scheduler: Optional[RoundScheduler] = None,
-                 heterogeneity: Optional[HeterogeneityModel] = None) -> None:
-        if not devices:
-            raise ValueError("at least one device is required")
-        self.devices = list(devices)
-        self.server = server
-        self.config = config
-        self.test_dataset = test_dataset
-        self.sampler = sampler or UniformSampler(config.participation_fraction, seed=config.seed)
-        self.evaluate_devices = evaluate_devices
-        self.round_callback = round_callback
-        self._init_engine(config, backend, scheduler, heterogeneity)
-        self.history = TrainingHistory(algorithm=server.name, config=config.describe())
-
-    def _build_context(self) -> WorkerContext:
-        return build_worker_context(self.devices, eval_dataset=self.test_dataset)
-
-    # ------------------------------------------------------------------ #
-    # Round phases (driven by the scheduler)
-    # ------------------------------------------------------------------ #
     def device_tasks(self, device_ids: Sequence[int], round_index: int) -> List:
-        """Package local training (Algorithm 2) for the given devices."""
-        return [self.devices[device_id].local_train_task(self.config.local_epochs)
-                for device_id in device_ids]
+        """Package the round's device-side work (dispatch phase)."""
+        return self.strategy.device_tasks(device_ids, round_index)
 
     def restore_model_state(self, device_id: int, state: Dict[str, np.ndarray]) -> None:
         """Reset a device's published parameters to a pre-dispatch snapshot.
@@ -214,26 +237,17 @@ class FederatedSimulation(RoundEngine):
         self.devices[device_id].model.load_state_dict(state)
 
     def process_result(self, result, meta: UploadMeta) -> float:
-        """Absorb one training result and upload the parameters to the server."""
-        device = self.devices[result.device_id]
-        report = device.absorb_training_result(result)
-        self.server.collect(device.device_id, device.send_parameters(), meta=meta)
-        return report.mean_loss
+        """Absorb one completed task (collect phase); returns local loss."""
+        return self.strategy.process_result(result, meta)
 
     def aggregate_round(self, round_index: int, device_ids: Sequence[int],
                         upload_meta: Dict[int, UploadMeta]) -> None:
-        """Server update (Algorithm 3 / baseline-specific), staleness-aware."""
-        self.server.aggregate(round_index, list(device_ids), upload_meta=upload_meta)
+        """Strategy server update over this round's uploads, staleness-aware."""
+        self.strategy.aggregate(round_index, device_ids, upload_meta)
 
     def broadcast(self, device_ids: Optional[Sequence[int]] = None) -> None:
-        """Deliver server payloads (``None`` = all devices, Algorithm 1 l.11–13)."""
-        targets = (self.devices if device_ids is None
-                   else [self.devices[device_id] for device_id in device_ids])
-        for device in targets:
-            payload = self.server.payload_for(device.device_id)
-            if payload is not None:
-                device.receive_parameters(payload)
-        self.server.finish_round()
+        """Deliver server payloads (``None`` = all devices)."""
+        self.strategy.broadcast(device_ids)
 
     def evaluate_round(self, round_index: int, active: Sequence[int],
                        losses: Sequence[float], sim_time: Optional[float] = None,
@@ -242,13 +256,13 @@ class FederatedSimulation(RoundEngine):
         record = RoundRecord(round_index=round_index, active_devices=list(active),
                              sim_time=sim_time)
         record.local_loss = float(np.mean(losses)) if losses else None
-        record.global_accuracy = self.server.evaluate_global(self.test_dataset)
+        record.global_accuracy = self.strategy.evaluate_global(self.test_dataset)
         if self.evaluate_devices:
             eval_tasks = [device.evaluate_task() for device in self.devices]
             accuracies = self.backend.run_tasks(eval_tasks)
             for device, accuracy in zip(self.devices, accuracies):
                 record.device_accuracies[device.device_id] = accuracy
-        record.server_metrics = dict(self.server.last_metrics)
+        record.server_metrics = dict(self.strategy.round_metrics())
         if extra_metrics:
             record.server_metrics.update(extra_metrics)
         self.history.append(record)
@@ -257,16 +271,14 @@ class FederatedSimulation(RoundEngine):
         return record
 
     def verbose_line(self, record: RoundRecord, total_rounds: int) -> str:
-        global_part = (
-            f"global={record.global_accuracy:.3f} " if record.global_accuracy is not None else ""
-        )
-        return (f"[{self.server.name}] round {record.round_index}/{total_rounds} "
-                f"{global_part}mean_device={record.mean_device_accuracy:.3f}")
+        return self.strategy.verbose_line(record, total_rounds)
 
     # ------------------------------------------------------------------ #
     def run(self, rounds: Optional[int] = None, verbose: bool = False) -> TrainingHistory:
         """Execute ``rounds`` scheduler rounds (defaults to the config)."""
         total_rounds = rounds if rounds is not None else self.config.rounds
+        self.ensure_backend()
+        self.strategy.on_run_start(total_rounds)
         return self.scheduler.run(self, total_rounds, verbose=verbose,
                                   state=self._scheduler_state())
 
@@ -277,3 +289,33 @@ class FederatedSimulation(RoundEngine):
         successive ``run_round`` calls on the same simulation.
         """
         return self.scheduler.run_round(self, round_index, self._scheduler_state())
+
+
+class FederatedSimulation(Simulation):
+    """Deprecated parameter-upload engine — use :class:`Simulation`.
+
+    Kept as a shim for the pre-strategy API: ``FederatedSimulation(devices,
+    server, config, test_dataset, ...)`` wraps ``server`` in a
+    :class:`~repro.federated.strategy.ParameterServerStrategy` and
+    constructs the generic engine, producing bit-identical histories.
+    Emits a :class:`DeprecationWarning` on construction.
+    """
+
+    def __init__(self, devices: Sequence[Device], server: FederatedServer,
+                 config: FederatedConfig, test_dataset: ImageDataset,
+                 sampler: Optional[DeviceSampler] = None,
+                 evaluate_devices: bool = True,
+                 round_callback: Optional[Callable[[RoundRecord], None]] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 scheduler: Optional[RoundScheduler] = None,
+                 heterogeneity: Optional[HeterogeneityModel] = None) -> None:
+        warnings.warn(
+            "FederatedSimulation is deprecated; construct Simulation(devices, "
+            "config, test_dataset, strategy) with a Strategy (see "
+            "repro.federated.strategy) or use the build_* helpers",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(devices, config, test_dataset,
+                         ParameterServerStrategy(server),
+                         sampler=sampler, evaluate_devices=evaluate_devices,
+                         round_callback=round_callback, backend=backend,
+                         scheduler=scheduler, heterogeneity=heterogeneity)

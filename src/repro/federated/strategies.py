@@ -1,0 +1,152 @@
+"""Strategy registry: name → :class:`~repro.federated.strategy.Strategy`.
+
+The registry is what makes algorithms *pluggable*: the CLI enumerates it
+for ``repro run --algorithm`` and ``repro list``, config validation looks
+capabilities up through it, and external code can plug a new algorithm in
+with :func:`register_strategy` without touching the engine.
+
+Built-in strategies are registered lazily (by import path) so importing
+this module never drags the whole algorithm zoo in; the classes are
+resolved on first lookup.
+
+Capability validation lives here — :func:`validate_strategy` is the single
+place that checks a :class:`~repro.federated.config.FederatedConfig`'s
+scheduler kind and server-sharding request against the selected strategy's
+declarations, replacing the hand-rolled gating that used to be scattered
+through ``cli.py``.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Dict, List, Optional, Type
+
+from .strategy import Strategy
+
+__all__ = [
+    "register_strategy",
+    "get_strategy_class",
+    "strategy_names",
+    "strategy_capabilities",
+    "validate_strategy",
+]
+
+# name → import path of a built-in strategy class, resolved lazily.
+_BUILTIN_STRATEGIES: Dict[str, str] = {
+    "fedzkt": "repro.core.fedzkt:FedZKTStrategy",
+    "fedavg": "repro.baselines.fedavg:FedAvgStrategy",
+    "fedmd": "repro.baselines.fedmd:FedMDStrategy",
+    "standalone": "repro.baselines.standalone:StandaloneStrategy",
+}
+
+# name → strategy class, for explicitly registered (or resolved built-in)
+# strategies.
+_REGISTRY: Dict[str, Type[Strategy]] = {}
+
+
+def register_strategy(cls: Type[Strategy], name: Optional[str] = None, *,
+                      replace: bool = False) -> Type[Strategy]:
+    """Register a strategy class under ``name`` (default: ``cls.name``).
+
+    Usable as a plain call or a decorator::
+
+        @register_strategy
+        class MyStrategy(Strategy):
+            name = "mine"
+
+    Raises ``ValueError`` on duplicate names unless ``replace=True`` —
+    silently shadowing a built-in algorithm is almost always a bug.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, Strategy)):
+        raise TypeError(f"register_strategy expects a Strategy subclass, got {cls!r}")
+    key = name if name is not None else cls.name
+    if not key or key == Strategy.name:
+        raise ValueError(
+            f"strategy class {cls.__name__} needs an explicit name "
+            "(set a class-level `name` or pass name=...)")
+    if not replace and key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"strategy {key!r} is already registered "
+                         f"({_REGISTRY[key].__name__}); pass replace=True to override")
+    if not replace and key in _BUILTIN_STRATEGIES and key not in _REGISTRY:
+        # Resolve the built-in first so re-registering the same class is a
+        # no-op while a *different* class still raises.
+        builtin = _resolve_builtin(key)
+        if builtin is not cls:
+            raise ValueError(f"strategy {key!r} is already registered "
+                             f"({builtin.__name__}); pass replace=True to override")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def _resolve_builtin(name: str) -> Type[Strategy]:
+    module_path, _, attribute = _BUILTIN_STRATEGIES[name].partition(":")
+    cls = getattr(import_module(module_path), attribute)
+    _REGISTRY.setdefault(name, cls)
+    return _REGISTRY[name]
+
+
+def get_strategy_class(name: str) -> Type[Strategy]:
+    """Look a strategy class up by registry name.
+
+    Raises ``KeyError`` with the available names for unknown strategies.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    if name in _BUILTIN_STRATEGIES:
+        return _resolve_builtin(name)
+    raise KeyError(f"unknown strategy {name!r}; registered strategies: "
+                   f"{', '.join(strategy_names())}")
+
+
+def strategy_names() -> List[str]:
+    """Sorted names of every registered (and built-in) strategy."""
+    return sorted(set(_BUILTIN_STRATEGIES) | set(_REGISTRY))
+
+
+def strategy_capabilities(name: str) -> Dict[str, object]:
+    """Capability summary of one strategy (used by ``repro list``)."""
+    cls = get_strategy_class(name)
+    doc = (cls.__doc__ or "").strip().splitlines()
+    return {
+        "name": name,
+        "description": doc[0] if doc else "",
+        "supports_schedulers": tuple(cls.supports_schedulers),
+        "supports_server_shards": bool(cls.supports_server_shards),
+        "uses_public_dataset": bool(cls.uses_public_dataset),
+    }
+
+
+def validate_strategy(config) -> Type[Strategy]:
+    """Validate ``config``'s strategy block against the registry.
+
+    The single place capability declarations are enforced:
+
+    * the strategy name must be registered;
+    * ``config.scheduler.kind`` must be in the strategy's
+      ``supports_schedulers``;
+    * ``config.server.server_shards > 1`` requires
+      ``supports_server_shards``.
+
+    Returns the resolved strategy class.  Called automatically by
+    ``FederatedConfig.__post_init__`` whenever ``config.strategy.name`` is
+    set, so every entry point (CLI, experiment runners, direct library use)
+    rejects incompatible combinations with the same message.
+    """
+    name = config.strategy.name
+    try:
+        cls = get_strategy_class(name)
+    except KeyError as exc:
+        raise ValueError(str(exc).strip('"')) from None
+    kind = config.scheduler.kind
+    if kind not in cls.supports_schedulers:
+        supported = ", ".join(cls.supports_schedulers)
+        raise ValueError(
+            f"strategy {name!r} does not support the {kind!r} scheduler "
+            f"(supported: {supported})")
+    if config.server.server_shards > 1 and not cls.supports_server_shards:
+        raise ValueError(
+            f"server_shards={config.server.server_shards} requires a strategy "
+            f"with a shardable server-side phase, but strategy {name!r} does "
+            "not declare supports_server_shards (only fedzkt's zero-shot "
+            "distillation shards through the backend)")
+    return cls

@@ -7,7 +7,6 @@ import pytest
 
 from repro.baselines import (
     FedAvgServer,
-    StandaloneBounds,
     build_fedavg,
     build_fedmd,
     build_fedprox,
@@ -65,8 +64,9 @@ class TestFedMD:
     def test_requires_devices(self, micro_config, tiny_rgb_dataset, tiny_test_dataset):
         from repro.baselines.fedmd import FedMDSimulation
 
-        with pytest.raises(ValueError):
-            FedMDSimulation([], tiny_rgb_dataset, micro_config, tiny_test_dataset)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                FedMDSimulation([], tiny_rgb_dataset, micro_config, tiny_test_dataset)
 
 
 class TestFedAvgFedProx:

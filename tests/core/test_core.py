@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    FedZKTServer,
     GradientNormProbe,
     ZeroShotDistiller,
     build_fedzkt,
@@ -15,7 +14,7 @@ from repro.core import (
     ensemble_output,
     input_gradient_norms,
 )
-from repro.federated import FederatedConfig, ServerConfig, evaluate_model
+from repro.federated import ServerConfig, evaluate_model
 from repro.models import LeNet, SimpleCNN, build_generator, build_global_model
 from repro.nn import Tensor
 

@@ -20,7 +20,6 @@ from repro.federated import (
     resource_split_summary,
 )
 from repro.models import SimpleCNN
-from repro.nn.losses import cross_entropy
 from repro.nn import Tensor
 
 

@@ -168,13 +168,28 @@ def test_dropout_shrinks_participation():
     assert min(sizes) < 4  # some device dropped in at least one round
 
 
-def test_fedmd_rejects_async_schedulers():
+def test_fedmd_runs_under_reordering_schedulers_with_partial_consensus():
+    """FedMD historically refused deadline/async; the partial-consensus
+    variant (consensus over the dispatch cohort) now supports them."""
     train, test = _data()
     public = SyntheticImageGenerator(SyntheticImageConfig(
         name="sched-public", num_classes=4, channels=3, height=8, width=8,
         family_seed=77, modes_per_class=1)).sample(40, seed=5)
-    with pytest.raises(ValueError, match="synchronous"):
-        build_fedmd(train, test, public, _config("async"), family="small")
+    simulation = build_fedmd(train, test, public, _config("async"), family="small")
+    assert simulation.strategy.consensus_mode == "partial"
+    with simulation:
+        history = simulation.run()
+    assert len(history) == 4
+
+
+def test_standalone_rejects_reordering_schedulers():
+    """StandaloneStrategy has no aggregation event, so the capability
+    validation rejects deadline/async at config time."""
+    from repro.baselines import build_standalone
+
+    train, test = _data()
+    with pytest.raises(ValueError, match="does not support the 'deadline' scheduler"):
+        build_standalone(train, test, _config("deadline"), family="small")
 
 
 def test_run_round_persists_scheduler_state():

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datasets import ImageDataset, SyntheticImageConfig, SyntheticImageGenerator
+from repro.datasets import SyntheticImageConfig, SyntheticImageGenerator
 from repro.partition import (
     DirichletPartitioner,
     IIDPartitioner,

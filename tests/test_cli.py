@@ -76,11 +76,27 @@ def test_scheduler_knobs_require_matching_scheduler():
         cli.main(["run", "mnist", "--buffer-size", "3", "--quiet"])
 
 
-def test_fedmd_rejects_async_scheduler_flag(monkeypatch):
+def test_standalone_rejects_async_scheduler_flag(monkeypatch):
     monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
-    with pytest.raises(SystemExit, match="synchronous"):
-        cli.main(["run", "mnist", "--algorithm", "fedmd", "--scheduler", "async",
+    with pytest.raises(SystemExit,
+                       match="strategy 'standalone' does not support the 'async' scheduler"):
+        cli.main(["run", "mnist", "--algorithm", "standalone", "--scheduler", "async",
                   "--quiet"])
+
+
+def test_fedmd_accepts_deadline_scheduler(monkeypatch, tmp_path):
+    """FedMD historically refused deadline/async from the CLI; the partial-
+    consensus strategy now runs them end to end."""
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--algorithm", "fedmd", "--scale", "tiny",
+                     "--rounds", "2", "--scheduler", "deadline", "--speed-skew", "4",
+                     "--output", str(output), "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["algorithm"] == "fedmd"
+    assert payload["config"]["scheduler"] == "deadline"
+    assert len(payload["rounds"]) == 2
 
 
 def test_run_command_with_deadline_scheduler(monkeypatch, tmp_path):
@@ -110,6 +126,19 @@ def test_list_command(capsys):
     assert "serial, process, process:N" in out
 
 
+def test_list_command_enumerates_strategy_registry(capsys):
+    from repro.federated import strategy_names
+
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "strategies:" in out
+    for name in strategy_names():
+        assert name in out
+    # Capability flags are surfaced.
+    assert "server-shards" in out
+    assert "public-dataset" in out
+
+
 def test_run_command_micro(monkeypatch, tmp_path, capsys):
     # Swap the micro scale in for "tiny" so the CLI run finishes in seconds.
     monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
@@ -133,12 +162,61 @@ def test_experiment_command_micro(monkeypatch, tmp_path, capsys):
     assert (out_dir / "compute_split.json").exists()
 
 
-def test_server_shards_flag_requires_fedzkt():
-    with pytest.raises(SystemExit, match="--algorithm fedzkt"):
-        cli.main(["run", "mnist", "--algorithm", "fedmd", "--server-shards", "2",
-                  "--quiet"])
+def test_server_shards_flag_requires_capable_strategy():
+    """--server-shards gating now comes from the strategy's capability
+    declaration (validated in the config), not hand-rolled CLI checks."""
+    for algorithm in ("fedmd", "fedavg", "standalone"):
+        with pytest.raises(SystemExit,
+                           match=f"strategy '{algorithm}' does not declare "
+                                 "supports_server_shards"):
+            cli.main(["run", "mnist", "--algorithm", algorithm, "--server-shards", "2",
+                      "--quiet"])
     with pytest.raises(SystemExit, match="at least 1"):
         cli.main(["run", "mnist", "--server-shards", "0", "--quiet"])
+
+
+def test_public_choice_requires_public_dataset_strategy():
+    with pytest.raises(SystemExit, match="--public-choice only applies"):
+        cli.main(["run", "mnist", "--algorithm", "fedzkt", "--public-choice", "svhn",
+                  "--quiet"])
+
+
+def test_run_command_fedavg(monkeypatch, tmp_path):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--algorithm", "fedavg", "--scale", "tiny",
+                     "--rounds", "2", "--output", str(output), "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["algorithm"] == "fedavg"
+    assert len(payload["rounds"]) == 2
+    assert all(r["global_accuracy"] is not None for r in payload["rounds"])
+
+
+def test_run_command_fedprox_via_prox_mu(monkeypatch, tmp_path):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--algorithm", "fedavg", "--prox-mu", "0.1",
+                     "--scale", "tiny", "--rounds", "1", "--output", str(output),
+                     "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["algorithm"] == "fedprox"
+    assert payload["config"]["prox_mu"] == 0.1
+
+
+def test_run_command_standalone(monkeypatch, tmp_path):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    output = tmp_path / "history.json"
+    code = cli.main(["run", "mnist", "--algorithm", "standalone", "--scale", "tiny",
+                     "--rounds", "2", "--output", str(output), "--quiet"])
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["algorithm"] == "standalone"
+    assert len(payload["rounds"]) == 2
+    # No collaboration: no global model, but per-device accuracies recorded.
+    assert all(r["global_accuracy"] is None for r in payload["rounds"])
+    assert all(len(r["device_accuracies"]) == 2 for r in payload["rounds"])
 
 
 def test_run_command_with_server_shards(monkeypatch, tmp_path):
