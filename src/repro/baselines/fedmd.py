@@ -132,7 +132,8 @@ class FedMDStrategy(Strategy):
         its private data before any communication (fanned out through the
         backend)."""
         simulation = self.simulation
-        warmup_tasks = [device.local_train_task(simulation.config.local_epochs)
+        store = simulation.state_store
+        warmup_tasks = [device.local_train_task(simulation.config.local_epochs, store=store)
                         for device in simulation.devices]
         for result in simulation.backend.run_tasks(warmup_tasks):
             simulation.devices[result.device_id].absorb_training_result(result)
@@ -152,20 +153,34 @@ class FedMDStrategy(Strategy):
         if not device_ids:
             return []
         simulation = self.simulation
+        store = simulation.state_store
+
+        def published_state(device_id):
+            state = simulation.devices[device_id].model.state_dict()
+            return store.put_state(state, label="device") if store is not None else state
+
+        # Snapshot/publish each cohort member's state once; the digest +
+        # revisit training task below reuses the same payload (running the
+        # logits task does not move the model — it loads these very values).
+        states = {device_id: published_state(device_id) for device_id in device_ids}
         logit_tasks = [
-            PublicLogitsTask(device_id=device_id,
-                             state=simulation.devices[device_id].model.state_dict())
+            PublicLogitsTask(device_id=device_id, state=states[device_id])
             for device_id in device_ids
         ]
         uploaded = simulation.backend.run_tasks(logit_tasks)
         consensus = np.mean(np.stack(uploaded, axis=0), axis=0)
+        # The cohort shares one consensus matrix: publish it once and let
+        # every digest spec carry the same ref instead of N inline copies.
+        consensus_payload = (store.put_arrays([consensus], label="consensus")
+                            if store is not None else consensus)
 
         train_tasks = []
         for device_id in device_ids:
             task = simulation.devices[device_id].local_train_task(
-                simulation.config.local_epochs)
+                simulation.config.local_epochs, store=store,
+                state=states[device_id])
             task.digest = DigestSpec(
-                consensus=consensus,
+                consensus=consensus_payload,
                 epochs=self.digest_epochs,
                 lr=simulation.config.server.device_distill_lr,
                 batch_size=simulation.config.batch_size,

@@ -19,7 +19,7 @@ Subcommands
     List available strategies (with their capability declarations),
     experiments, scales, backends, and schedulers.
 
-Every subcommand accepts ``--backend serial|process[:N]`` to select the
+Every subcommand accepts ``--backend serial|thread[:N]|process[:N]`` to select the
 execution engine; ``process`` fans device training (for ``run``) or whole
 experiment variants (for ``experiment``) out across worker processes.
 ``repro run`` additionally accepts ``--scheduler sync|deadline|async``
@@ -78,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--public-choice", default=None,
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
-                            help="execution backend: serial, process, or process:N")
+                            help="execution backend: serial, thread[:N], or process[:N]")
     run_parser.add_argument("--server-shards", type=int, default=None,
                             help="shard the strategy's server update through the backend "
                                  "into this many shards (requires a strategy declaring "
@@ -192,7 +192,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
         print(f"  {name:15s} {doc[0] if doc else ''}")
     print("\nscales: " + ", ".join(sorted(SCALES)))
-    print("backends: serial, process, process:N")
+    print("backends: serial, thread, thread:N, process, process:N")
     print("schedulers: sync, deadline, async")
     return 0
 

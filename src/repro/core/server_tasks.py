@@ -10,8 +10,12 @@ naturally data-parallel over *models*:
   on-device architecture from identical synthetic input/target batches.
 
 This module packages both as tasks for the
-:class:`~repro.federated.backend.ExecutionBackend`, reusing the packed
-state-dict wire format of :mod:`repro.utils.serialization` and the
+:class:`~repro.federated.backend.ExecutionBackend`.  State payloads arrive
+either as :class:`~repro.utils.serialization.StateRef` handles into the
+backend's content-addressed state store (the normal case — teacher states
+and shared synthetic batches are published once per round) or in the
+legacy inline forms (plain dicts in-process, packed npz blobs on the
+wire); tasks resolve all three uniformly.  Execution borrows the
 per-process :class:`~repro.federated.backend.WorkerContext` (whose model
 replicas share architectures with the server-side replicas, keyed by
 device id).  Tasks *borrow* a context model: they snapshot its parameters,
@@ -35,13 +39,14 @@ from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
-from ..federated.backend import WorkerContext
+from ..federated.backend import WorkerContext, resolve_arrays, resolve_state
 from ..nn import no_grad
 from ..nn.losses import kl_divergence_loss
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
 from ..utils.serialization import (
     StateLike,
+    StateRef,
     as_array_list,
     as_state_dict,
     pack_array_list,
@@ -57,10 +62,23 @@ __all__ = [
     "DeviceDistillResult",
 ]
 
+#: A shard task's per-model state payload: a ref into the state store (the
+#: normal case — teacher states are published once per round), a packed
+#: blob, or a plain dict.
+ShardState = Union[StateRef, StateLike]
 
-def _pack_states(states: Sequence[StateLike]) -> List[bytes]:
-    return [state if isinstance(state, bytes) else pack_state_dict(state)
+
+def _pack_states(states: Sequence[ShardState]) -> List:
+    """Pack raw dict payloads for the wire; refs/blobs pass through."""
+    return [pack_state_dict(state) if isinstance(state, dict) else state
             for state in states]
+
+
+def _single_array(value) -> np.ndarray:
+    """Materialize a single-array payload (ref / packed blob / raw array)."""
+    if isinstance(value, (StateRef, bytes)):
+        return resolve_arrays(value)[0]
+    return value
 
 
 def partition_shards(items: Sequence, num_shards: int) -> List[List]:
@@ -79,7 +97,7 @@ def partition_shards(items: Sequence, num_shards: int) -> List[List]:
 
 
 @contextmanager
-def borrowed_model(context: WorkerContext, device_id: int, state: StateLike,
+def borrowed_model(context: WorkerContext, device_id: int, state: ShardState,
                    train: bool):
     """Temporarily load ``state`` into the context's replica for ``device_id``.
 
@@ -91,7 +109,7 @@ def borrowed_model(context: WorkerContext, device_id: int, state: StateLike,
     model = context.model_for(device_id)
     snapshot = model.state_dict()
     saved_mode = model.training
-    model.load_state_dict(as_state_dict(state))
+    model.load_state_dict(resolve_state(state))
     model.train(train)
     try:
         yield model
@@ -119,8 +137,8 @@ class EnsembleForwardTask:
     """
 
     device_ids: List[int]
-    states: List[StateLike]
-    inputs: Union[np.ndarray, bytes]
+    states: List[ShardState]
+    inputs: Union[StateRef, np.ndarray, bytes]
     mode: str = "prob"
 
     def __getstate__(self):
@@ -131,8 +149,7 @@ class EnsembleForwardTask:
         return payload
 
     def run(self, context: WorkerContext) -> List[np.ndarray]:
-        (inputs,) = (as_array_list(self.inputs) if isinstance(self.inputs, bytes)
-                     else [self.inputs])
+        inputs = _single_array(self.inputs)
         members: List[np.ndarray] = []
         for device_id, state in zip(self.device_ids, self.states):
             with borrowed_model(context, device_id, state, train=False) as model:
@@ -156,10 +173,10 @@ class EnsembleVJPTask:
     """
 
     device_ids: List[int]
-    states: List[StateLike]
+    states: List[ShardState]
     weights: List[float]
-    inputs: Union[np.ndarray, bytes]
-    upstream: Union[np.ndarray, bytes]
+    inputs: Union[StateRef, np.ndarray, bytes]
+    upstream: Union[StateRef, np.ndarray, bytes]
     mode: str = "prob"
 
     def __getstate__(self):
@@ -171,10 +188,8 @@ class EnsembleVJPTask:
         return payload
 
     def run(self, context: WorkerContext) -> List[np.ndarray]:
-        (inputs,) = (as_array_list(self.inputs) if isinstance(self.inputs, bytes)
-                     else [self.inputs])
-        (upstream,) = (as_array_list(self.upstream) if isinstance(self.upstream, bytes)
-                       else [self.upstream])
+        inputs = _single_array(self.inputs)
+        upstream = _single_array(self.upstream)
         grads: List[np.ndarray] = []
         for device_id, state, weight in zip(self.device_ids, self.states, self.weights):
             with borrowed_model(context, device_id, state, train=False) as model:
@@ -203,18 +218,18 @@ class DeviceDistillTask:
     """
 
     device_ids: List[int]
-    states: List[StateLike]
-    velocities: List[Union[bytes, List[np.ndarray]]]
-    inputs: Union[bytes, List[np.ndarray]]
-    targets: Union[bytes, List[np.ndarray]]
+    states: List[ShardState]
+    velocities: List[Union[StateRef, bytes, List[np.ndarray]]]
+    inputs: Union[StateRef, bytes, List[np.ndarray]]
+    targets: Union[StateRef, bytes, List[np.ndarray]]
     lr: float
     momentum: float = 0.9
 
     def __getstate__(self):
         payload = dict(self.__dict__)
         payload["states"] = _pack_states(payload["states"])
-        payload["velocities"] = [velocity if isinstance(velocity, bytes)
-                                 else pack_array_list(list(velocity))
+        payload["velocities"] = [pack_array_list(list(velocity))
+                                 if isinstance(velocity, (list, tuple)) else velocity
                                  for velocity in payload["velocities"]]
         for field_name in ("inputs", "targets"):
             if isinstance(payload[field_name], list):
@@ -222,15 +237,15 @@ class DeviceDistillTask:
         return payload
 
     def run(self, context: WorkerContext) -> "DeviceDistillResult":
-        inputs = as_array_list(self.inputs)
-        targets = as_array_list(self.targets)
+        inputs = resolve_arrays(self.inputs)
+        targets = resolve_arrays(self.targets)
         out_states: List[Dict[str, np.ndarray]] = []
         out_velocities: List[List[np.ndarray]] = []
         out_losses: List[List[float]] = []
         for device_id, state, velocity in zip(self.device_ids, self.states, self.velocities):
             with borrowed_model(context, device_id, state, train=True) as model:
                 optimizer = SGD(model.parameters(), lr=self.lr, momentum=self.momentum)
-                optimizer.load_velocity_state(as_array_list(velocity))
+                optimizer.load_velocity_state(resolve_arrays(velocity))
                 losses: List[float] = []
                 for batch, target in zip(inputs, targets):
                     student_logits = model(Tensor(batch))

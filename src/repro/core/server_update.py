@@ -19,9 +19,14 @@ backward to the synthesized inputs — out as
 :class:`~repro.core.server_tasks.EnsembleVJPTask` shards and reduces the
 weighted mean on the driver in teacher order; Phase 2 dispatches one
 :class:`~repro.core.server_tasks.DeviceDistillTask` per shard of device
-models, each consuming identical precomputed synthetic batches.  The
-sharded path is bit-identical to the serial one (model states, metrics,
-and gradients), which the parity tests in
+models, each consuming identical precomputed synthetic batches.  Shared
+payloads travel through the backend's content-addressed state store:
+teacher states are published **once per round** (every shard task of every
+synthesis iteration then carries a tiny ref, and each worker fetches a
+teacher's blob at most once), and per-iteration synthetic batches are
+published once, shared across shards, and discarded as soon as their
+dispatch completes.  The sharded path is bit-identical to the serial one
+(model states, metrics, and gradients), which the parity tests in
 ``tests/core/test_server_sharding.py`` pin.
 
 The distiller also records the diagnostics the paper reports: per-phase
@@ -128,9 +133,54 @@ class ZeroShotDistiller:
 
         Packing once on the driver and sharing the blob across shard tasks
         beats per-pickle packing on process backends; in-process backends
-        never pickle, so raw arrays/dicts flow through untouched.
+        never pickle, so raw arrays/dicts flow through untouched.  Only
+        consulted on the legacy inline path (backends without a state
+        store) — with a store, packing happens once at publish time.
         """
         return bool(getattr(self.backend, "ships_payloads", True))
+
+    @property
+    def _store(self):
+        """The backend's content-addressed state store (None → inline payloads)."""
+        return getattr(self.backend, "state_store", None)
+
+    # Shard-task payload helpers: publish through the state store when the
+    # backend has one (tasks then carry tiny refs; the blob ships at most
+    # once per worker), fall back to the pre-store inline wire format
+    # otherwise.  Published refs are collected into ``ephemerals`` and
+    # dropped from the channel as soon as the tasks that referenced them
+    # have completed — per-iteration synthetic batches would otherwise
+    # accumulate in the channel for a whole round.
+    def _put_state(self, state, label: str, ephemerals: List):
+        store = self._store
+        if store is None:
+            return pack_state_dict(state) if self._ship_payloads else state
+        ref = store.put_state(state, label=label)
+        ephemerals.append(ref)
+        return ref
+
+    def _put_arrays(self, arrays, label: str, ephemerals: List):
+        store = self._store
+        if store is None:
+            return pack_array_list(list(arrays)) if self._ship_payloads else list(arrays)
+        ref = store.put_arrays(list(arrays), label=label)
+        ephemerals.append(ref)
+        return ref
+
+    def _put_batch(self, array, label: str, ephemerals: List):
+        """Single-array payload (synthetic batch / upstream gradient)."""
+        store = self._store
+        if store is None:
+            return pack_array_list([array]) if self._ship_payloads else array
+        ref = store.put_arrays([array], label=label)
+        ephemerals.append(ref)
+        return ref
+
+    def _drain(self, ephemerals: List) -> None:
+        store = self._store
+        if store is not None and ephemerals:
+            store.discard(list(ephemerals))
+        ephemerals.clear()
 
     def device_optimizer_for(self, device_id: int, model: ClassificationModel) -> SGD:
         """The persistent back-transfer SGD for a device model (created lazily).
@@ -182,18 +232,28 @@ class ZeroShotDistiller:
         weights = [1.0 / len(teachers)] * len(teachers)
         if sharded:
             # Teachers are frozen throughout the adversarial phase, so
-            # snapshot their states once — packed to the npz wire format
-            # only when the backend actually pickles tasks, so an
-            # in-process backend keeps the zero-serialization guarantee.
+            # snapshot their states once and publish them once into the
+            # state store: every forward/VJP shard task of every synthesis
+            # iteration then carries a tiny ref, and each worker fetches a
+            # teacher's blob at most once for the whole round.  phase_refs
+            # live until the phase ends; iteration_refs (synthetic batches,
+            # upstream gradients) are dropped as soon as the next iteration
+            # starts.
             teacher_ids = list(teacher_ids)
             snapshots = [teacher.state_dict() for teacher in teachers]
-            packed_states = ([pack_state_dict(state) for state in snapshots]
-                             if self._ship_payloads else snapshots)
+            phase_refs: List = []
+            iteration_refs: List = []
+            shipped_states = [self._put_state(state, "teacher", phase_refs)
+                              for state in snapshots]
             shards = partition_shards(list(range(len(teachers))), self.config.server_shards)
 
         steps_per_generator = max(1, int(self.config.global_steps_per_generator_step))
 
         for iteration in range(iterations):
+            if sharded:
+                # Previous iteration's synthetic batches / upstream payloads
+                # are done with: drop them from the channel.
+                self._drain(iteration_refs)
             # ---- Generator step: maximize the disagreement -------------------
             # Run every ``steps_per_generator`` iterations; with the paper's
             # literal 1:1 alternation set the config knob to 1.
@@ -205,7 +265,8 @@ class ZeroShotDistiller:
                     # then the ensemble branch (here a backend-backed graph node).
                     student_logits = self.global_model(synthetic)
                     teacher_out = self._sharded_ensemble_node(
-                        synthetic, teacher_ids, packed_states, weights, mode, shards)
+                        synthetic, teacher_ids, shipped_states, weights, mode, shards,
+                        iteration_refs)
                     loss = loss_fn(student_logits, teacher_out)
                 else:
                     loss = disagreement_loss(self.global_model, teachers, synthetic,
@@ -228,8 +289,10 @@ class ZeroShotDistiller:
                 if not sharded:
                     teacher_out = ensemble_output(teachers, synthetic, mode=mode)
             if sharded:
-                members = self._sharded_members(teacher_ids, packed_states,
-                                                synthetic.data, mode, shards)
+                members = self._sharded_members(
+                    teacher_ids, shipped_states,
+                    self._put_batch(synthetic.data, "batch", iteration_refs),
+                    mode, shards)
                 teacher_data = self._reduce_members(members, weights)
             else:
                 teacher_data = teacher_out.data
@@ -244,6 +307,9 @@ class ZeroShotDistiller:
             gen_scheduler.step()
             glob_scheduler.step()
 
+        if sharded:
+            self._drain(iteration_refs)
+            self._drain(phase_refs)
         self.parameter_updates_total += updates
         return DistillationReport(
             generator_loss=float(np.mean(generator_losses)) if generator_losses else 0.0,
@@ -255,19 +321,18 @@ class ZeroShotDistiller:
     # ------------------------------------------------------------------ #
     # Sharded Phase-1 helpers
     # ------------------------------------------------------------------ #
-    def _sharded_members(self, teacher_ids: List[int], packed_states: List[bytes],
+    def _sharded_members(self, teacher_ids: List[int], shipped_states: List,
                          inputs, mode: str,
                          shards: List[List[int]]) -> List[np.ndarray]:
         """Unweighted member outputs of every teacher, in teacher order.
 
-        ``inputs`` may be a raw batch or a pre-packed blob; packing once
-        here shares the bytes across every shard task's pickle (skipped
-        entirely on in-process backends).
+        ``inputs`` is a prepared payload — a state-store ref (the normal
+        case: published once, shared by every shard task and fetched at most
+        once per worker), or the legacy raw-batch / packed-blob forms for
+        backends without a store.
         """
-        if isinstance(inputs, np.ndarray) and self._ship_payloads:
-            inputs = pack_array_list([inputs])
         tasks = [EnsembleForwardTask(device_ids=[teacher_ids[i] for i in shard],
-                                     states=[packed_states[i] for i in shard],
+                                     states=[shipped_states[i] for i in shard],
                                      inputs=inputs, mode=mode)
                  for shard in shards]
         results = self.backend.run_tasks(tasks)
@@ -284,8 +349,9 @@ class ZeroShotDistiller:
         return total
 
     def _sharded_ensemble_node(self, x: Tensor, teacher_ids: List[int],
-                               packed_states: List[bytes], weights: List[float],
-                               mode: str, shards: List[List[int]]) -> Tensor:
+                               shipped_states: List, weights: List[float],
+                               mode: str, shards: List[List[int]],
+                               ephemerals: List) -> Tensor:
         """Backend-backed ensemble output wired into the autograd graph.
 
         Forward fans member evaluation out as :class:`EnsembleForwardTask`
@@ -293,11 +359,12 @@ class ZeroShotDistiller:
         :class:`EnsembleVJPTask` shards and accumulates the per-teacher
         contributions into ``x.grad`` in ascending teacher order — the same
         order the serial graph's reversed topological sort produces — so
-        the generator step is bit-identical to the in-process path.
+        the generator step is bit-identical to the in-process path.  The
+        synthesized inputs and the upstream gradient are published once
+        into ``ephemerals`` (dropped by the caller after the backward).
         """
-        ship = self._ship_payloads
-        shared_inputs = pack_array_list([x.data]) if ship else x.data
-        members = self._sharded_members(teacher_ids, packed_states, shared_inputs,
+        shared_inputs = self._put_batch(x.data, "batch", ephemerals)
+        members = self._sharded_members(teacher_ids, shipped_states, shared_inputs,
                                         mode, shards)
         total = self._reduce_members(members, weights)
         backend = self.backend
@@ -306,11 +373,10 @@ class ZeroShotDistiller:
             def backward() -> None:
                 if not x.requires_grad:
                     return
-                upstream = np.asarray(out.grad, dtype=np.float64)
-                if ship:
-                    upstream = pack_array_list([upstream])
+                upstream = self._put_batch(np.asarray(out.grad, dtype=np.float64),
+                                           "batch", ephemerals)
                 tasks = [EnsembleVJPTask(device_ids=[teacher_ids[i] for i in shard],
-                                         states=[packed_states[i] for i in shard],
+                                         states=[shipped_states[i] for i in shard],
                                          weights=[weights[i] for i in shard],
                                          inputs=shared_inputs, upstream=upstream,
                                          mode=mode)
@@ -403,12 +469,16 @@ class ZeroShotDistiller:
             targets.append(target)
 
         shards = partition_shards(device_order, self.config.server_shards)
-        # Pack the shared batch/target payloads once; every shard task's
-        # pickle then reuses the same blobs instead of re-serializing them.
-        # In-process backends skip packing (tasks are never pickled).
-        ship = self._ship_payloads
-        packed_inputs = pack_array_list(batches) if ship else batches
-        packed_targets = pack_array_list(targets) if ship else targets
+        # Publish the *shared* batch/target payloads once into the state
+        # store (every shard task carries the same ref; each worker fetches
+        # at most once), ephemeral and dropped after the dispatch.  The
+        # per-device states and momentum buffers stay inline: each is
+        # referenced by exactly one shard task, and for singly-referenced
+        # payloads publish-then-fetch would ship ~2x the bytes of an inline
+        # copy.  In-process backends store live objects (nothing is packed).
+        ephemerals: List = []
+        packed_inputs = self._put_arrays(batches, "batch", ephemerals)
+        packed_targets = self._put_arrays(targets, "batch", ephemerals)
         tasks = [DeviceDistillTask(
             device_ids=list(shard),
             states=[device_models[device_id].state_dict() for device_id in shard],
@@ -425,6 +495,7 @@ class ZeroShotDistiller:
                 optimizers[device_id].load_velocity_state(result.velocity_for(index))
                 losses_by_device[device_id] = result.losses[index]
 
+        self._drain(ephemerals)
         transfer_losses = [losses_by_device[device_id][iteration]
                            for iteration in range(iterations)
                            for device_id in device_order]

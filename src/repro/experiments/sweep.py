@@ -232,6 +232,11 @@ def run_sweep(spec: SweepSpec, backend: Optional[ExecutionBackend] = None,
         results); when False, failures are returned in the result object.
     """
     backend = backend or SerialBackend()
+    # Sweeps are context-free fan-out work: start the backend explicitly
+    # (pool backends refuse to lazily self-start from ``map``, which used to
+    # leave a context-less pool marked as started forever).
+    if not backend.is_started:
+        backend.start(None)
     results = backend.map(_execute_variant, list(spec.variants))
     sweep_result = SweepResult(spec, results)
     if verbose:

@@ -11,6 +11,7 @@ from .backend import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadBackend,
     WorkerContext,
     make_backend,
 )
@@ -54,6 +55,7 @@ from .strategies import (
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
+    "ThreadBackend",
     "ProcessPoolBackend",
     "WorkerContext",
     "make_backend",

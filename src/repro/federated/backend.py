@@ -7,31 +7,49 @@ device-side work — local SGD, FedMD's digest/revisit, on-device evaluation,
 public-logit computation — is expressed as small *picklable task objects*
 that an :class:`ExecutionBackend` executes against a :class:`WorkerContext`
 (the per-process registry of model replicas, data shards, and training
-configs, shipped to workers once at pool start).
+configs).
 
-Two backends are provided:
+Parameter payloads travel through the **content-addressed state transport**
+(:mod:`repro.utils.serialization`): the driver publishes each state dict
+once per round into the backend's :class:`~repro.utils.serialization.StateStore`
+and tasks carry tiny :class:`~repro.utils.serialization.StateRef` handles.
+A worker that misses its bounded LRU cache of unpacked states fetches the
+blob a single time over the backend's
+:class:`~repro.utils.serialization.StateChannel`; every later task that
+references the same content is a cache hit.  Tasks may also carry raw
+dicts/arrays (the pre-store wire format) — :func:`resolve_state` /
+:func:`resolve_arrays` accept both, which keeps direct task construction in
+tests and third-party code working.
+
+Three backends are provided:
 
 * :class:`SerialBackend` — runs tasks in-process (the default; identical to
-  the historical behaviour);
-* :class:`ProcessPoolBackend` — fans tasks out to a process pool.  Tasks
-  carry the device's parameters and explicit RNG state; parameter payloads
-  are packed into the lossless npz wire format
-  (:func:`repro.utils.serialization.pack_state_dict`) only when a task is
-  pickled across a process boundary, so serial execution pays no
-  serialization cost and serial and parallel execution produce
-  **bit-identical** training histories — verified by the backend parity
-  tests.
+  the historical behaviour).  Its state table stores live objects, so the
+  serial path pays no serialization cost.
+* :class:`ThreadBackend` — a thread pool sharing the in-process state
+  table.  Useful where ``fork`` is unavailable (or as a drop-in sanity
+  check); the GIL means it is about determinism and portability, not
+  speed.
+* :class:`ProcessPoolBackend` — fans tasks out across worker processes.
+  The pool is **persistent**: a new :class:`WorkerContext` is published
+  through the state channel and installed lazily by workers instead of
+  tearing the pool down.  Blobs are served from a manager-hosted table;
+  per-task payloads are just pickled task objects carrying refs.
 
-Backends also expose a generic :meth:`ExecutionBackend.map` used by the
-experiment sweep orchestrator (:mod:`repro.experiments.sweep`) to fan whole
-experiment variants out through the same machinery.
+All backends produce **bit-identical** training histories (verified by the
+backend parity tests) and surface transport counters — cache hits/misses,
+bytes published/fetched/shipped — via :meth:`ExecutionBackend.transport_stats`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import pickle
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from multiprocessing.managers import BaseManager
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
@@ -39,12 +57,16 @@ import numpy as np
 from ..datasets.base import ImageDataset
 from ..models.base import ClassificationModel
 from ..utils.serialization import (
+    InProcessStateTable,
     StateLike,
+    StateRef,
+    StateStore,
     as_array_list,
     as_state_dict,
     pack_array_list,
     pack_state_dict,
     unpack_array_list,
+    unpack_state_dict,
 )
 from .trainer import (
     DeviceTrainingConfig,
@@ -65,12 +87,22 @@ __all__ = [
     "DigestSpec",
     "ExecutionBackend",
     "SerialBackend",
+    "ThreadBackend",
     "ProcessPoolBackend",
     "make_backend",
+    "resolve_state",
+    "resolve_arrays",
+    "iter_state_refs",
+    "LRUStateCache",
+    "WorkerRuntime",
+    "DEFAULT_WORKER_CACHE_BYTES",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Default byte budget of each worker's LRU cache of unpacked states.
+DEFAULT_WORKER_CACHE_BYTES = 256 * 1024 * 1024
 
 
 # --------------------------------------------------------------------------- #
@@ -80,9 +112,10 @@ R = TypeVar("R")
 class WorkerContext:
     """Everything a worker needs to execute device tasks.
 
-    Shipped (pickled) to each worker process exactly once when the pool
-    starts; per-round tasks then only carry state dicts and shard/device
-    indices, never model architectures or pixel data.
+    Published to workers through the state channel when the backend starts
+    (and re-published on context changes — the pool itself survives);
+    per-round tasks then only carry :class:`StateRef` handles and
+    shard/device indices, never model architectures or pixel data.
     """
 
     models: Dict[int, ClassificationModel] = field(default_factory=dict)
@@ -114,8 +147,133 @@ def build_worker_context(devices, eval_dataset: Optional[ImageDataset] = None,
     )
 
 
-# The per-process context installed by the pool initializer (or, for the
-# serial backend, set around in-process execution).
+# --------------------------------------------------------------------------- #
+# Worker runtime: state cache + context lifecycle + ref resolution
+# --------------------------------------------------------------------------- #
+class LRUStateCache:
+    """Bounded (by payload bytes) LRU cache of unpacked state payloads."""
+
+    def __init__(self, max_bytes: int = DEFAULT_WORKER_CACHE_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: str, value, nbytes: int) -> None:
+        nbytes = max(int(nbytes), 1)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous[1]
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self._bytes -= evicted_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+
+class WorkerRuntime:
+    """Per-worker state: the installed context plus the ref-resolution path.
+
+    In-process backends hand the runtime their live state ``table``
+    (lookups are direct, nothing is ever copied or unpacked); process-pool
+    workers get the shared ``channel`` (the manager-served blob table) and
+    keep a bounded :class:`LRUStateCache` of unpacked payloads in front of
+    it — a cache miss fetches the blob exactly once.
+    """
+
+    def __init__(self, channel=None, table: Optional[InProcessStateTable] = None,
+                 cache_bytes: int = DEFAULT_WORKER_CACHE_BYTES,
+                 context: Optional[WorkerContext] = None) -> None:
+        self.channel = channel
+        self.table = table
+        self.cache = LRUStateCache(cache_bytes) if channel is not None else None
+        self.context = context
+        self.context_version = -1
+
+    def resolve(self, ref: StateRef):
+        """Materialize a :class:`StateRef` (dict for ``"state"``, list for
+        ``"arrays"``).  Resolved payloads are shared and must be treated as
+        read-only by tasks."""
+        if self.table is not None:
+            return self.table.fetch(ref.key)
+        cached = self.cache.get(ref.key)
+        if cached is not None:
+            self.cache.hits += 1
+            return cached
+        self.cache.misses += 1
+        blob = self.channel.fetch(ref.key, True)
+        value = (unpack_state_dict(blob) if ref.kind == "state"
+                 else unpack_array_list(blob))
+        self.cache.put(ref.key, value, ref.nbytes)
+        return value
+
+    def ensure_context(self, version: int) -> None:
+        """Install the context version the driver stamped on a task batch,
+        fetching the (re)published context from the channel if stale."""
+        if self.channel is None or version == self.context_version:
+            return
+        current, blob = self.channel.get_context(self.context_version)
+        if blob is not None:
+            self.context = pickle.loads(blob)
+        self.context_version = current
+
+
+# The runtime active while tasks execute: set by the pool initializer in
+# worker processes, swapped around in-process execution by serial/thread
+# backends.
+_ACTIVE_RUNTIME: Optional[WorkerRuntime] = None
+
+
+def _swap_runtime(runtime: Optional[WorkerRuntime]) -> Optional[WorkerRuntime]:
+    global _ACTIVE_RUNTIME
+    previous = _ACTIVE_RUNTIME
+    _ACTIVE_RUNTIME = runtime
+    return previous
+
+
+def _current_runtime() -> WorkerRuntime:
+    if _ACTIVE_RUNTIME is None:
+        raise RuntimeError(
+            "no worker runtime active; StateRef payloads can only be resolved "
+            "while a backend is executing tasks")
+    return _ACTIVE_RUNTIME
+
+
+def resolve_state(value: Union[StateRef, StateLike]) -> Dict[str, np.ndarray]:
+    """Materialize a task's state payload: ref, packed blob, or plain dict."""
+    if isinstance(value, StateRef):
+        return _current_runtime().resolve(value)
+    return as_state_dict(value)
+
+
+def resolve_arrays(value) -> Optional[List[np.ndarray]]:
+    """Materialize an array-list payload: ref, packed blob, or plain list."""
+    if value is None:
+        return None
+    if isinstance(value, StateRef):
+        return _current_runtime().resolve(value)
+    return as_array_list(value)
+
+
+# --------------------------------------------------------------------------- #
+# Legacy worker-context trampoline (pre-state-store worker protocol; kept so
+# direct pool users and old pickles keep working)
+# --------------------------------------------------------------------------- #
 _WORKER_CONTEXT: Optional[WorkerContext] = None
 
 
@@ -136,20 +294,19 @@ def execute_task(task):
     return task.run(_current_context())
 
 
-# Task payloads hold parameter state as a plain dict in-process and are
-# packed into the npz wire format only when they actually cross a process
-# boundary (``__getstate__`` below), so the serial backend pays zero
-# serialization cost while the parallel path stays lossless.  The
-# ``StateLike`` alias and the bytes-vs-dict/list coercions are shared with
-# the server-side shard tasks (:mod:`repro.core.server_tasks`) via
-# :mod:`repro.utils.serialization`.
+# Task payloads hold parameter state as a StateRef when dispatched through a
+# simulation (the driver publishes each round's states once), or as a plain
+# dict/list when constructed directly; the ``_PacksStateOnPickle`` mixin
+# still packs raw array payloads into the npz wire format if such a task
+# crosses a process boundary, so both forms stay lossless everywhere.
 
 
 # --------------------------------------------------------------------------- #
 # Device tasks
 # --------------------------------------------------------------------------- #
 class _PacksStateOnPickle:
-    """Mixin: convert array-typed payload fields to packed bytes when pickled."""
+    """Mixin: convert raw array-typed payload fields to packed bytes when
+    pickled (``StateRef`` payloads pass through untouched — they are tiny)."""
 
     _packed_fields = ("state",)
 
@@ -174,10 +331,11 @@ class DigestSpec(_PacksStateOnPickle):
     """FedMD digest phase riding along with a local-training task.
 
     ``consensus`` is the (N, C) matrix of consensus scores over the public
-    dataset — a plain array in-process, packed only when pickled.
+    dataset — published once per round as a shared :class:`StateRef` by the
+    FedMD strategy (or a plain array when constructed directly).
     """
 
-    consensus: Union[np.ndarray, bytes]
+    consensus: Union[StateRef, np.ndarray, bytes]
     epochs: int
     lr: float
     batch_size: int
@@ -186,29 +344,46 @@ class DigestSpec(_PacksStateOnPickle):
     _packed_fields = ("consensus",)
 
 
+def iter_state_refs(task) -> Iterator[StateRef]:
+    """Yield every :class:`StateRef` a task carries (used by the backends'
+    dispatch accounting).  Walks direct fields, list/tuple fields, and a
+    nested :class:`DigestSpec`."""
+    payload = getattr(task, "__dict__", None)
+    if not payload:
+        return
+    for value in payload.values():
+        if isinstance(value, StateRef):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, StateRef):
+                    yield item
+        elif isinstance(value, DigestSpec):
+            yield from iter_state_refs(value)
+
+
 @dataclass
 class LocalTrainTask(_PacksStateOnPickle):
     """Train one device's model on its private shard (Algorithm 2).
 
-    Carries the device's current parameters, the shuffle RNG state, and the
+    Carries the device's current parameters (a :class:`StateRef` when
+    dispatched through a simulation), the shuffle RNG state, and the
     optional proximal anchor; ``digest`` prepends FedMD's digest phase so
-    digest + revisit ship as a single round trip.  Parameter payloads are
-    packed to the npz wire format only when the task is pickled to a
-    worker process.
+    digest + revisit ship as a single round trip.
     """
 
     device_id: int
-    state: StateLike
+    state: Union[StateRef, StateLike]
     epochs: int
     rng_state: dict
-    anchor: Optional[object] = None  # List[np.ndarray] in-process, bytes on the wire
+    anchor: Optional[object] = None  # StateRef | List[np.ndarray] | bytes
     digest: Optional[DigestSpec] = None
 
     _packed_fields = ("state", "anchor")
 
     def run(self, context: WorkerContext) -> "LocalTrainResult":
         model = context.model_for(self.device_id)
-        model.load_state_dict(as_state_dict(self.state))
+        model.load_state_dict(resolve_state(self.state))
         config = context.train_configs[self.device_id]
         rng = np.random.default_rng()
         rng.bit_generator.state = self.rng_state
@@ -218,14 +393,14 @@ class LocalTrainTask(_PacksStateOnPickle):
             if context.public_dataset is None:
                 raise RuntimeError("digest task requires a public dataset in the worker context")
             consensus = self.digest.consensus
-            if isinstance(consensus, bytes):
-                consensus = unpack_array_list(consensus)[0]
+            if isinstance(consensus, (StateRef, bytes)):
+                consensus = resolve_arrays(consensus)[0]
             digest_loss = digest_on_public(
                 model, context.public_dataset, consensus, lr=self.digest.lr,
                 batch_size=self.digest.batch_size, epochs=self.digest.epochs,
                 rng=np.random.default_rng(self.digest.seed))
 
-        anchor = as_array_list(self.anchor)
+        anchor = resolve_arrays(self.anchor)
         report = local_sgd_train(model, context.shards[self.device_id], self.epochs,
                                  config, rng, anchor=anchor, device_id=self.device_id)
         return LocalTrainResult(
@@ -239,7 +414,11 @@ class LocalTrainTask(_PacksStateOnPickle):
 
 @dataclass
 class LocalTrainResult(_PacksStateOnPickle):
-    """Updated parameters + statistics returned by a :class:`LocalTrainTask`."""
+    """Updated parameters + statistics returned by a :class:`LocalTrainTask`.
+
+    Results flow worker → driver exactly once, so they keep carrying their
+    payload inline (packed on pickle) rather than a ref.
+    """
 
     device_id: int
     state: StateLike
@@ -256,14 +435,14 @@ class EvaluateTask(_PacksStateOnPickle):
     """Evaluate a parameter set on the context's held-out test dataset."""
 
     device_id: int
-    state: StateLike
+    state: Union[StateRef, StateLike]
     batch_size: int = 256
 
     def run(self, context: WorkerContext) -> float:
         if context.eval_dataset is None:
             raise RuntimeError("evaluate task requires an eval dataset in the worker context")
         model = context.model_for(self.device_id)
-        model.load_state_dict(as_state_dict(self.state))
+        model.load_state_dict(resolve_state(self.state))
         return evaluate_accuracy(model, context.eval_dataset, batch_size=self.batch_size)
 
 
@@ -272,14 +451,14 @@ class PublicLogitsTask(_PacksStateOnPickle):
     """Compute a device's class scores on the context's public dataset (FedMD)."""
 
     device_id: int
-    state: StateLike
+    state: Union[StateRef, StateLike]
     batch_size: int = 256
 
     def run(self, context: WorkerContext) -> np.ndarray:
         if context.public_dataset is None:
             raise RuntimeError("public-logits task requires a public dataset in the worker context")
         model = context.model_for(self.device_id)
-        model.load_state_dict(as_state_dict(self.state))
+        model.load_state_dict(resolve_state(self.state))
         return compute_public_logits(model, context.public_dataset, batch_size=self.batch_size)
 
 
@@ -293,17 +472,34 @@ class ExecutionBackend:
     ``None`` for context-free workloads such as experiment sweeps), then
     :meth:`run_tasks` / :meth:`map` execute work, and :meth:`shutdown`
     releases resources.  Backends are reusable across rounds; ``start`` is
-    idempotent for the same context object.
+    idempotent for the same context object, and a *different* context is
+    re-published to live workers without tearing pools down.
+
+    Every backend owns a driver-side
+    :class:`~repro.utils.serialization.StateStore` (``state_store``) that
+    dispatchers publish parameter payloads into; :meth:`transport_stats`
+    surfaces the resulting cache and bytes-shipped counters.
     """
 
     name = "base"
 
     #: Whether tasks cross a process (or machine) boundary and therefore
-    #: get pickled.  Dispatchers that pre-pack payloads shared by several
-    #: tasks (the sharded server update) consult this to skip packing
-    #: entirely on in-process backends, preserving the zero-serialization
-    #: guarantee of serial execution.
+    #: get pickled.  The state store consults this to decide whether
+    #: publishing packs payloads to the npz wire format (process pools) or
+    #: stores live objects (in-process backends — the zero-serialization
+    #: guarantee of serial execution).
     ships_payloads = False
+
+    #: The backend's content-addressed state store (assigned by concrete
+    #: backends; ``None`` only for bare third-party subclasses).
+    state_store: Optional[StateStore] = None
+
+    _started = False
+
+    @property
+    def is_started(self) -> bool:
+        """Whether :meth:`start` has been called (context may be ``None``)."""
+        return self._started
 
     def start(self, context: Optional[WorkerContext] = None) -> None:
         raise NotImplementedError
@@ -332,6 +528,35 @@ class ExecutionBackend:
     def shutdown(self) -> None:
         """Release pool resources (no-op for in-process backends)."""
 
+    # ------------------------------------------------------------------ #
+    def _note_dispatch(self, tasks: Sequence) -> None:
+        """Record the :class:`StateRef` payloads a task batch carries."""
+        store = self.state_store
+        if store is None:
+            return
+        refs = [ref for task in tasks for ref in iter_state_refs(task)]
+        if refs:
+            store.note_dispatch(refs)
+
+    def transport_stats(self) -> Dict[str, object]:
+        """State-transport counters: cache hits/misses, bytes published /
+        fetched / shipped, and the per-label breakdown.
+
+        ``inline_equivalent_bytes`` is what the pre-store wire format would
+        have shipped (payloads inlined into every task); ``shipped_bytes``
+        is what actually crossed a process boundary (zero for in-process
+        backends).
+        """
+        store = self.state_store
+        stats: Dict[str, object] = dict(store.stats()) if store is not None else {}
+        stats["backend"] = self.name
+        stats["pool_restarts"] = getattr(self, "pool_restarts", 0)
+        stats.setdefault("task_bytes", 0)
+        stats["shipped_bytes"] = (int(stats.get("published_bytes", 0))
+                                  + int(stats.get("fetched_bytes", 0)))
+        stats["inline_equivalent_bytes"] = int(stats.get("inline_bytes", 0))
+        return stats
+
     def __enter__(self) -> "ExecutionBackend":
         return self
 
@@ -345,84 +570,90 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def __init__(self) -> None:
+        self._table = InProcessStateTable()
+        self.state_store = StateStore(self._table, ships=False)
+        self._runtime = WorkerRuntime(table=self._table)
         self._context: Optional[WorkerContext] = None
 
     def start(self, context: Optional[WorkerContext] = None) -> None:
         self._context = context
+        self._runtime.context = context
+        self._started = True
 
     def run_tasks(self, tasks: Sequence) -> List:
         if self._context is None:
             raise RuntimeError("SerialBackend.start(context) must be called before run_tasks")
-        return [task.run(self._context) for task in tasks]
+        self._note_dispatch(tasks)
+        previous = _swap_runtime(self._runtime)
+        try:
+            return [task.run(self._context) for task in tasks]
+        finally:
+            _swap_runtime(previous)
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         return [fn(item) for item in items]
 
 
-class ProcessPoolBackend(ExecutionBackend):
-    """Fan tasks out across a pool of worker processes.
+class ThreadBackend(ExecutionBackend):
+    """Fan tasks out across a thread pool sharing the in-process state table.
 
-    Parameters
-    ----------
-    max_workers:
-        Worker process count (defaults to ``os.cpu_count()``).
-    start_method:
-        Multiprocessing start method (``"fork"`` on Linux is cheapest;
-        ``None`` uses the platform default).
-
-    The pool is created lazily on first use; the :class:`WorkerContext` is
-    pickled into each worker via the pool initializer, so per-task payloads
-    stay small (packed state dicts + scalars).  Passing a *different*
-    context object restarts the pool.
+    Useful where ``fork`` is unavailable (sandboxes, Windows spawn-cost
+    concerns) or as a drop-in concurrency sanity check: results are
+    bit-identical to the serial backend because each dispatch batch touches
+    disjoint per-device models and all randomness is carried explicitly in
+    the tasks.  The GIL serializes numpy-bound work, so this backend is
+    about portability, not wall-clock speedups.
     """
 
-    name = "process"
-    ships_payloads = True
+    name = "thread"
 
-    def __init__(self, max_workers: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+    def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and int(max_workers) < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
-        self.start_method = start_method
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._table = InProcessStateTable()
+        self.state_store = StateStore(self._table, ships=False)
+        self._runtime = WorkerRuntime(table=self._table)
         self._context: Optional[WorkerContext] = None
-        self._started = False
+        self._pool: Optional[ThreadPoolExecutor] = None
 
-    # ------------------------------------------------------------------ #
     def start(self, context: Optional[WorkerContext] = None) -> None:
-        if self._pool is not None and self._started and context is self._context:
-            return
-        self.shutdown()
-        import multiprocessing
-
-        mp_context = (multiprocessing.get_context(self.start_method)
-                      if self.start_method else None)
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.max_workers,
-            mp_context=mp_context,
-            initializer=_install_context,
-            initargs=(context,),
-        )
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers,
+                                            thread_name_prefix="repro-worker")
         self._context = context
+        self._runtime.context = context
         self._started = True
 
     def run_tasks(self, tasks: Sequence) -> List:
-        if self._pool is None:
-            raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
-        return list(self._pool.map(execute_task, tasks))
+        if self._pool is None or self._context is None:
+            raise RuntimeError("ThreadBackend.start(context) must be called before run_tasks")
+        self._note_dispatch(tasks)
+        context = self._context
+        previous = _swap_runtime(self._runtime)
+        try:
+            return list(self._pool.map(lambda task: task.run(context), tasks))
+        finally:
+            _swap_runtime(previous)
 
     def run_tasks_as_completed(self, tasks: Sequence) -> Iterator[Tuple[int, object]]:
-        if self._pool is None:
-            raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
-        futures = {self._pool.submit(execute_task, task): index
-                   for index, task in enumerate(tasks)}
-        for future in as_completed(futures):
-            yield futures[future], future.result()
+        if self._pool is None or self._context is None:
+            raise RuntimeError("ThreadBackend.start(context) must be called before run_tasks")
+        self._note_dispatch(tasks)
+        context = self._context
+        previous = _swap_runtime(self._runtime)
+        try:
+            futures = {self._pool.submit(task.run, context): index
+                       for index, task in enumerate(tasks)}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            _swap_runtime(previous)
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         if self._pool is None:
-            self.start(None)
+            raise RuntimeError("ThreadBackend.map requires a started pool; "
+                               "call start() before map()")
         return list(self._pool.map(fn, items))
 
     def shutdown(self) -> None:
@@ -432,16 +663,319 @@ class ProcessPoolBackend(ExecutionBackend):
         self._started = False
 
 
+# --------------------------------------------------------------------------- #
+# Process-pool backend: manager-served state channel + persistent workers
+# --------------------------------------------------------------------------- #
+class _StateService:
+    """The shared blob table, hosted in the manager server process.
+
+    This is the process-pool implementation of the
+    :class:`~repro.utils.serialization.StateChannel` seam: the driver
+    publishes packed blobs (and pickled contexts) into it once, workers
+    fetch on cache miss over the manager's pipe/socket transport, and every
+    wire transfer is counted here — which is what makes the hit/miss and
+    bytes-shipped statistics exact without any per-hit IPC.
+    """
+
+    def __init__(self) -> None:
+        # BaseManager serves each proxy connection from its own thread, so
+        # every read-modify-write below must hold the lock — unguarded
+        # counter increments would lose updates under concurrent worker
+        # fetches, silently inflating the hit rate the CI gate checks.
+        self._lock = threading.Lock()
+        self._blobs: Dict[str, Tuple[bytes, str]] = {}
+        self._context_blob: Optional[bytes] = None
+        self._context_version = -1
+        self._fetches = 0
+        self._fetched_bytes = 0
+        self._context_fetches = 0
+        self._context_bytes = 0
+        self._by_label: Dict[str, Dict[str, int]] = {}
+
+    def publish(self, key: str, blob: bytes, label: str = "") -> None:
+        with self._lock:
+            self._blobs[key] = (blob, label)
+
+    def fetch(self, key: str, count: bool = True) -> bytes:
+        with self._lock:
+            entry = self._blobs.get(key)
+            if entry is None:
+                raise KeyError(f"state ref {key!r} is not in the shared state table; "
+                               "it was never published or was evicted before use")
+            blob, label = entry
+            if count:
+                self._fetches += 1
+                self._fetched_bytes += len(blob)
+                bucket = self._by_label.setdefault(label,
+                                                   {"fetches": 0, "fetched_bytes": 0})
+                bucket["fetches"] += 1
+                bucket["fetched_bytes"] += len(blob)
+            return blob
+
+    def drop(self, keys: Sequence[str]) -> None:
+        with self._lock:
+            for key in keys:
+                self._blobs.pop(key, None)
+
+    def set_context(self, version: int, blob: bytes) -> None:
+        with self._lock:
+            self._context_version = int(version)
+            self._context_blob = blob
+
+    def get_context(self, have_version: int) -> Tuple[int, Optional[bytes]]:
+        with self._lock:
+            if have_version == self._context_version or self._context_blob is None:
+                return self._context_version, None
+            self._context_fetches += 1
+            self._context_bytes += len(self._context_blob)
+            return self._context_version, self._context_blob
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "fetches": self._fetches,
+                "fetched_bytes": self._fetched_bytes,
+                "context_fetches": self._context_fetches,
+                "context_bytes": self._context_bytes,
+                "entries": len(self._blobs),
+                "by_label": {label: dict(bucket)
+                             for label, bucket in self._by_label.items()},
+            }
+
+
+class _StateManager(BaseManager):
+    pass
+
+
+_StateManager.register("StateService", _StateService)
+
+
+class _ManagedChannel:
+    """Driver-side :class:`StateChannel` adapter over the manager proxy.
+
+    Snapshots the service counters on :meth:`close` so transport statistics
+    stay readable after the backend shuts its manager down.
+    """
+
+    def __init__(self, service) -> None:
+        self._service = service
+        self._closed_stats: Dict[str, object] = {}
+
+    def publish(self, key: str, payload: bytes, label: str = "") -> None:
+        self._service.publish(key, payload, label)
+
+    def fetch(self, key: str, count: bool = True) -> bytes:
+        return self._service.fetch(key, count)
+
+    def drop(self, keys: Sequence[str]) -> None:
+        self._service.drop(list(keys))
+
+    def stats(self) -> Dict[str, object]:
+        if self._service is None:
+            return self._closed_stats
+        return self._service.stats()
+
+    def close(self) -> None:
+        if self._service is not None:
+            try:
+                self._closed_stats = self._service.stats()
+            except Exception:  # noqa: BLE001 — manager may already be gone
+                pass
+            self._service = None
+
+
+def _init_worker(service, cache_bytes: int) -> None:
+    """Pool initializer: install the worker runtime around the shared channel."""
+    _swap_runtime(WorkerRuntime(channel=service, cache_bytes=cache_bytes))
+
+
+def _execute_shipped(payload: Tuple[int, bytes]):
+    """Worker-side task entry point: sync the context, then run the task."""
+    context_version, task_blob = payload
+    runtime = _ACTIVE_RUNTIME
+    if runtime is None:
+        raise RuntimeError("worker runtime missing; was the pool initialized by "
+                           "ProcessPoolBackend?")
+    runtime.ensure_context(context_version)
+    task = pickle.loads(task_blob)
+    if runtime.context is None:
+        raise RuntimeError("no WorkerContext installed; was the backend started "
+                           "with a context before dispatching device tasks?")
+    return task.run(runtime.context)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out across a persistent pool of worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (defaults to ``os.cpu_count()``).
+    start_method:
+        Multiprocessing start method (``"fork"`` on Linux is cheapest;
+        ``None`` uses the platform default).
+    cache_bytes:
+        Byte budget of each worker's LRU cache of unpacked states.
+
+    The pool and its manager-hosted state channel are created lazily on the
+    first :meth:`start`.  Contexts and parameter payloads travel through
+    the channel: a *different* context object is re-published (workers
+    install it lazily, keyed by a context version stamped onto every task
+    batch) instead of respawning the pool, and per-task payloads are tiny
+    pickled tasks carrying :class:`StateRef` handles — a worker fetches
+    each referenced blob at most once per cache lifetime.
+    """
+
+    name = "process"
+    ships_payloads = True
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 cache_bytes: int = DEFAULT_WORKER_CACHE_BYTES) -> None:
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        self.start_method = start_method
+        self.cache_bytes = int(cache_bytes)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._manager: Optional[_StateManager] = None
+        self._service = None
+        self._channel: Optional[_ManagedChannel] = None
+        self.state_store: Optional[StateStore] = None
+        self._context: Optional[WorkerContext] = None
+        self._context_version = -1
+        #: Times a worker pool was actually created; a context change on a
+        #: live pool must NOT increment this (pinned by the transport tests).
+        self.pool_restarts = 0
+        self._task_bytes = 0
+        self._tasks_shipped = 0
+        self._context_published_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    def _mp_context(self):
+        import multiprocessing
+
+        return (multiprocessing.get_context(self.start_method) if self.start_method
+                else multiprocessing.get_context())
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        mp_context = self._mp_context()
+        if self._service is None:
+            self._manager = _StateManager(ctx=mp_context)
+            self._manager.start()
+            self._service = self._manager.StateService()
+            self._channel = _ManagedChannel(self._service)
+            self.state_store = StateStore(self._channel, ships=True)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(self._service, self.cache_bytes),
+        )
+        self.pool_restarts += 1
+
+    def start(self, context: Optional[WorkerContext] = None) -> None:
+        if self._started and self._pool is not None and context is self._context:
+            return
+        self._ensure_pool()
+        self._context_version += 1
+        blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        self._context_published_bytes += len(blob)
+        self._service.set_context(self._context_version, blob)
+        self._context = context
+        self._started = True
+
+    # ------------------------------------------------------------------ #
+    def _ship(self, task) -> Tuple[int, bytes]:
+        blob = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        self._task_bytes += len(blob)
+        self._tasks_shipped += 1
+        return (self._context_version, blob)
+
+    def run_tasks(self, tasks: Sequence) -> List:
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
+        self._note_dispatch(tasks)
+        payloads = [self._ship(task) for task in tasks]
+        return list(self._pool.map(_execute_shipped, payloads))
+
+    def run_tasks_as_completed(self, tasks: Sequence) -> Iterator[Tuple[int, object]]:
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolBackend.start(context) must be called before run_tasks")
+        self._note_dispatch(tasks)
+        futures = {self._pool.submit(_execute_shipped, self._ship(task)): index
+                   for index, task in enumerate(tasks)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        if self._pool is None:
+            raise RuntimeError(
+                "ProcessPoolBackend.map requires a started pool; call start(None) "
+                "for context-free fan-out work (e.g. experiment sweeps) before map()")
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._channel is not None:
+            self._channel.close()
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+        self._service = None
+        self._started = False
+        self._context = None
+
+    def transport_stats(self) -> Dict[str, object]:
+        stats = super().transport_stats()
+        stats["task_bytes"] = self._task_bytes
+        stats["tasks_shipped"] = self._tasks_shipped
+        stats["context_published_bytes"] = self._context_published_bytes
+        stats["shipped_bytes"] = (int(stats.get("published_bytes", 0))
+                                  + int(stats.get("fetched_bytes", 0))
+                                  + int(stats.get("context_bytes", 0))
+                                  + self._task_bytes
+                                  + self._context_published_bytes)
+        stats["inline_equivalent_bytes"] = (int(stats.get("inline_bytes", 0))
+                                            + self._task_bytes)
+        return stats
+
+
+_BACKEND_KINDS = ("serial", "thread", "process")
+
+
 def make_backend(spec: Optional[str] = None, max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend from a string spec.
+    """Build a backend from a string spec, with uniform validation.
 
     ``None`` / ``"serial"`` → :class:`SerialBackend`;
+    ``"thread"`` / ``"thread:N"`` → :class:`ThreadBackend` with N threads;
     ``"process"`` / ``"process:N"`` → :class:`ProcessPoolBackend` with N workers.
     """
-    if spec is None or spec == "serial":
+    if spec is None:
         return SerialBackend()
-    if spec == "process":
-        return ProcessPoolBackend(max_workers=max_workers)
-    if spec.startswith("process:"):
-        return ProcessPoolBackend(max_workers=int(spec.split(":", 1)[1]))
-    raise ValueError(f"unknown backend spec {spec!r}; use 'serial', 'process', or 'process:N'")
+    kind, sep, argument = str(spec).partition(":")
+    if kind not in _BACKEND_KINDS:
+        raise ValueError(f"unknown backend spec {spec!r}; "
+                         "use 'serial', 'thread[:N]', or 'process[:N]'")
+    workers = max_workers
+    if sep:
+        if kind == "serial":
+            raise ValueError(f"invalid backend spec {spec!r}: "
+                             "'serial' does not take a worker count")
+        try:
+            workers = int(argument)
+        except ValueError:
+            raise ValueError(f"invalid backend spec {spec!r}: worker count must be "
+                             f"an integer, got {argument!r}") from None
+    if workers is not None and int(workers) < 1:
+        raise ValueError(f"invalid backend spec {spec!r}: worker count must be a "
+                         f"positive integer, got {workers}")
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "thread":
+        return ThreadBackend(max_workers=workers)
+    return ProcessPoolBackend(max_workers=workers)

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..datasets.base import ImageDataset
 from ..models.base import ClassificationModel
+from ..utils.serialization import StateStore
 from .backend import EvaluateTask, LocalTrainResult, LocalTrainTask
 from .trainer import (
     DeviceTrainingConfig,
@@ -125,24 +126,43 @@ class Device:
         return local_sgd_train(self.model, self.dataset, epochs, self.training_config,
                                self._rng, anchor=self._anchor, device_id=self.device_id)
 
-    def local_train_task(self, epochs: int) -> LocalTrainTask:
+    def local_train_task(self, epochs: int,
+                         store: Optional[StateStore] = None,
+                         state: Optional[object] = None) -> LocalTrainTask:
         """Package the next local-training step as a backend task.
 
         The task snapshots the current parameters, proximal anchor, and the
         exact shuffle-RNG state, so executing it (in-process or in a worker)
         and absorbing the result is equivalent to calling
-        :meth:`local_train` directly.  Payloads stay plain arrays here; the
-        task packs itself into the npz wire format only if it is pickled
-        across a process boundary.
+        :meth:`local_train` directly.  When ``store`` is given (the
+        backend's content-addressed state store) the parameter payloads are
+        published once and the task carries tiny
+        :class:`~repro.utils.serialization.StateRef` handles; without a
+        store, payloads stay plain arrays (packed to the npz wire format
+        only if the task is pickled across a process boundary).  A caller
+        that already snapshotted/published this device's *current* state
+        (FedMD builds a public-logits task from it moments earlier) can
+        pass it via ``state`` to skip the redundant copy + digest.
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
+        if state is None:
+            state = self.model.state_dict()
+            if store is not None:
+                state = store.put_state(state, label="device")
+        # The proximal anchor only enters the loss when prox_mu > 0
+        # (trainer.local_sgd_train); with the regularizer off there is no
+        # reason to ship it at all.
+        use_anchor = self._anchor is not None and self.training_config.prox_mu > 0
+        anchor = list(self._anchor) if use_anchor else None
+        if store is not None and anchor is not None:
+            anchor = store.put_arrays(anchor, label="anchor")
         return LocalTrainTask(
             device_id=self.device_id,
-            state=self.model.state_dict(),
+            state=state,
             epochs=epochs,
             rng_state=self._rng.bit_generator.state,
-            anchor=list(self._anchor) if self._anchor is not None else None,
+            anchor=anchor,
         )
 
     def absorb_training_result(self, result: LocalTrainResult) -> LocalTrainingReport:
@@ -154,10 +174,18 @@ class Device:
         self._rng.bit_generator.state = result.rng_state
         return result.report
 
-    def evaluate_task(self) -> EvaluateTask:
-        """Package on-device evaluation as a backend task."""
+    def evaluate_task(self, store: Optional[StateStore] = None) -> EvaluateTask:
+        """Package on-device evaluation as a backend task.
+
+        With a ``store``, the state is published content-addressed — since
+        evaluation runs right after broadcast, the same ref is typically
+        re-used (a pure cache hit) by the next round's training dispatch.
+        """
+        state = self.model.state_dict()
+        if store is not None:
+            state = store.put_state(state, label="device")
         return EvaluateTask(device_id=self.device_id,
-                            state=self.model.state_dict(),
+                            state=state,
                             batch_size=self.training_config.eval_batch_size)
 
     # ------------------------------------------------------------------ #

@@ -155,7 +155,15 @@ class RoundScheduler:
         return SchedulerState()
 
     def run_round(self, engine, round_index: int, state: SchedulerState) -> RoundRecord:
-        """One scheduler round, wrapped in the strategy lifecycle hooks."""
+        """One scheduler round, wrapped in the strategy lifecycle hooks.
+
+        Also bumps the engine's state-store round version (when the engine
+        exposes one), which is what evicts parameter payloads published two
+        or more rounds ago from the backend's state channel.
+        """
+        advance = getattr(engine, "advance_round_version", None)
+        if advance is not None:
+            advance(round_index)
         strategy = getattr(engine, "strategy", None)
         if strategy is not None:
             strategy.on_round_start(round_index)

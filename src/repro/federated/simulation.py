@@ -49,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
+from ..utils.serialization import StateRef
 from .backend import ExecutionBackend, SerialBackend, WorkerContext, build_worker_context
 from .config import FederatedConfig
 from .device import Device
@@ -154,6 +155,12 @@ class Simulation:
         return self.strategy.server
 
     @property
+    def state_store(self):
+        """The backend's content-addressed state store (``None`` for bare
+        third-party backends without one)."""
+        return getattr(self.backend, "state_store", None)
+
+    @property
     def supports_async(self) -> bool:
         """Whether the strategy tolerates reordered / partial uploads."""
         return self.strategy.supports_reordering
@@ -227,14 +234,27 @@ class Simulation:
         """Package the round's device-side work (dispatch phase)."""
         return self.strategy.device_tasks(device_ids, round_index)
 
-    def restore_model_state(self, device_id: int, state: Dict[str, np.ndarray]) -> None:
+    def restore_model_state(self, device_id: int, state) -> None:
         """Reset a device's published parameters to a pre-dispatch snapshot.
 
         Used by deferred-absorb schedulers after eager in-process execution
         so a busy device's visible model stays at its dispatch-time state
-        until the upload's simulated arrival.
+        until the upload's simulated arrival.  ``state`` may be the plain
+        dict a pre-store task carried or the dispatch task's
+        :class:`~repro.utils.serialization.StateRef` (materialized through
+        the store without touching the worker miss counters).
         """
+        if isinstance(state, StateRef):
+            state = self.state_store.get(state)
         self.devices[device_id].model.load_state_dict(state)
+
+    def advance_round_version(self, round_index: int) -> None:
+        """Bump the state store's round version (called by the scheduler at
+        the top of every round); entries from rounds before the previous one
+        are evicted from the channel."""
+        store = self.state_store
+        if store is not None:
+            store.advance_round(round_index)
 
     def process_result(self, result, meta: UploadMeta) -> float:
         """Absorb one completed task (collect phase); returns local loss."""
@@ -258,7 +278,8 @@ class Simulation:
         record.local_loss = float(np.mean(losses)) if losses else None
         record.global_accuracy = self.strategy.evaluate_global(self.test_dataset)
         if self.evaluate_devices:
-            eval_tasks = [device.evaluate_task() for device in self.devices]
+            store = self.state_store
+            eval_tasks = [device.evaluate_task(store=store) for device in self.devices]
             accuracies = self.backend.run_tasks(eval_tasks)
             for device, accuracy in zip(self.devices, accuracies):
                 record.device_accuracies[device.device_id] = accuracy

@@ -139,10 +139,13 @@ class Strategy:
         """Package the round's device-side work as backend tasks.
 
         The default dispatches plain local training (Algorithm 2) for each
-        device.
+        device, publishing parameter payloads through the backend's
+        content-addressed state store.
         """
         simulation = self.simulation
-        return [simulation.devices[device_id].local_train_task(simulation.config.local_epochs)
+        store = simulation.state_store
+        return [simulation.devices[device_id].local_train_task(
+                    simulation.config.local_epochs, store=store)
                 for device_id in device_ids]
 
     def process_result(self, result, meta: UploadMeta) -> float:

@@ -25,6 +25,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -33,9 +34,16 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "concatenate", "
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-# Global autograd switch (mirrors ``torch.no_grad``).  Manipulated only
-# through the ``no_grad`` context manager below.
-_GRAD_ENABLED = True
+# Per-thread autograd switch (mirrors ``torch.no_grad``).  Manipulated only
+# through the ``no_grad`` context manager below.  Thread-local rather than a
+# module global so concurrent tasks on the thread execution backend cannot
+# corrupt each other's graph-construction mode (interleaved enter/exit of a
+# shared flag could leave gradients disabled after all blocks closed).
+class _GradMode(threading.local):
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
@@ -43,23 +51,21 @@ class no_grad:
 
     Inside a ``with no_grad():`` block every operation produces constant
     tensors (no recorded parents), which keeps inference and evaluation
-    cheap.
+    cheap.  The switch is per-thread.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_MODE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations currently record gradients (this thread)."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -117,7 +123,7 @@ class Tensor:
             array = array.astype(np.float64)
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_MODE.enabled
         self._backward: Optional[Callable[[], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
@@ -191,7 +197,7 @@ class Tensor:
         at least one parent requires them, so inference pays no graph cost.
         """
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _GRAD_MODE.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward_factory(out)

@@ -2,10 +2,15 @@
 
 from .seeding import derive_seed, seed_everything
 from .serialization import (
+    InProcessStateTable,
+    StateChannel,
+    StateRef,
+    StateStore,
     load_history_json,
     pack_array_list,
     pack_state_dict,
     save_history_json,
+    state_digest,
     unpack_array_list,
     unpack_state_dict,
 )
@@ -21,4 +26,9 @@ __all__ = [
     "unpack_state_dict",
     "pack_array_list",
     "unpack_array_list",
+    "state_digest",
+    "StateRef",
+    "StateChannel",
+    "InProcessStateTable",
+    "StateStore",
 ]

@@ -1,21 +1,31 @@
-"""Serialization helpers.
+"""Serialization helpers and the content-addressed state store.
 
-Two families of helpers live here:
+Three families of helpers live here:
 
 * JSON (de)serialization of :class:`TrainingHistory` objects for offline
   analysis and plotting;
 * compact binary packing of model state dicts and parameter lists (npz in
   memory), which is the wire format the execution backends use to ship
   device parameters to worker processes and back
-  (:mod:`repro.federated.backend`).
+  (:mod:`repro.federated.backend`);
+* the **content-addressed state store**: :func:`state_digest` computes a
+  stable digest of a state dict, :class:`StateRef` is the tiny handle that
+  replaces inline parameter payloads inside backend tasks, and
+  :class:`StateStore` is the driver-side facade that publishes each state
+  **once** through a :class:`StateChannel` (an in-process table for
+  in-process backends, a manager-served blob table for process pools) so
+  workers that miss their local cache fetch the blob a single time instead
+  of receiving it inside every task pickle.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,6 +42,11 @@ __all__ = [
     "unpack_array_list",
     "as_state_dict",
     "as_array_list",
+    "state_digest",
+    "StateRef",
+    "StateChannel",
+    "InProcessStateTable",
+    "StateStore",
 ]
 
 #: A parameter payload on either side of the wire: a plain state dict
@@ -84,6 +99,322 @@ def as_state_dict(state: StateLike) -> Dict[str, np.ndarray]:
 def as_array_list(value) -> Optional[List[np.ndarray]]:
     """Coerce a wire-format payload to a list of arrays (no-op in-process)."""
     return unpack_array_list(value) if isinstance(value, bytes) else value
+
+
+# --------------------------------------------------------------------------- #
+# Content-addressed state store (StateRef / StateChannel / StateStore)
+# --------------------------------------------------------------------------- #
+def state_digest(state: StateLike, kind: str = "state") -> str:
+    """Stable content digest of a state dict (or packed blob).
+
+    The digest is computed over the *canonical content* — sorted keys, each
+    with its dtype, shape, memory order, and raw bytes — rather than over
+    the npz container, so it is stable across ``pack → unpack → pack``
+    round trips (zip metadata such as timestamps never enters the hash) and
+    identical whether computed from a plain dict or its packed blob.
+    Distinct states (different values, dtypes, shapes, or key sets) get
+    distinct digests.  ``kind`` namespaces the digest so a state dict and an
+    array list with coincidentally identical canonical entries cannot
+    collide.
+    """
+    state = as_state_dict(state)
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    digest.update(b"\x00")
+    for key in sorted(state):
+        array = np.asarray(state[key])
+        encoded_key = key.encode("utf-8")
+        fortran = bool(array.flags.f_contiguous and not array.flags.c_contiguous)
+        header = f"{len(encoded_key)}:{array.dtype.str}:{array.shape}:{int(fortran)}:"
+        digest.update(header.encode("utf-8"))
+        digest.update(encoded_key)
+        # 'A' keeps Fortran-ordered arrays in their native byte order (the
+        # order npz round trips preserve); the flag above disambiguates.
+        digest.update(array.tobytes(order="A"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StateRef:
+    """A tiny, picklable handle to a published parameter payload.
+
+    Tasks carry these instead of inline state dicts: ``key`` is the content
+    digest (the lookup key in the store / worker caches), ``round_version``
+    records the store round that published it (lifecycle bookkeeping, not
+    part of the identity), ``kind`` says how to unpack the payload
+    (``"state"`` → dict, ``"arrays"`` → ordered list), ``nbytes`` is the raw
+    payload size (used for the bytes-shipped accounting and worker cache
+    budgets), and ``label`` tags the payload class (``"teacher"``,
+    ``"device"``, ``"batch"``, ...) for per-class transport statistics.
+    """
+
+    key: str
+    round_version: int = 0
+    kind: str = "state"
+    nbytes: int = 0
+    label: str = ""
+
+
+class StateChannel:
+    """Transport seam between the driver's store and worker-side caches.
+
+    The driver publishes each payload once; a worker that misses its local
+    cache fetches the blob once.  Two implementations ship —
+    :class:`InProcessStateTable` (serial/thread backends: the table *is*
+    the cache, nothing is ever packed) and the process-pool backend's
+    manager-served blob table (:mod:`repro.federated.backend`).  A future
+    multi-node backend implements this same interface over the network
+    (e.g. publish → object store / broadcast, fetch → HTTP GET by digest).
+    """
+
+    def publish(self, key: str, payload, label: str = "") -> None:
+        """Make ``payload`` fetchable under ``key`` (idempotent per key)."""
+        raise NotImplementedError
+
+    def fetch(self, key: str, count: bool = True):
+        """Return the payload for ``key``; raise ``KeyError`` if unknown.
+
+        ``count=False`` marks driver-side fetches (e.g. model-state
+        rollbacks) so they do not pollute the worker miss statistics.
+        """
+        raise NotImplementedError
+
+    def drop(self, keys: Sequence[str]) -> None:
+        """Forget the given keys (unknown keys are ignored)."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        """Wire-transfer counters (empty for in-process channels)."""
+        return {}
+
+    def close(self) -> None:
+        """Release channel resources (no-op by default)."""
+
+
+class InProcessStateTable(StateChannel):
+    """The in-process channel: a plain table of live payload objects.
+
+    Serial and thread backends share the driver's address space, so
+    ``publish`` stores the dict/list itself (zero serialization, zero
+    copies) and every worker resolution is a direct table lookup — the
+    table doubles as the worker cache.  Payloads must be treated as
+    read-only by tasks (they are: ``load_state_dict`` and
+    ``load_velocity_state`` copy / never mutate in place), which is what
+    makes content-addressed sharing safe.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, object] = {}
+
+    def publish(self, key: str, payload, label: str = "") -> None:
+        self._entries[key] = payload
+
+    def fetch(self, key: str, count: bool = True):
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise KeyError(
+                f"state ref {key!r} is not in the state table; it was never "
+                "published or was evicted before use") from None
+
+    def drop(self, keys: Sequence[str]) -> None:
+        for key in keys:
+            self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _arrays_as_state(arrays: Sequence[np.ndarray]) -> Dict[str, np.ndarray]:
+    """Canonical dict form of an ordered array list (shared with packing)."""
+    return {f"a{index:05d}": np.asarray(array) for index, array in enumerate(arrays)}
+
+
+class StateStore:
+    """Driver-side facade of the content-addressed state transport.
+
+    ``put_state`` / ``put_arrays`` digest a payload and publish it through
+    the channel **only if its content is new** — re-putting identical
+    content (a device state that did not change between evaluation and the
+    next dispatch, a proximal anchor that is constant between broadcasts)
+    refreshes its round version without any transfer.  ``advance_round``
+    implements the lifecycle: entries older than the previous round are
+    dropped from the channel (worker caches evict independently via their
+    LRU bound).  ``note_dispatch`` is called by the backends with every
+    :class:`StateRef` they ship inside tasks, which is what powers the
+    hits/misses and bytes-shipped accounting in
+    ``ExecutionBackend.transport_stats``.
+
+    Parameters
+    ----------
+    channel:
+        The transport to publish through.
+    ships:
+        Whether payloads cross a process boundary.  When True payloads are
+        packed to the npz wire format once at publish time; when False the
+        live objects are stored directly (the in-process zero-serialization
+        guarantee).
+    """
+
+    def __init__(self, channel: StateChannel, ships: bool = False) -> None:
+        self.channel = channel
+        self.ships = bool(ships)
+        self.round_version = 0
+        # key -> [round_version, nbytes, label] for everything currently
+        # published (the driver's view of the channel contents).
+        self._published: Dict[str, List] = {}
+        self._counters: Dict[str, int] = {
+            "puts": 0, "publishes": 0, "published_bytes": 0,
+            "refs_resolved": 0, "inline_bytes": 0,
+        }
+        self._by_label: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _label_bucket(self, label: str) -> Dict[str, int]:
+        bucket = self._by_label.get(label)
+        if bucket is None:
+            bucket = {"resolved": 0, "inline_bytes": 0,
+                      "publishes": 0, "published_bytes": 0}
+            self._by_label[label] = bucket
+        return bucket
+
+    def _put(self, key: str, kind: str, nbytes: int, label: str,
+             make_payload) -> StateRef:
+        self._counters["puts"] += 1
+        entry = self._published.get(key)
+        if entry is not None:
+            # Same content already live: refresh its round so the round
+            # lifecycle does not evict an entry that is still in use.
+            entry[0] = self.round_version
+            return StateRef(key=key, round_version=self.round_version,
+                            kind=kind, nbytes=entry[1], label=label)
+        payload = make_payload()
+        self.channel.publish(key, payload, label)
+        self._published[key] = [self.round_version, nbytes, label]
+        published = len(payload) if isinstance(payload, bytes) else 0
+        self._counters["publishes"] += 1
+        self._counters["published_bytes"] += published
+        bucket = self._label_bucket(label)
+        bucket["publishes"] += 1
+        bucket["published_bytes"] += published
+        return StateRef(key=key, round_version=self.round_version,
+                        kind=kind, nbytes=nbytes, label=label)
+
+    def put_state(self, state: Dict[str, np.ndarray], label: str = "") -> StateRef:
+        """Publish a model state dict; returns its :class:`StateRef`."""
+        key = state_digest(state)
+        nbytes = int(sum(np.asarray(value).nbytes for value in state.values()))
+        return self._put(key, "state", nbytes, label,
+                         lambda: pack_state_dict(state) if self.ships else state)
+
+    def put_arrays(self, arrays: Sequence[np.ndarray], label: str = "") -> StateRef:
+        """Publish an ordered array list (anchor, consensus, batches, ...)."""
+        arrays = list(arrays)
+        canonical = _arrays_as_state(arrays)
+        key = state_digest(canonical, kind="arrays")
+        nbytes = int(sum(array.nbytes for array in canonical.values()))
+        return self._put(key, "arrays", nbytes, label,
+                         lambda: pack_array_list(arrays) if self.ships else arrays)
+
+    # ------------------------------------------------------------------ #
+    def get(self, ref: StateRef):
+        """Driver-side materialization of a ref (does not count as a miss)."""
+        payload = self.channel.fetch(ref.key, count=False)
+        if isinstance(payload, bytes):
+            return (unpack_state_dict(payload) if ref.kind == "state"
+                    else unpack_array_list(payload))
+        return payload
+
+    def discard(self, refs: Union[StateRef, Iterable[StateRef]]) -> None:
+        """Drop ephemeral payloads (per-iteration batches) from the channel.
+
+        Refs with the same content digest (deduped puts return the same
+        key) are dropped once; unknown keys are ignored.
+        """
+        if isinstance(refs, StateRef):
+            refs = [refs]
+        removed = [key for key in {ref.key for ref in refs}
+                   if self._published.pop(key, None) is not None]
+        if removed:
+            self.channel.drop(removed)
+
+    def advance_round(self, version: int) -> None:
+        """Bump the round version and evict entries older than the previous
+        round (entries published in round ``r`` stay fetchable through round
+        ``r + 1``, which is what lets a post-broadcast device state be
+        re-referenced by the next round's dispatch without a re-publish).
+
+        A version *below* the current one means the backend is being reused
+        by a new simulation whose round counter restarted: everything
+        currently published belongs to the previous run and is evicted.
+        """
+        version = int(version)
+        if version < self.round_version:
+            stale = list(self._published)
+        else:
+            stale = [key for key, (round_version, _, _) in self._published.items()
+                     if round_version < version - 1]
+        self.round_version = version
+        for key in stale:
+            del self._published[key]
+        if stale:
+            self.channel.drop(stale)
+
+    # ------------------------------------------------------------------ #
+    def note_dispatch(self, refs: Iterable[StateRef]) -> None:
+        """Record refs shipped inside dispatched tasks (stats bookkeeping)."""
+        for ref in refs:
+            self._counters["refs_resolved"] += 1
+            self._counters["inline_bytes"] += ref.nbytes
+            bucket = self._label_bucket(ref.label)
+            bucket["resolved"] += 1
+            bucket["inline_bytes"] += ref.nbytes
+
+    def stats(self) -> Dict[str, object]:
+        """Merged driver + channel transport counters.
+
+        ``inline_bytes`` is what payload-carrying tasks *would* have shipped
+        (one full payload per dispatched ref — the pre-store wire format);
+        ``published_bytes + fetched_bytes`` is what the store actually
+        shipped.  ``hits`` counts ref resolutions served from a worker-side
+        cache (resolved minus wire fetches; in-process channels never fetch
+        over a wire, so every resolution is a hit).
+        """
+        channel = self.channel.stats() or {}
+        fetches = int(channel.get("fetches", 0))
+        fetched_bytes = int(channel.get("fetched_bytes", 0))
+        resolved = self._counters["refs_resolved"]
+        hits = max(0, resolved - fetches)
+        by_label: Dict[str, Dict[str, object]] = {}
+        channel_labels = channel.get("by_label", {})
+        for label in set(self._by_label) | set(channel_labels):
+            driver = self._by_label.get(
+                label, {"resolved": 0, "inline_bytes": 0,
+                        "publishes": 0, "published_bytes": 0})
+            wire = channel_labels.get(label, {"fetches": 0, "fetched_bytes": 0})
+            label_resolved = driver["resolved"]
+            label_fetches = int(wire.get("fetches", 0))
+            label_hits = max(0, label_resolved - label_fetches)
+            by_label[label] = {
+                **driver,
+                "fetches": label_fetches,
+                "fetched_bytes": int(wire.get("fetched_bytes", 0)),
+                "hits": label_hits,
+                "hit_rate": (label_hits / label_resolved) if label_resolved else None,
+            }
+        return {
+            **self._counters,
+            "entries": len(self._published),
+            "round_version": self.round_version,
+            "fetches": fetches,
+            "fetched_bytes": fetched_bytes,
+            "context_fetches": int(channel.get("context_fetches", 0)),
+            "context_bytes": int(channel.get("context_bytes", 0)),
+            "hits": hits,
+            "misses": fetches,
+            "hit_rate": (hits / resolved) if resolved else None,
+            "by_label": by_label,
+        }
 
 
 def save_history_json(history: "TrainingHistory", path: Union[str, Path]) -> Path:

@@ -249,3 +249,26 @@ class TestGraphMechanics:
     def test_integer_labels_keep_integer_dtype(self):
         labels = Tensor(np.array([1, 2, 3]))
         assert labels.data.dtype.kind in "iu"
+
+
+def test_no_grad_is_thread_local():
+    """The autograd switch must be per-thread: concurrent tasks on the
+    thread execution backend enter/exit no_grad in arbitrary interleavings,
+    which would corrupt a shared module-global flag."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.nn import is_grad_enabled, no_grad
+
+    def toggler(_):
+        for _ in range(100):
+            assert is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+                with no_grad():
+                    assert not is_grad_enabled()
+                assert not is_grad_enabled()
+        return is_grad_enabled()
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        assert all(pool.map(toggler, range(8)))
+    assert is_grad_enabled()

@@ -123,7 +123,7 @@ def test_list_command(capsys):
     out = capsys.readouterr().out
     assert "table1" in out
     assert "fig7" in out
-    assert "serial, process, process:N" in out
+    assert "serial, thread, thread:N, process, process:N" in out
 
 
 def test_list_command_enumerates_strategy_registry(capsys):
