@@ -1,0 +1,189 @@
+"""Cohort-fusion benchmark: fused batch-of-devices training vs the per-device loop.
+
+Times one round's worth of local-training steps for a homogeneous cohort of
+B={COHORT} devices two ways: the historical per-device loop (one model, one
+``SGD``, one autograd graph per device) and the fused path
+(``BatchedModule`` + ``BatchedSGD``: all B parameter sets stacked on a
+leading axis, one graph, one optimizer).  The fused path performs the same
+float64 arithmetic — it is pinned bit-identical by
+``tests/nn/test_batched.py`` / ``tests/federated/test_cohort_fusion.py`` —
+so any speedup is pure Python/dispatch-overhead amortization plus larger
+BLAS calls, exactly the hot path of FedAvg/FedMD rounds in the
+small-on-device-model regime FedZKT targets.
+
+The benchmark **asserts** its regression guard (exit code 1 on violation,
+so CI fails loudly): fused per-device step time must be at least
+{TARGET_SPEEDUP}x faster than the per-device loop for every measured
+architecture at cohort size {COHORT}.
+
+Not a pytest file on purpose (no ``test_`` prefix): run it directly with
+
+    PYTHONPATH=src python benchmarks/bench_cohort_fusion.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.models.simple import FullyConnected, LeNet, SimpleCNN  # noqa: E402
+from repro.nn import SGD, Tensor  # noqa: E402
+from repro.nn.batched import (  # noqa: E402
+    BatchedModule,
+    BatchedSGD,
+    batched_cross_entropy,
+)
+from repro.nn.losses import cross_entropy  # noqa: E402
+
+TARGET_SPEEDUP = 2.0
+COHORT = 8
+INPUT_SHAPE = (3, 8, 8)
+NUM_CLASSES = 4
+BATCH_SIZE = 8
+LR, MOMENTUM = 0.05, 0.9
+
+__doc__ = __doc__.format(TARGET_SPEEDUP=TARGET_SPEEDUP, COHORT=COHORT)
+
+WORKLOADS = {
+    "fully_connected": lambda seed: FullyConnected(
+        INPUT_SHAPE, NUM_CLASSES, hidden_sizes=(16, 8), seed=seed),
+    "simple_cnn": lambda seed: SimpleCNN(
+        INPUT_SHAPE, NUM_CLASSES, channels=(4, 8), hidden_size=16, seed=seed),
+    "lenet": lambda seed: LeNet(
+        INPUT_SHAPE, NUM_CLASSES, conv_channels=(4, 8), fc_sizes=(24,), seed=seed),
+}
+
+
+def _cohort_data(rng, steps):
+    images = rng.normal(size=(steps, COHORT, BATCH_SIZE, *INPUT_SHAPE))
+    labels = rng.integers(0, NUM_CLASSES, size=(steps, COHORT, BATCH_SIZE))
+    return images, labels
+
+
+def _time_serial(factory, images, labels):
+    models = [factory(seed=index) for index in range(COHORT)]
+    start = time.perf_counter()
+    for device, model in enumerate(models):
+        model.train()
+        optimizer = SGD(model.parameters(), lr=LR, momentum=MOMENTUM)
+        for step in range(images.shape[0]):
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(images[step, device])),
+                                 labels[step, device])
+            loss.backward()
+            optimizer.step()
+    return time.perf_counter() - start
+
+
+def _time_fused(factory, images, labels):
+    states = [factory(seed=index).state_dict() for index in range(COHORT)]
+    module = BatchedModule(factory(seed=0), states)
+    module.train()
+    optimizer = BatchedSGD(module.parameters(), COHORT, lr=LR, momentum=MOMENTUM)
+    start = time.perf_counter()
+    for step in range(images.shape[0]):
+        optimizer.zero_grad()
+        loss_vec = batched_cross_entropy(module(Tensor(images[step])), labels[step])
+        loss_vec.sum().backward()
+        optimizer.step()
+    return time.perf_counter() - start
+
+
+def _measure(factory, steps, repeats):
+    """Best-of-``repeats`` per-device step times (seconds), both paths."""
+    rng = np.random.default_rng(17)
+    images, labels = _cohort_data(rng, steps)
+    device_steps = steps * COHORT
+    serial = min(_time_serial(factory, images, labels) for _ in range(repeats))
+    fused = min(_time_fused(factory, images, labels) for _ in range(repeats))
+    return serial / device_steps, fused / device_steps
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (sanity check, not a real measurement)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="local-training steps per repeat")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_cohort_fusion.json"))
+    args = parser.parse_args(argv)
+
+    steps = args.steps if args.steps is not None else (8 if args.quick else 40)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    # --quick shrinks the measurement below timing-noise floors; it reports
+    # the numbers without enforcing the target.
+    enforce = not args.quick
+
+    print(f"cohort-fusion benchmark: B={COHORT} devices, batch {BATCH_SIZE}, "
+          f"{steps} steps x best-of-{repeats}, target >= {TARGET_SPEEDUP}x")
+
+    results = []
+    failures = []
+    for name, factory in sorted(WORKLOADS.items()):
+        serial_step, fused_step = _measure(factory, steps, repeats)
+        speedup = serial_step / fused_step
+        results.append({
+            "workload": name,
+            "serial_per_device_step_ms": serial_step * 1e3,
+            "fused_per_device_step_ms": fused_step * 1e3,
+            "speedup": speedup,
+        })
+        print(f"  {name:16s} serial {serial_step * 1e3:6.3f} ms/device-step  "
+              f"fused {fused_step * 1e3:6.3f} ms/device-step  "
+              f"speedup {speedup:4.2f}x")
+        if speedup < TARGET_SPEEDUP:
+            failures.append(f"{name}: speedup {speedup:.2f}x < target "
+                            f"{TARGET_SPEEDUP}x")
+
+    payload = {
+        "benchmark": "cohort_fusion",
+        "cohort_size": COHORT,
+        "batch_size": BATCH_SIZE,
+        "input_shape": list(INPUT_SHAPE),
+        "num_classes": NUM_CLASSES,
+        "steps": steps,
+        "repeats": repeats,
+        "workloads": results,
+        "targets": {"speedup": TARGET_SPEEDUP},
+        "failures": failures,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, default=float) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {output}")
+
+    if failures and not enforce:
+        print("targets not enforced under --quick; would have failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 0
+    if failures:
+        print("COHORT-FUSION REGRESSIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"ok: fused path >= {TARGET_SPEEDUP}x faster per device-step "
+          f"at B={COHORT} for all workloads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

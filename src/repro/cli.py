@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
                             help="execution backend: serial, thread[:N], or process[:N]")
+    run_parser.add_argument("--cohort-fusion", action="store_true",
+                            help="fuse each round's same-architecture device cohort "
+                                 "(and FedZKT's sharded teacher ensemble) into stacked "
+                                 "vectorized training tasks; bit-identical to the "
+                                 "per-device path, heterogeneous groups fall back")
     run_parser.add_argument("--server-shards", type=int, default=None,
                             help="shard the strategy's server update through the backend "
                                  "into this many shards (requires a strategy declaring "
@@ -140,7 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rounds=args.rounds, scheduler=args.scheduler, deadline=args.deadline,
         buffer_size=args.buffer_size, speed_skew=args.speed_skew,
         latency_mean=args.latency_mean, dropout_rate=args.dropout_rate,
-        server_shards=args.server_shards, verbose=not args.quiet,
+        server_shards=args.server_shards, cohort_fusion=args.cohort_fusion,
+        verbose=not args.quiet,
     )
     if args.public_choice is not None:
         kwargs["public_choice"] = args.public_choice

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..federated.backend import WorkerContext, resolve_arrays, resolve_state
 from ..nn import no_grad
+from ..nn.batched import BatchedModule, fusion_signature
 from ..nn.losses import kl_divergence_loss
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
@@ -125,6 +126,26 @@ def _member_output(model, x: Tensor, mode: str) -> Tensor:
     return logits.softmax(axis=-1) if mode == "prob" else logits
 
 
+def _fusion_groups(context: WorkerContext, device_ids: Sequence[int]) -> List[List[int]]:
+    """Positions of same-signature teachers that may share a fused forward.
+
+    Only groups of two or more are returned; singletons and models without
+    a batched adapter stay on the per-model ``borrowed_model`` path.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    for position, device_id in enumerate(device_ids):
+        signature = fusion_signature(context.model_for(device_id))
+        if signature is None:
+            continue
+        groups.setdefault(signature, []).append(position)
+    return [positions for positions in groups.values() if len(positions) >= 2]
+
+
+def _tile(array: np.ndarray, batch: int) -> np.ndarray:
+    """Replicate one batch along a new leading device axis (contiguous)."""
+    return np.repeat(array[None], batch, axis=0)
+
+
 @dataclass
 class EnsembleForwardTask:
     """Evaluate a shard of teacher models on one synthetic batch.
@@ -140,6 +161,7 @@ class EnsembleForwardTask:
     states: List[ShardState]
     inputs: Union[StateRef, np.ndarray, bytes]
     mode: str = "prob"
+    fuse: bool = False
 
     def __getstate__(self):
         payload = dict(self.__dict__)
@@ -150,8 +172,23 @@ class EnsembleForwardTask:
 
     def run(self, context: WorkerContext) -> List[np.ndarray]:
         inputs = _single_array(self.inputs)
+        fused: Dict[int, np.ndarray] = {}
+        if self.fuse:
+            for positions in _fusion_groups(context, self.device_ids):
+                template = context.model_for(self.device_ids[positions[0]])
+                states = [resolve_state(self.states[i]) for i in positions]
+                module = BatchedModule(template, states, requires_grad=False).eval()
+                with no_grad():
+                    out = module(Tensor(_tile(inputs, len(positions))))
+                    if self.mode == "prob":
+                        out = out.softmax(axis=-1)
+                for slot, position in enumerate(positions):
+                    fused[position] = np.ascontiguousarray(out.data[slot])
         members: List[np.ndarray] = []
-        for device_id, state in zip(self.device_ids, self.states):
+        for position, (device_id, state) in enumerate(zip(self.device_ids, self.states)):
+            if position in fused:
+                members.append(fused[position])
+                continue
             with borrowed_model(context, device_id, state, train=False) as model:
                 with no_grad():
                     members.append(_member_output(model, Tensor(inputs), self.mode).data)
@@ -178,6 +215,7 @@ class EnsembleVJPTask:
     inputs: Union[StateRef, np.ndarray, bytes]
     upstream: Union[StateRef, np.ndarray, bytes]
     mode: str = "prob"
+    fuse: bool = False
 
     def __getstate__(self):
         payload = dict(self.__dict__)
@@ -190,8 +228,30 @@ class EnsembleVJPTask:
     def run(self, context: WorkerContext) -> List[np.ndarray]:
         inputs = _single_array(self.inputs)
         upstream = _single_array(self.upstream)
+        fused: Dict[int, np.ndarray] = {}
+        if self.fuse:
+            for positions in _fusion_groups(context, self.device_ids):
+                batch = len(positions)
+                template = context.model_for(self.device_ids[positions[0]])
+                states = [resolve_state(self.states[i]) for i in positions]
+                # Stacked parameters stay grad-free — only the input-gradient
+                # path is materialized, matching the per-model branch below.
+                module = BatchedModule(template, states, requires_grad=False).eval()
+                x = Tensor(_tile(inputs, batch), requires_grad=True)
+                out = module(x)
+                if self.mode == "prob":
+                    out = out.softmax(axis=-1)
+                weights = np.asarray([self.weights[i] for i in positions], dtype=np.float64)
+                term = out * Tensor(weights.reshape((batch,) + (1,) * (out.data.ndim - 1)))
+                term.backward(_tile(upstream, batch))
+                for slot, position in enumerate(positions):
+                    fused[position] = np.ascontiguousarray(x.grad[slot])
         grads: List[np.ndarray] = []
-        for device_id, state, weight in zip(self.device_ids, self.states, self.weights):
+        for position, (device_id, state, weight) in enumerate(
+                zip(self.device_ids, self.states, self.weights)):
+            if position in fused:
+                grads.append(fused[position])
+                continue
             with borrowed_model(context, device_id, state, train=False) as model:
                 parameters = model.parameters()
                 for param in parameters:

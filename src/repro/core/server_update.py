@@ -95,14 +95,23 @@ class ZeroShotDistiller:
         Optional execution backend used when ``config.server_shards > 1``;
         usually installed later via :meth:`bind_backend` by the simulation
         engine.  Without a backend the distiller always runs in process.
+    cohort_fusion:
+        Stamp ``fuse=True`` on Phase-1 ensemble shard tasks so each shard
+        evaluates its same-architecture teachers through one stacked
+        forward/VJP (bit-identical; heterogeneous teachers fall back to
+        the per-model path).  Phase 2 is *not* fused: each device's
+        distillation carries per-device persisted momentum and already
+        shares its synthetic batches, so the per-model loop is kept.
     """
 
     def __init__(self, global_model: ClassificationModel, generator: Generator,
-                 config: ServerConfig, seed: int = 0, backend=None) -> None:
+                 config: ServerConfig, seed: int = 0, backend=None,
+                 cohort_fusion: bool = False) -> None:
         self.global_model = global_model
         self.generator = generator
         self.config = config
         self.backend = backend
+        self.cohort_fusion = bool(cohort_fusion)
         self._rng = np.random.default_rng(seed)
         self._loss_name = config.distillation_loss
         # Optimizers persist across rounds so momentum/Adam state carries over.
@@ -333,7 +342,8 @@ class ZeroShotDistiller:
         """
         tasks = [EnsembleForwardTask(device_ids=[teacher_ids[i] for i in shard],
                                      states=[shipped_states[i] for i in shard],
-                                     inputs=inputs, mode=mode)
+                                     inputs=inputs, mode=mode,
+                                     fuse=self.cohort_fusion)
                  for shard in shards]
         results = self.backend.run_tasks(tasks)
         return [member for shard_members in results for member in shard_members]
@@ -379,7 +389,7 @@ class ZeroShotDistiller:
                                          states=[shipped_states[i] for i in shard],
                                          weights=[weights[i] for i in shard],
                                          inputs=shared_inputs, upstream=upstream,
-                                         mode=mode)
+                                         mode=mode, fuse=self.cohort_fusion)
                          for shard in shards]
                 for shard_grads in backend.run_tasks(tasks):
                     for grad in shard_grads:

@@ -142,7 +142,8 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
                          distillation_iterations: int = None,
                          server_shards: int = 1,
                          scheduler: SchedulerConfig = None,
-                         heterogeneity: HeterogeneityConfig = None) -> FederatedConfig:
+                         heterogeneity: HeterogeneityConfig = None,
+                         cohort_fusion: bool = False) -> FederatedConfig:
     """Build a :class:`FederatedConfig` for a dataset family at a given scale.
 
     ``scheduler`` / ``heterogeneity`` select the round-scheduling policy and
@@ -174,4 +175,5 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
         server=server,
         scheduler=scheduler if scheduler is not None else SchedulerConfig(),
         heterogeneity=heterogeneity if heterogeneity is not None else HeterogeneityConfig(),
+        cohort_fusion=cohort_fusion,
     )

@@ -106,7 +106,7 @@ def _scheduling_configs(scheduler: Optional[str], deadline: Optional[float],
 def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
                 num_devices, participation_fraction, prox_mu, rounds, verbose,
                 scheduler, deadline, buffer_size, speed_skew, latency_mean,
-                dropout_rate, server_shards,
+                dropout_rate, server_shards, cohort_fusion=False,
                 distillation_loss: str = "sl") -> TrainingHistory:
     """Shared scaffold of every per-algorithm runner.
 
@@ -128,7 +128,8 @@ def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
                                   seed=seed, rounds=rounds,
                                   server_shards=server_shards if server_shards is not None else 1,
                                   scheduler=scheduler_config,
-                                  heterogeneity=heterogeneity_config)
+                                  heterogeneity=heterogeneity_config,
+                                  cohort_fusion=bool(cohort_fusion))
     train, test = load_dataset(dataset_name, train_size=scale.train_size,
                                test_size=scale.test_size, image_size=scale.image_size, seed=seed)
     partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
@@ -149,7 +150,8 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
                latency_mean: Optional[float] = None,
                dropout_rate: Optional[float] = None,
-               server_shards: Optional[int] = None) -> TrainingHistory:
+               server_shards: Optional[int] = None,
+               cohort_fusion: bool = False) -> TrainingHistory:
     """Run FedZKT on a named dataset and return its training history."""
     def make(train, test, config, family, partitioner, scale):
         simulation = build_fedzkt(train, test, config, family=family,
@@ -170,7 +172,8 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                        rounds=rounds, verbose=verbose, scheduler=scheduler,
                        deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
                        latency_mean=latency_mean, dropout_rate=dropout_rate,
-                       server_shards=server_shards, distillation_loss=distillation_loss)
+                       server_shards=server_shards, cohort_fusion=cohort_fusion,
+                       distillation_loss=distillation_loss)
 
 
 def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tiny",
@@ -185,7 +188,8 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
               speed_skew: Optional[float] = None,
               latency_mean: Optional[float] = None,
               dropout_rate: Optional[float] = None,
-              server_shards: Optional[int] = None) -> TrainingHistory:
+              server_shards: Optional[int] = None,
+              cohort_fusion: bool = False) -> TrainingHistory:
     """Run the FedMD baseline with the paper's public-dataset pairing.
 
     Under ``deadline``/``async`` schedulers FedMD runs its partial-consensus
@@ -211,7 +215,7 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
                           scheduler=scheduler, deadline=deadline,
                           buffer_size=buffer_size, speed_skew=speed_skew,
                           latency_mean=latency_mean, dropout_rate=dropout_rate,
-                          server_shards=server_shards)
+                          server_shards=server_shards, cohort_fusion=cohort_fusion)
     history.config["public_dataset"] = public_name[0]
     return history
 
@@ -225,7 +229,8 @@ def run_fedavg(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                buffer_size: Optional[int] = None, speed_skew: Optional[float] = None,
                latency_mean: Optional[float] = None,
                dropout_rate: Optional[float] = None,
-               server_shards: Optional[int] = None) -> TrainingHistory:
+               server_shards: Optional[int] = None,
+               cohort_fusion: bool = False) -> TrainingHistory:
     """Run the FedAvg baseline (homogeneous devices, parameter averaging).
 
     ``prox_mu > 0`` runs FedProx (FedAvg plus the on-device ℓ2 proximal
@@ -244,7 +249,7 @@ def run_fedavg(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                        rounds=rounds, verbose=verbose, scheduler=scheduler,
                        deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
                        latency_mean=latency_mean, dropout_rate=dropout_rate,
-                       server_shards=server_shards)
+                       server_shards=server_shards, cohort_fusion=cohort_fusion)
 
 
 def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
@@ -257,7 +262,8 @@ def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] 
                    speed_skew: Optional[float] = None,
                    latency_mean: Optional[float] = None,
                    dropout_rate: Optional[float] = None,
-                   server_shards: Optional[int] = None) -> TrainingHistory:
+                   server_shards: Optional[int] = None,
+                   cohort_fusion: bool = False) -> TrainingHistory:
     """Run the standalone (no-collaboration) lower-bound trajectory.
 
     Same heterogeneous device suite and partitioning as FedZKT, but devices
@@ -275,7 +281,7 @@ def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] 
                        rounds=rounds, verbose=verbose, scheduler=scheduler,
                        deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
                        latency_mean=latency_mean, dropout_rate=dropout_rate,
-                       server_shards=server_shards)
+                       server_shards=server_shards, cohort_fusion=cohort_fusion)
 
 
 #: Strategy-registry-name → single-run entry point; the CLI's

@@ -22,6 +22,7 @@ from .config import (
     ServerConfig,
     StrategyConfig,
 )
+from .cohort import CohortPlan, FusedLocalTrainTask, plan_cohorts
 from .device import Device, LocalTrainingReport
 from .heterogeneity import HeterogeneityModel
 from .history import RoundRecord, TrainingHistory
@@ -75,6 +76,9 @@ __all__ = [
     "ServerConfig",
     "Device",
     "LocalTrainingReport",
+    "CohortPlan",
+    "FusedLocalTrainTask",
+    "plan_cohorts",
     "RoundRecord",
     "TrainingHistory",
     "DeviceSampler",

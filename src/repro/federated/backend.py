@@ -347,7 +347,8 @@ class DigestSpec(_PacksStateOnPickle):
 def iter_state_refs(task) -> Iterator[StateRef]:
     """Yield every :class:`StateRef` a task carries (used by the backends'
     dispatch accounting).  Walks direct fields, list/tuple fields, and a
-    nested :class:`DigestSpec`."""
+    nested :class:`DigestSpec` (directly or inside a list, as a fused
+    cohort task carries them)."""
     payload = getattr(task, "__dict__", None)
     if not payload:
         return
@@ -358,6 +359,8 @@ def iter_state_refs(task) -> Iterator[StateRef]:
             for item in value:
                 if isinstance(item, StateRef):
                     yield item
+                elif isinstance(item, DigestSpec):
+                    yield from iter_state_refs(item)
         elif isinstance(value, DigestSpec):
             yield from iter_state_refs(value)
 

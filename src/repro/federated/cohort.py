@@ -1,0 +1,296 @@
+"""Fused cohort execution: train a batch of same-architecture devices at once.
+
+Every FedZKT round trains a cohort of compact on-device models, and with
+homogeneous (or family-grouped) populations many of those models share one
+architecture.  Instead of dispatching B independent Python training loops,
+the planner in this module groups a round's :class:`LocalTrainTask`s by
+fusion signature and replaces each group of two or more with a single
+:class:`FusedLocalTrainTask` that stacks the devices' parameters on a
+leading axis and drives one vectorized loop through
+:class:`repro.nn.batched.BatchedModule` / :class:`BatchedSGD`.
+
+The fused path is bit-identical to the serial path by construction: every
+batched op reduces over the same axes in the same order per device slice
+(see ``repro.nn.batched``), each device keeps its own shuffle RNG stream,
+and the per-device loss scalars are read off the ``(B,)`` loss vector the
+backward pass is seeded from.  Groups that cannot be fused — heterogeneous
+architectures, models without ``fusion_layers()``, batch-incompatible
+layers, mismatched shard sizes or training configs — fall back to the
+untouched per-device tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.batched import (
+    BatchedModule,
+    BatchedSGD,
+    batched_cross_entropy,
+    batched_l2_proximal,
+    batched_mse_loss,
+)
+from ..nn.tensor import Tensor
+from ..utils.serialization import StateRef, pack_array_list, pack_state_dict
+from .backend import (
+    DigestSpec,
+    LocalTrainResult,
+    LocalTrainTask,
+    WorkerContext,
+    resolve_arrays,
+    resolve_state,
+)
+from .trainer import LocalTrainingReport
+
+__all__ = ["FusedLocalTrainTask", "CohortPlan", "plan_cohorts"]
+
+
+def _restored_rng(state: dict) -> np.random.Generator:
+    rng = np.random.default_rng()
+    rng.bit_generator.state = state
+    return rng
+
+
+@dataclass
+class FusedLocalTrainTask:
+    """Train a cohort of same-signature devices in one vectorized loop.
+
+    Field layout mirrors :class:`LocalTrainTask` with every per-device field
+    pluralized and aligned by position; ``run`` returns one
+    :class:`LocalTrainResult` per device, in ``device_ids`` order, each
+    indistinguishable from what the per-device task would have produced.
+    """
+
+    device_ids: List[int]
+    states: List[object]  # StateRef | state dict | packed bytes, per device
+    epochs: int
+    rng_states: List[dict]
+    anchors: Optional[List[object]] = None  # per-device StateRef | arrays | bytes
+    digests: Optional[List[DigestSpec]] = None
+
+    def __getstate__(self):
+        # _PacksStateOnPickle's list branch would treat ``states`` as one
+        # array list, so pack each per-device payload individually instead.
+        payload = dict(self.__dict__)
+        payload["states"] = [pack_state_dict(value) if isinstance(value, dict) else value
+                             for value in payload["states"]]
+        if payload.get("anchors") is not None:
+            payload["anchors"] = [
+                pack_array_list(list(value)) if isinstance(value, (list, tuple)) else value
+                for value in payload["anchors"]
+            ]
+        return payload
+
+    def __setstate__(self, payload):
+        self.__dict__.update(payload)
+
+    # ------------------------------------------------------------------ #
+    # Fused FedMD digest phase (mirrors trainer.digest_on_public)
+    # ------------------------------------------------------------------ #
+    def _run_digests(self, module: BatchedModule, context: WorkerContext) -> List[float]:
+        if context.public_dataset is None:
+            raise RuntimeError("digest task requires a public dataset in the worker context")
+        public = context.public_dataset
+        batch = len(self.device_ids)
+        spec = self.digests[0]  # planner guarantees identical (epochs, lr, batch_size)
+        consensus: List[np.ndarray] = []
+        for item in self.digests:
+            value = item.consensus
+            if isinstance(value, (StateRef, bytes)):
+                value = resolve_arrays(value)[0]
+            consensus.append(np.asarray(value))
+        rngs = [np.random.default_rng(item.seed) for item in self.digests]
+
+        module.train()
+        optimizer = BatchedSGD(module.parameters(), batch, lr=spec.lr, momentum=0.9)
+        losses: List[List[float]] = [[] for _ in range(batch)]
+        indices = np.arange(len(public))
+        for _ in range(spec.epochs):
+            orders = [rng.permutation(indices) for rng in rngs]
+            for start in range(0, len(indices), spec.batch_size):
+                chosen = [order[start:start + spec.batch_size] for order in orders]
+                images = np.stack([public.images[chosen[b]] for b in range(batch)])
+                targets = np.stack([consensus[b][chosen[b]] for b in range(batch)])
+                optimizer.zero_grad()
+                prediction = module(Tensor(images))
+                loss_vec = batched_mse_loss(prediction, Tensor(targets))
+                loss_vec.sum().backward()
+                optimizer.step()
+                for b in range(batch):
+                    losses[b].append(float(loss_vec.data[b]))
+        return [float(np.mean(item)) if item else 0.0 for item in losses]
+
+    # ------------------------------------------------------------------ #
+    # Fused local SGD (mirrors trainer.local_sgd_train batch for batch)
+    # ------------------------------------------------------------------ #
+    def run(self, context: WorkerContext) -> List[LocalTrainResult]:
+        batch = len(self.device_ids)
+        template = context.model_for(self.device_ids[0])
+        config = context.train_configs[self.device_ids[0]]
+        states = [resolve_state(value) for value in self.states]
+        module = BatchedModule(template, states)
+        rngs = [_restored_rng(state) for state in self.rng_states]
+
+        digest_losses: List[Optional[float]] = [None] * batch
+        if self.digests is not None:
+            digest_losses = self._run_digests(module, context)
+
+        anchors: Optional[List[np.ndarray]] = None
+        if self.anchors is not None:
+            per_device = [resolve_arrays(value) for value in self.anchors]
+            anchors = [np.stack([np.asarray(per_device[b][i]) for b in range(batch)])
+                       for i in range(len(per_device[0]))]
+
+        shards = [context.shards[device_id] for device_id in self.device_ids]
+        size = len(shards[0])
+        module.train()
+        optimizer = BatchedSGD(module.parameters(), batch, lr=config.lr,
+                               momentum=config.momentum,
+                               weight_decay=config.weight_decay)
+        losses: List[List[float]] = [[] for _ in range(batch)]
+        batches = 0
+        samples = 0
+        base = np.arange(size)
+        for _ in range(self.epochs):
+            # Each device replays exactly the shuffle DataLoader would draw
+            # from its own RNG stream.
+            orders = [rng.permutation(base) for rng in rngs]
+            for start in range(0, size, config.batch_size):
+                chosen = [order[start:start + config.batch_size] for order in orders]
+                images = np.stack([shards[b].images[chosen[b]] for b in range(batch)])
+                labels = np.stack([shards[b].labels[chosen[b]] for b in range(batch)])
+                optimizer.zero_grad()
+                logits = module(Tensor(images))
+                loss_vec = batched_cross_entropy(logits, labels)
+                if config.prox_mu > 0 and anchors is not None:
+                    loss_vec = loss_vec + batched_l2_proximal(
+                        module.parameters(), anchors, mu=config.prox_mu)
+                # Summing the (B,) loss vector seeds each device's slice of
+                # the backward pass with exactly the serial upstream of 1.
+                loss_vec.sum().backward()
+                optimizer.step()
+                for b in range(batch):
+                    losses[b].append(float(loss_vec.data[b]))
+                batches += 1
+                samples += int(labels.shape[1])
+
+        parameter_count = template.num_parameters()
+        results: List[LocalTrainResult] = []
+        final_states = module.state_dicts()
+        for b, device_id in enumerate(self.device_ids):
+            device_losses = losses[b]
+            report = LocalTrainingReport(
+                device_id=device_id,
+                epochs=self.epochs,
+                batches=batches,
+                final_loss=device_losses[-1] if device_losses else 0.0,
+                mean_loss=float(np.mean(device_losses)) if device_losses else 0.0,
+                samples_seen=samples,
+                parameter_updates=batches * parameter_count,
+            )
+            results.append(LocalTrainResult(
+                device_id=device_id,
+                state=final_states[b],
+                report=report,
+                rng_state=rngs[b].bit_generator.state,
+                digest_loss=digest_losses[b],
+            ))
+        return results
+
+
+# --------------------------------------------------------------------------- #
+# Cohort planning
+# --------------------------------------------------------------------------- #
+@dataclass
+class CohortPlan:
+    """Outcome of :func:`plan_cohorts`.
+
+    ``tasks`` is the dispatch list (fused tasks replacing their groups,
+    passthrough tasks untouched) and ``scatter[i]`` lists the positions in
+    the *original* task list that planned task ``i``'s results land in —
+    one position for a passthrough task, ``len(device_ids)`` positions (in
+    ``device_ids`` order) for a fused task.
+    """
+
+    tasks: List[object] = field(default_factory=list)
+    scatter: List[List[int]] = field(default_factory=list)
+
+    @property
+    def fused_group_count(self) -> int:
+        return sum(1 for task in self.tasks if isinstance(task, FusedLocalTrainTask))
+
+    def gather(self, raw_results: Sequence) -> List:
+        """Re-assemble planned results into original task order."""
+        total = sum(len(indices) for indices in self.scatter)
+        results: List = [None] * total
+        for planned_index, result in enumerate(raw_results):
+            indices = self.scatter[planned_index]
+            if isinstance(self.tasks[planned_index], FusedLocalTrainTask):
+                for slot, original_index in enumerate(indices):
+                    results[original_index] = result[slot]
+            else:
+                results[indices[0]] = result
+        return results
+
+
+def _digest_group_key(digest: Optional[DigestSpec]) -> Optional[Tuple]:
+    if digest is None:
+        return None
+    return (digest.epochs, digest.lr, digest.batch_size)
+
+
+def plan_cohorts(tasks: Sequence, group_key: Callable[[object], Optional[Hashable]],
+                 min_group: int = 2) -> CohortPlan:
+    """Group a round's tasks into fused cohorts.
+
+    ``group_key(task)`` returns a hashable fusion key covering the model
+    and training-config dimensions, or ``None`` when the task must stay on
+    the per-device path (unfusable model, mismatched shard size...).  The
+    planner itself folds in the task-level dimensions — epochs, anchor
+    presence, digest presence and digest hyperparameters — so two tasks
+    fuse only when every knob that shapes the training loop agrees.  Tasks
+    sharing a key are fused when the group reaches ``min_group``; each fused
+    task is emitted at its first member's position, so single-group rounds
+    keep their dispatch order stable.
+    """
+    keys: List[Optional[Hashable]] = []
+    groups: Dict[Hashable, List[int]] = {}
+    for index, task in enumerate(tasks):
+        key = group_key(task) if type(task) is LocalTrainTask else None
+        if key is not None:
+            key = (key, task.epochs, task.anchor is not None,
+                   _digest_group_key(task.digest))
+        keys.append(key)
+        if key is not None:
+            groups.setdefault(key, []).append(index)
+
+    plan = CohortPlan()
+    emitted = set()
+    for index, task in enumerate(tasks):
+        if index in emitted:
+            continue
+        key = keys[index]
+        members = groups.get(key, []) if key is not None else [index]
+        if key is None or len(members) < min_group:
+            plan.tasks.append(task)
+            plan.scatter.append([index])
+            emitted.add(index)
+            continue
+        cohort = [tasks[i] for i in members]
+        fused = FusedLocalTrainTask(
+            device_ids=[t.device_id for t in cohort],
+            states=[t.state for t in cohort],
+            epochs=task.epochs,
+            rng_states=[t.rng_state for t in cohort],
+            anchors=([t.anchor for t in cohort]
+                     if any(t.anchor is not None for t in cohort) else None),
+            digests=([t.digest for t in cohort]
+                     if any(t.digest is not None for t in cohort) else None),
+        )
+        plan.tasks.append(fused)
+        plan.scatter.append(list(members))
+        emitted.update(members)
+    return plan

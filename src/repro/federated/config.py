@@ -241,6 +241,10 @@ class FederatedConfig:
         Which algorithm strategy drives the simulation; when its ``name``
         is set, the scheduler kind and ``server_shards`` are validated
         against the strategy's capability declarations.
+    cohort_fusion:
+        Opt-in: fuse each round's same-architecture device cohort into one
+        vectorized training task (bit-identical to the per-device path;
+        heterogeneous or batch-incompatible groups fall back per device).
     """
 
     num_devices: int = 10
@@ -257,6 +261,7 @@ class FederatedConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     heterogeneity: HeterogeneityConfig = field(default_factory=HeterogeneityConfig)
     strategy: StrategyConfig = field(default_factory=StrategyConfig)
+    cohort_fusion: bool = False
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -320,4 +325,6 @@ class FederatedConfig:
             summary["speed_skew"] = self.heterogeneity.speed_skew
             summary["latency_mean"] = self.heterogeneity.latency_mean
             summary["dropout_rate"] = self.heterogeneity.dropout_rate
+        if self.cohort_fusion:
+            summary["cohort_fusion"] = True
         return summary

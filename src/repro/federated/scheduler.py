@@ -204,7 +204,10 @@ class RoundScheduler:
         tasks = engine.device_tasks(device_ids, round_index)
         snapshots = [(task.device_id, task.state) for task in tasks]
         results: Dict[int, object] = {}
-        for index, result in engine.backend.run_tasks_as_completed(tasks):
+        runner = getattr(engine, "run_device_tasks_as_completed", None)
+        completed = (runner(tasks) if runner is not None
+                     else engine.backend.run_tasks_as_completed(tasks))
+        for index, result in completed:
             results[device_ids[index]] = result
         for device_id, state in snapshots:
             engine.restore_model_state(device_id, state)
@@ -241,7 +244,8 @@ class SynchronousScheduler(RoundScheduler):
         active = hetero.filter_available(sampled, round_index)
 
         tasks = engine.device_tasks(active, round_index)
-        results = engine.backend.run_tasks(tasks)
+        runner = getattr(engine, "run_device_tasks", None)
+        results = runner(tasks) if runner is not None else engine.backend.run_tasks(tasks)
 
         losses: List[float] = []
         meta: Dict[int, UploadMeta] = {}

@@ -49,8 +49,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
+from ..nn.batched import fusion_signature
 from ..utils.serialization import StateRef
 from .backend import ExecutionBackend, SerialBackend, WorkerContext, build_worker_context
+from .cohort import plan_cohorts
 from .config import FederatedConfig
 from .device import Device
 from .heterogeneity import HeterogeneityModel
@@ -147,6 +149,7 @@ class Simulation:
             len(self.devices), config.heterogeneity, seed=config.seed)
         self._context: Optional[WorkerContext] = None
         self._round_state: Optional[SchedulerState] = None
+        self._fusion_signatures: Dict[int, object] = {}
         self._closed = False
 
     @property
@@ -233,6 +236,56 @@ class Simulation:
     def device_tasks(self, device_ids: Sequence[int], round_index: int) -> List:
         """Package the round's device-side work (dispatch phase)."""
         return self.strategy.device_tasks(device_ids, round_index)
+
+    # ------------------------------------------------------------------ #
+    # Cohort fusion (opt-in via ``config.cohort_fusion``)
+    # ------------------------------------------------------------------ #
+    def _fusion_group_key(self, task):
+        """Model/config/shard dimensions of a task's fusion key.
+
+        ``None`` keeps the task on the per-device path.  The planner folds
+        in the task-level dimensions (epochs, anchor/digest layout); the
+        FedMD digest phase additionally requires all cohort members to
+        share the public dataset, which they do by construction (one
+        ``public_dataset`` per worker context).
+        """
+        device = self.devices[task.device_id]
+        if task.device_id not in self._fusion_signatures:
+            self._fusion_signatures[task.device_id] = fusion_signature(device.model)
+        signature = self._fusion_signatures[task.device_id]
+        if signature is None:
+            return None
+        return (signature, device.training_config, len(device.dataset))
+
+    def run_device_tasks(self, tasks: Sequence) -> List:
+        """Execute a round's device tasks, fusing cohorts when enabled.
+
+        Results come back in task order and are indistinguishable from
+        per-device execution (the fused path is bit-identical).
+        """
+        if not self.config.cohort_fusion:
+            return self.backend.run_tasks(tasks)
+        plan = plan_cohorts(tasks, self._fusion_group_key)
+        return plan.gather(self.backend.run_tasks(plan.tasks))
+
+    def run_device_tasks_as_completed(self, tasks: Sequence):
+        """As-completed variant for deadline/async schedulers.
+
+        Yields ``(original_task_index, result)``; a fused cohort surfaces
+        its members when the fused task completes, in cohort order.
+        """
+        if not self.config.cohort_fusion:
+            yield from self.backend.run_tasks_as_completed(tasks)
+            return
+        plan = plan_cohorts(tasks, self._fusion_group_key)
+        fused = {index: scatter for index, scatter in enumerate(plan.scatter)
+                 if len(scatter) > 1}
+        for planned_index, result in self.backend.run_tasks_as_completed(plan.tasks):
+            if planned_index in fused:
+                for slot, original_index in enumerate(fused[planned_index]):
+                    yield original_index, result[slot]
+            else:
+                yield plan.scatter[planned_index][0], result
 
     def restore_model_state(self, device_id: int, state) -> None:
         """Reset a device's published parameters to a pre-dispatch snapshot.

@@ -52,6 +52,9 @@ class FullyConnected(ClassificationModel):
         self.validate_input(x)
         return self.network(x)
 
+    def fusion_layers(self):
+        return list(self.network)
+
 
 class SimpleCNN(ClassificationModel):
     """Conv/batch-norm/pool stages followed by a small fully-connected head.
@@ -100,6 +103,9 @@ class SimpleCNN(ClassificationModel):
     def forward(self, x: Tensor) -> Tensor:
         self.validate_input(x)
         return self.classifier(self.features(x))
+
+    def fusion_layers(self):
+        return list(self.features) + list(self.classifier)
 
 
 class LeNet(ClassificationModel):
@@ -151,3 +157,6 @@ class LeNet(ClassificationModel):
     def forward(self, x: Tensor) -> Tensor:
         self.validate_input(x)
         return self.classifier(self.features(x))
+
+    def fusion_layers(self):
+        return list(self.features) + list(self.classifier)

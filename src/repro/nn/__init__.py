@@ -7,7 +7,8 @@ reverse-mode autodiff (:mod:`repro.nn.tensor`), modules and layers
 and the classification / distillation losses (:mod:`repro.nn.losses`).
 """
 
-from . import conv, functional, init, losses, optim
+from . import batched, conv, functional, init, losses, optim
+from .batched import BatchedModule, BatchedSGD, UnfusableModelError, fusion_signature
 from .layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -61,6 +62,11 @@ __all__ = [
     "Adam",
     "MultiStepLR",
     "StepLR",
+    "BatchedModule",
+    "BatchedSGD",
+    "UnfusableModelError",
+    "fusion_signature",
+    "batched",
     "conv",
     "functional",
     "init",

@@ -1,0 +1,505 @@
+"""Batch-of-devices fused execution: stacked modules, losses, and SGD.
+
+FedZKT trains a cohort of compact on-device models every round, and the
+paper's heterogeneous suites still contain *groups* of identical
+architectures (devices cycle through five specs).  Running each member of
+such a group through its own Python training loop wastes the vectorized
+hardware paths numpy already has: stacking B devices' parameters on a
+leading axis turns B small GEMMs into one batched GEMM and B optimizer
+loops into one fused element-wise update.
+
+:class:`BatchedModule` replays a template model's ``fusion_layers()``
+sequence over inputs of shape ``(B, N, ...)`` with every parameter stacked
+to ``(B, *shape)``; :func:`batched_cross_entropy` /
+:func:`batched_l2_proximal` / :func:`batched_mse_loss` return per-device
+``(B,)`` loss vectors whose ``.sum()`` seeds the backward pass with exactly
+the per-slice gradients of B independent scalar losses; :class:`BatchedSGD`
+steps the stacked parameter blocks in fused in-place ufuncs.
+
+Numeric policy — the house invariant is *bit identity* with the per-device
+path, so every batched op mirrors its serial counterpart's reduction order
+per slice:
+
+* batched matmul ``(B,N,K)@(B,K,M)`` is bitwise equal to the per-slice 2-D
+  matmul (forward and both backward products);
+* batched convolution uses the einsum family ``bof,bnfl->bnol`` /
+  ``bnol,bnfl->bof`` / ``bof,bnol->bnfl`` — the explicit-batch-axis mirror
+  of the serial ``of,nfl->nol`` einsums.  ``np.matmul`` broadcasting is NOT
+  bitwise equal to those einsums and must not be substituted here;
+* im2col/col2im run on the merged ``(B*N, C, H, W)`` layout, which is
+  per-sample exact, so pooling reuses the serial ops via reshape;
+* reductions move every serial axis up by one (conv bias ``(0,2)``→``(1,3)``,
+  batch-norm ``(0,2,3)``→``(1,3,4)``, loss means over the trailing axes).
+
+Any layer without a registered adapter (e.g. :class:`~repro.nn.layers.Dropout`,
+whose per-layer RNG cannot be replayed under stacking) makes the model
+unfusable and the cohort planner falls back to the per-device path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from . import conv as conv_ops
+from . import layers as layer_types
+from .conv import col2im, im2col
+from .module import Module
+from .optim import SGD
+from .tensor import Tensor
+
+__all__ = [
+    "BatchedModule",
+    "BatchedSGD",
+    "UnfusableModelError",
+    "batched_conv2d",
+    "batched_cross_entropy",
+    "batched_l2_proximal",
+    "batched_mse_loss",
+    "fusion_signature",
+    "register_batched_adapter",
+    "stack_states",
+    "unstack_states",
+]
+
+
+class UnfusableModelError(ValueError):
+    """The model contains a layer without a batched adapter."""
+
+
+# --------------------------------------------------------------------------- #
+# Stack / unstack helpers
+# --------------------------------------------------------------------------- #
+def stack_states(states: Sequence[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Stack per-device state dicts into one dict of ``(B, *shape)`` arrays.
+
+    All dicts must share the same keys and per-key shapes; dtypes are
+    preserved via numpy's usual promotion across the stacked slices.
+    """
+    if not states:
+        raise ValueError("need at least one state dict to stack")
+    keys = list(states[0])
+    for state in states[1:]:
+        if list(state) != keys:
+            raise ValueError("state dicts disagree on keys; cannot stack")
+    return {key: np.stack([np.asarray(state[key]) for state in states], axis=0)
+            for key in keys}
+
+
+def unstack_states(stacked: Dict[str, np.ndarray]) -> List[Dict[str, np.ndarray]]:
+    """Split a stacked state dict back into per-device dicts (copies)."""
+    sizes = {value.shape[0] for value in stacked.values()}
+    if len(sizes) != 1:
+        raise ValueError(f"inconsistent leading batch axis: {sorted(sizes)}")
+    batch = sizes.pop()
+    return [{key: value[index].copy() for key, value in stacked.items()}
+            for index in range(batch)]
+
+
+# --------------------------------------------------------------------------- #
+# Batched convolution (the one op that needs its own autograd node)
+# --------------------------------------------------------------------------- #
+def batched_conv2d(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                   stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D cross-correlation over a stacked device axis.
+
+    ``inputs`` is ``(B, N, C_in, H, W)``, ``weight`` ``(B, C_out, C_in, k, k)``,
+    ``bias`` ``(B, C_out)``.  Slice ``b`` of every output and gradient is
+    bitwise equal to :func:`repro.nn.conv.conv2d` on slice ``b`` alone.
+    """
+    x, w = inputs, weight
+    batch, samples = x.data.shape[0], x.data.shape[1]
+    out_channels, in_channels, kernel, _ = w.data.shape[1:]
+    if x.data.shape[2] != in_channels:
+        raise ValueError(
+            f"batched_conv2d channel mismatch: input has {x.data.shape[2]}, "
+            f"weight expects {in_channels}")
+    merged_shape = (batch * samples,) + x.data.shape[2:]
+    columns, out_h, out_w = im2col(x.data.reshape(merged_shape), kernel, stride, padding)
+    cols = columns.reshape(batch, samples, columns.shape[1], columns.shape[2])
+    w_mat = w.data.reshape(batch, out_channels, -1)
+    out_data = np.einsum("bof,bnfl->bnol", w_mat, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(batch, 1, out_channels, 1)
+    out_data = out_data.reshape(batch, samples, out_channels, out_h, out_w)
+
+    parents = (x, w) if bias is None else (x, w, bias)
+
+    def factory(out: Tensor) -> Callable[[], None]:
+        def backward() -> None:
+            grad = np.asarray(out.grad, dtype=np.float64).reshape(
+                batch, samples, out_channels, -1)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(1, 3)))
+            if w.requires_grad:
+                grad_w = np.einsum("bnol,bnfl->bof", grad, cols, optimize=True)
+                w._accumulate(grad_w.reshape(w.data.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("bof,bnol->bnfl", w_mat, grad, optimize=True)
+                grad_cols = grad_cols.reshape(batch * samples, -1, grad_cols.shape[-1])
+                grad_x = col2im(grad_cols, merged_shape, kernel, stride, padding)
+                x._accumulate(grad_x.reshape(x.data.shape))
+
+        return backward
+
+    return Tensor._make(out_data, parents, factory)
+
+
+# --------------------------------------------------------------------------- #
+# Batched losses — per-device (B,) vectors
+# --------------------------------------------------------------------------- #
+def _stacked_one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 2:
+        raise ValueError("stacked labels must be a (B, N) integer array")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for the requested number of classes")
+    batch, samples = labels.shape
+    encoded = np.zeros((batch, samples, num_classes), dtype=np.float64)
+    encoded[np.arange(batch)[:, None], np.arange(samples)[None, :], labels] = 1.0
+    return encoded
+
+
+def batched_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Per-device softmax cross-entropy: ``(B, N, C)`` logits → ``(B,)`` losses."""
+    num_classes = logits.shape[-1]
+    targets = _stacked_one_hot(np.asarray(labels), num_classes)
+    log_probs = logits.log_softmax(axis=-1)
+    return -(log_probs * Tensor(targets)).sum(axis=-1).mean(axis=-1)
+
+
+def batched_l2_proximal(parameters: Sequence[Tensor], anchors: Sequence[np.ndarray],
+                        mu: float = 1.0) -> Tensor:
+    """Per-device ℓ2 proximal term over stacked ``(B, *shape)`` parameters."""
+    parameters = list(parameters)
+    anchors = list(anchors)
+    if len(parameters) != len(anchors):
+        raise ValueError("parameters and anchors must have the same length")
+    if not parameters:
+        raise ValueError("batched_l2_proximal needs at least one parameter")
+    batch = parameters[0].data.shape[0]
+    total: Tensor = Tensor(np.zeros((batch,)))
+    for param, anchor in zip(parameters, anchors):
+        diff = param - Tensor(np.asarray(anchor))
+        total = total + (diff * diff).sum(axis=tuple(range(1, diff.data.ndim)))
+    return total * mu
+
+
+def batched_mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Per-device mean squared error: ``(B, N, ...)`` → ``(B,)``."""
+    diff = prediction - target
+    return (diff * diff).mean(axis=tuple(range(1, diff.data.ndim)))
+
+
+# --------------------------------------------------------------------------- #
+# Adapter registry: layer class -> (signature, batched forward builder)
+# --------------------------------------------------------------------------- #
+# A builder receives (layer, params, buffers, module) where ``params`` maps
+# the layer's local parameter names to stacked (B, *shape) Tensors and
+# ``buffers`` maps local buffer names to stacked (B, *shape) arrays (mutated
+# in place for running statistics).  It returns the batched forward callable.
+_ADAPTERS: Dict[Type[Module], Tuple[Callable, Callable]] = {}
+
+
+def register_batched_adapter(layer_cls: Type[Module], signature: Callable,
+                             builder: Callable) -> None:
+    """Register a batched adapter for a layer class.
+
+    ``signature(layer)`` must return a hashable description of everything
+    that has to match for two layer instances to share one fused forward;
+    ``builder(layer, params, buffers, module)`` returns the batched callable.
+    """
+    _ADAPTERS[layer_cls] = (signature, builder)
+
+
+def _sig_linear(layer):
+    return ("Linear", layer.in_features, layer.out_features, layer.bias is not None)
+
+
+def _build_linear(layer, params, buffers, module):
+    weight = params["weight"]
+    bias = params.get("bias")
+    batch = weight.data.shape[0]
+
+    def run(x: Tensor) -> Tensor:
+        out = x.matmul(weight.transpose((0, 2, 1)))
+        if bias is not None:
+            out = out + bias.reshape((batch, 1, bias.data.shape[1]))
+        return out
+
+    return run
+
+
+def _sig_conv2d(layer):
+    return ("Conv2d", layer.in_channels, layer.out_channels, layer.kernel_size,
+            layer.stride, layer.padding, layer.bias is not None)
+
+
+def _build_conv2d(layer, params, buffers, module):
+    weight = params["weight"]
+    bias = params.get("bias")
+    stride, padding = layer.stride, layer.padding
+
+    def run(x: Tensor) -> Tensor:
+        return batched_conv2d(x, weight, bias, stride=stride, padding=padding)
+
+    return run
+
+
+def _sig_batchnorm(layer):
+    return (type(layer).__name__, layer.num_features, layer.momentum, layer.eps)
+
+
+def _build_batchnorm(layer, params, buffers, module):
+    weight, bias = params["weight"], params["bias"]
+    running_mean, running_var = buffers["running_mean"], buffers["running_var"]
+    momentum, eps = layer.momentum, layer.eps
+    features = layer.num_features
+    batch = weight.data.shape[0]
+    if isinstance(layer, layer_types.BatchNorm2d):
+        axes, shape = (1, 3, 4), (batch, 1, features, 1, 1)
+    else:
+        axes, shape = (1,), (batch, 1, features)
+
+    def run(x: Tensor) -> Tensor:
+        if module.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            running_mean[...] = ((1 - momentum) * running_mean
+                                 + momentum * mean.data.reshape(batch, features))
+            running_var[...] = ((1 - momentum) * running_var
+                                + momentum * var.data.reshape(batch, features))
+        else:
+            mean = Tensor(running_mean.reshape(shape))
+            var = Tensor(running_var.reshape(shape))
+        normalized = (x - mean) / ((var + eps) ** 0.5)
+        return normalized * weight.reshape(shape) + bias.reshape(shape)
+
+    return run
+
+
+def _sig_activation(layer):
+    if isinstance(layer, layer_types.LeakyReLU):
+        return ("LeakyReLU", layer.negative_slope)
+    return (type(layer).__name__,)
+
+
+def _build_activation(layer, params, buffers, module):
+    if isinstance(layer, layer_types.ReLU):
+        return lambda x: x.relu()
+    if isinstance(layer, layer_types.LeakyReLU):
+        slope = layer.negative_slope
+        return lambda x: x.leaky_relu(slope)
+    if isinstance(layer, layer_types.Tanh):
+        return lambda x: x.tanh()
+    return lambda x: x.sigmoid()
+
+
+def _sig_flatten(layer):
+    return ("Flatten",)
+
+
+def _build_flatten(layer, params, buffers, module):
+    def run(x: Tensor) -> Tensor:
+        shape = x.shape
+        tail = int(np.prod(shape[2:])) if shape[2:] else 1
+        return x.reshape((shape[0], shape[1], tail))
+
+    return run
+
+
+def _sig_reshape(layer):
+    return ("Reshape", layer.shape)
+
+
+def _build_reshape(layer, params, buffers, module):
+    target = layer.shape
+
+    def run(x: Tensor) -> Tensor:
+        return x.reshape((x.shape[0], x.shape[1]) + target)
+
+    return run
+
+
+def _sig_pool(layer):
+    return (type(layer).__name__, layer.kernel_size, layer.stride)
+
+
+def _build_pool(layer, params, buffers, module):
+    op = (conv_ops.max_pool2d if isinstance(layer, layer_types.MaxPool2d)
+          else conv_ops.avg_pool2d)
+    kernel, stride = layer.kernel_size, layer.stride
+
+    def run(x: Tensor) -> Tensor:
+        shape = x.shape
+        merged = x.reshape((shape[0] * shape[1],) + shape[2:])
+        pooled = op(merged, kernel, stride)
+        return pooled.reshape((shape[0], shape[1]) + pooled.shape[1:])
+
+    return run
+
+
+def _sig_global_pool(layer):
+    return ("GlobalAvgPool2d",)
+
+
+def _build_global_pool(layer, params, buffers, module):
+    return lambda x: x.mean(axis=(3, 4))
+
+
+register_batched_adapter(layer_types.Linear, _sig_linear, _build_linear)
+register_batched_adapter(layer_types.Conv2d, _sig_conv2d, _build_conv2d)
+register_batched_adapter(layer_types.BatchNorm1d, _sig_batchnorm, _build_batchnorm)
+register_batched_adapter(layer_types.BatchNorm2d, _sig_batchnorm, _build_batchnorm)
+register_batched_adapter(layer_types.ReLU, _sig_activation, _build_activation)
+register_batched_adapter(layer_types.LeakyReLU, _sig_activation, _build_activation)
+register_batched_adapter(layer_types.Tanh, _sig_activation, _build_activation)
+register_batched_adapter(layer_types.Sigmoid, _sig_activation, _build_activation)
+register_batched_adapter(layer_types.Flatten, _sig_flatten, _build_flatten)
+register_batched_adapter(layer_types.Reshape, _sig_reshape, _build_reshape)
+register_batched_adapter(layer_types.MaxPool2d, _sig_pool, _build_pool)
+register_batched_adapter(layer_types.AvgPool2d, _sig_pool, _build_pool)
+register_batched_adapter(layer_types.GlobalAvgPool2d, _sig_global_pool, _build_global_pool)
+
+
+def fusion_signature(model: Module) -> Optional[Tuple]:
+    """Structural signature deciding which models may share a fused forward.
+
+    Two devices can train in one :class:`BatchedModule` iff their models
+    produce equal signatures: same ``fusion_layers()`` sequence (layer
+    classes + configuration) and same parameter shapes.  Returns ``None``
+    when the model does not expose ``fusion_layers()`` or contains a layer
+    without a registered adapter — the caller must fall back per device.
+    """
+    fusion_layers = getattr(model, "fusion_layers", None)
+    if fusion_layers is None:
+        return None
+    try:
+        sequence = fusion_layers()
+    except NotImplementedError:
+        return None
+    parts = []
+    for layer in sequence:
+        entry = _ADAPTERS.get(type(layer))
+        if entry is None:
+            return None
+        parts.append(entry[0](layer))
+    shapes = tuple((name, param.data.shape) for name, param in model.named_parameters())
+    return (type(model).__name__, tuple(parts), shapes)
+
+
+# --------------------------------------------------------------------------- #
+# BatchedModule
+# --------------------------------------------------------------------------- #
+class BatchedModule:
+    """Replay a template model over a stacked cohort of parameter sets.
+
+    Parameters
+    ----------
+    template:
+        A model exposing ``fusion_layers()``; used only for architecture —
+        its own parameters are never read or written.
+    states:
+        One ``state_dict()`` per cohort member (all shapes must match the
+        template).  Parameters are stacked into ``(B, *shape)`` leaf tensors
+        and buffers into stacked arrays.
+    requires_grad:
+        Whether the stacked parameters accumulate gradients (``False`` for
+        forward/VJP-only uses such as the teacher ensemble).
+    """
+
+    def __init__(self, template: Module, states: Sequence[Dict[str, np.ndarray]],
+                 requires_grad: bool = True) -> None:
+        if not states:
+            raise ValueError("BatchedModule needs at least one state dict")
+        signature = fusion_signature(template)
+        if signature is None:
+            raise UnfusableModelError(
+                f"{type(template).__name__} does not support batched fusion")
+        self.batch_size = len(states)
+        self.training = True
+        self._params: "OrderedDict[str, Tensor]" = OrderedDict()
+        for name, param in template.named_parameters():
+            stacked = np.stack(
+                [np.asarray(state[name], dtype=np.float64) for state in states], axis=0)
+            if stacked.shape[1:] != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{stacked.shape[1:]} vs {param.data.shape}")
+            self._params[name] = Tensor(stacked, requires_grad=requires_grad)
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, _ in template.named_buffers():
+            self._buffers[name] = np.stack(
+                [np.asarray(state[f"buffer::{name}"], dtype=np.float64)
+                 for state in states], axis=0)
+
+        prefix_of = {id(module): name for name, module in template.named_modules()}
+        self._ops: List[Callable[[Tensor], Tensor]] = []
+        for layer in template.fusion_layers():
+            prefix = prefix_of[id(layer)]
+            qualify = (lambda local, p=prefix: f"{p}.{local}" if p else local)
+            params = {local: self._params[qualify(local)]
+                      for local in layer._parameters}
+            buffers = {local: self._buffers[qualify(local)]
+                       for local in layer._buffers}
+            _, builder = _ADAPTERS[type(layer)]
+            self._ops.append(builder(layer, params, buffers, self))
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the stacked forward over ``(B, N, ...)`` inputs."""
+        for op in self._ops:
+            x = op(x)
+        return x
+
+    __call__ = forward
+
+    def parameters(self) -> List[Tensor]:
+        return list(self._params.values())
+
+    def named_parameters(self):
+        return list(self._params.items())
+
+    def zero_grad(self) -> None:
+        for param in self._params.values():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "BatchedModule":
+        self.training = mode
+        return self
+
+    def eval(self) -> "BatchedModule":
+        return self.train(False)
+
+    def state_dicts(self) -> List[Dict[str, np.ndarray]]:
+        """Unstack back into per-device state dicts (serial key order)."""
+        states: List[Dict[str, np.ndarray]] = []
+        for index in range(self.batch_size):
+            state = {name: param.data[index].copy()
+                     for name, param in self._params.items()}
+            for name, buf in self._buffers.items():
+                state[f"buffer::{name}"] = buf[index].copy()
+            states.append(state)
+        return states
+
+
+class BatchedSGD(SGD):
+    """SGD over stacked ``(B, *shape)`` parameter blocks.
+
+    The update formulas are element-wise, so applying :class:`SGD`'s fused
+    in-place ufuncs to the stacked block is bitwise identical to stepping B
+    independent optimizers — one ufunc call per parameter instead of B.
+    The class exists to make the stacked contract explicit (leading batch
+    axis validated, ``batch_size`` recorded for reporting).
+    """
+
+    def __init__(self, parameters: Sequence[Tensor], batch_size: int, lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr=lr, momentum=momentum, weight_decay=weight_decay)
+        self.batch_size = int(batch_size)
+        for param in self.parameters:
+            if param.data.shape[0] != self.batch_size:
+                raise ValueError(
+                    f"stacked parameter has leading axis {param.data.shape[0]}, "
+                    f"expected cohort size {self.batch_size}")

@@ -98,6 +98,17 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, depth-first.
+
+        The root module is yielded with an empty name; child names use the
+        same dotted qualification as :meth:`named_parameters`, so a layer's
+        parameter ``weight`` lives at ``f"{name}.weight"`` in the state dict.
+        """
+        yield (prefix[:-1] if prefix.endswith(".") else prefix, self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
     def num_parameters(self) -> int:
         """Total number of learnable scalar parameters."""
         return int(sum(p.data.size for p in self.parameters()))

@@ -27,6 +27,21 @@ class Optimizer:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
+        self._scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def _scratch_for(self, index: int, param: Tensor) -> np.ndarray:
+        """Per-parameter scratch buffer for in-place update arithmetic.
+
+        Allocated lazily and reused across steps so the hot loop performs no
+        allocations; reallocated if the parameter was swapped for one of a
+        different shape or dtype (``load_state_dict`` keeps both stable).
+        """
+        scratch = self._scratch[index]
+        if (scratch is None or scratch.shape != param.data.shape
+                or scratch.dtype != param.data.dtype):
+            scratch = np.empty_like(param.data)
+            self._scratch[index] = scratch
+        return scratch
 
     def zero_grad(self) -> None:
         """Clear gradients of all managed parameters."""
@@ -64,18 +79,30 @@ class SGD(Optimizer):
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
+        # In-place formulation of ``param -= lr * (momentum*v + grad + wd*param)``.
+        # Every ufunc below computes the same ufunc as the allocating version
+        # (scalar*array multiplies and array+array adds commute bitwise under
+        # IEEE-754), so the trajectory is bit-identical while the hot loop
+        # performs zero allocations after the first step.
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._scratch_for(index, param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                np.add(scratch, grad, out=scratch)
+                grad = scratch
             if self.momentum:
-                if self._velocity[index] is None:
-                    self._velocity[index] = np.zeros_like(param.data)
-                self._velocity[index] = self.momentum * self._velocity[index] + grad
-                grad = self._velocity[index]
-            param.data = param.data - self.lr * grad
+                velocity = self._velocity[index]
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                    self._velocity[index] = velocity
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, grad, out=velocity)
+                grad = velocity
+            np.multiply(grad, self.lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
 
     def velocity_state(self) -> List[np.ndarray]:
         """Momentum buffers as plain arrays (zeros for never-stepped parameters).
@@ -83,17 +110,25 @@ class SGD(Optimizer):
         Representing an uninitialized buffer as zeros is bit-exact: the next
         ``step`` computes ``momentum * 0 + grad == grad`` either way.  Used
         by the sharded server update to ship optimizer state to workers.
+        Buffers are copied: ``step`` updates them in place, so handing out
+        the live arrays would let a later step mutate a shipped snapshot.
         """
-        return [np.zeros_like(param.data) if velocity is None else velocity
+        return [np.zeros_like(param.data) if velocity is None else velocity.copy()
                 for velocity, param in zip(self._velocity, self.parameters)]
 
     def load_velocity_state(self, buffers: Sequence[np.ndarray]) -> None:
-        """Install momentum buffers previously produced by :meth:`velocity_state`."""
+        """Install momentum buffers previously produced by :meth:`velocity_state`.
+
+        Each buffer keeps its parameter's dtype (a float32 cohort must not
+        silently upcast its momentum) and is copied so in-place ``step``
+        updates never write through to the caller's arrays.
+        """
         buffers = list(buffers)
         if len(buffers) != len(self.parameters):
             raise ValueError(
                 f"expected {len(self.parameters)} momentum buffers, got {len(buffers)}")
-        self._velocity = [np.asarray(buffer, dtype=np.float64) for buffer in buffers]
+        self._velocity = [np.array(buffer, dtype=param.data.dtype, copy=True)
+                          for buffer, param in zip(buffers, self.parameters)]
 
 
 class Adam(Optimizer):
@@ -109,23 +144,87 @@ class Adam(Optimizer):
         self._step = 0
         self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._scratch2: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def _scratch2_for(self, index: int, param: Tensor) -> np.ndarray:
+        scratch = self._scratch2[index]
+        if (scratch is None or scratch.shape != param.data.shape
+                or scratch.dtype != param.data.dtype):
+            scratch = np.empty_like(param.data)
+            self._scratch2[index] = scratch
+        return scratch
 
     def step(self) -> None:
+        # In-place Adam with two reusable scratch buffers per parameter.  The
+        # ufunc sequence mirrors the allocating formulation term by term
+        # (commuting only scalar multiplies and adds, which are bitwise
+        # symmetric under IEEE-754), so trajectories are bit-identical.
         self._step += 1
+        correction1 = 1 - self.beta1 ** self._step
+        correction2 = 1 - self.beta2 ** self._step
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._scratch_for(index, param)
+            extra = self._scratch2_for(index, param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self._m[index] is None:
-                self._m[index] = np.zeros_like(param.data)
-                self._v[index] = np.zeros_like(param.data)
-            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
-            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad ** 2
-            m_hat = self._m[index] / (1 - self.beta1 ** self._step)
-            v_hat = self._v[index] / (1 - self.beta2 ** self._step)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                np.multiply(param.data, self.weight_decay, out=extra)
+                np.add(extra, grad, out=extra)
+                grad = extra
+            m, v = self._m[index], self._v[index]
+            if m is None:
+                m = self._m[index] = np.zeros_like(param.data)
+                v = self._v[index] = np.zeros_like(param.data)
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1 - self.beta1, out=scratch)
+            np.add(m, scratch, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.power(grad, 2, out=scratch)
+            np.multiply(scratch, 1 - self.beta2, out=scratch)
+            np.add(v, scratch, out=v)
+            # extra <- lr * m_hat, scratch <- sqrt(v_hat) + eps, then update.
+            np.divide(m, correction1, out=extra)
+            np.multiply(extra, self.lr, out=extra)
+            np.divide(v, correction2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            np.add(scratch, self.eps, out=scratch)
+            np.divide(extra, scratch, out=extra)
+            np.subtract(param.data, extra, out=param.data)
+
+    def state(self) -> dict:
+        """Optimizer state (step count + first/second-moment buffers).
+
+        Mirrors :meth:`SGD.velocity_state`: never-stepped parameters report
+        zero buffers (bit-exact — the next step computes ``beta*0 + term``
+        either way) and live buffers are copied because ``step`` mutates
+        them in place.
+        """
+        return {
+            "step": int(self._step),
+            "m": [np.zeros_like(param.data) if m is None else m.copy()
+                  for m, param in zip(self._m, self.parameters)],
+            "v": [np.zeros_like(param.data) if v is None else v.copy()
+                  for v, param in zip(self._v, self.parameters)],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install state previously produced by :meth:`state`.
+
+        Buffers keep each parameter's dtype and are copied, mirroring
+        :meth:`SGD.load_velocity_state`.
+        """
+        moments1 = list(state["m"])
+        moments2 = list(state["v"])
+        if len(moments1) != len(self.parameters) or len(moments2) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} moment buffers, got "
+                f"{len(moments1)}/{len(moments2)}")
+        self._step = int(state["step"])
+        self._m = [np.array(buffer, dtype=param.data.dtype, copy=True)
+                   for buffer, param in zip(moments1, self.parameters)]
+        self._v = [np.array(buffer, dtype=param.data.dtype, copy=True)
+                   for buffer, param in zip(moments2, self.parameters)]
 
 
 class LRScheduler:

@@ -1,0 +1,218 @@
+"""Bit-parity and property tests for the batched (fused-cohort) nn layer.
+
+The contract of :mod:`repro.nn.batched` is that stacking B parameter sets
+on a leading axis and training them through one :class:`BatchedModule` /
+:class:`BatchedSGD` loop produces, per device slice, *exactly* the arrays
+the per-device loop produces — same reduction axes in the same order, so
+assert_array_equal, not allclose.  That is the invariant that lets the
+cohort planner swap the fused path in under golden-history replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.models.simple import FullyConnected, LeNet, SimpleCNN
+from repro.nn import SGD, Tensor, layers
+from repro.nn.batched import (
+    BatchedModule,
+    BatchedSGD,
+    UnfusableModelError,
+    batched_cross_entropy,
+    batched_l2_proximal,
+    fusion_signature,
+    stack_states,
+    unstack_states,
+)
+from repro.nn.losses import cross_entropy, l2_proximal
+
+BATCH = 3
+INPUT_SHAPE = (3, 8, 8)
+NUM_CLASSES = 4
+
+
+def _models(factory):
+    return [factory(seed=10 + index) for index in range(BATCH)]
+
+
+def _cohort_data(rng, steps=3, samples=8):
+    images = rng.normal(size=(steps, BATCH, samples, *INPUT_SHAPE))
+    labels = rng.integers(0, NUM_CLASSES, size=(steps, BATCH, samples))
+    return images, labels
+
+
+def _train_serial(models, images, labels, lr=0.05, momentum=0.9, mu=0.0, anchors=None):
+    for b, model in enumerate(models):
+        model.train()
+        optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+        for step in range(images.shape[0]):
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(images[step, b])), labels[step, b])
+            if mu > 0:
+                loss = loss + l2_proximal(model.parameters(),
+                                          [a[b] for a in anchors], mu=mu)
+            loss.backward()
+            optimizer.step()
+
+
+def _train_fused(module, images, labels, lr=0.05, momentum=0.9, mu=0.0, anchors=None):
+    module.train()
+    optimizer = BatchedSGD(module.parameters(), BATCH, lr=lr, momentum=momentum)
+    for step in range(images.shape[0]):
+        optimizer.zero_grad()
+        loss_vec = batched_cross_entropy(module(Tensor(images[step])), labels[step])
+        if mu > 0:
+            loss_vec = loss_vec + batched_l2_proximal(module.parameters(), anchors, mu=mu)
+        loss_vec.sum().backward()
+        optimizer.step()
+
+
+FACTORIES = {
+    "fully_connected": lambda seed: FullyConnected(INPUT_SHAPE, NUM_CLASSES,
+                                                   hidden_sizes=(16, 8), seed=seed),
+    "simple_cnn": lambda seed: SimpleCNN(INPUT_SHAPE, NUM_CLASSES, channels=(4, 8),
+                                         hidden_size=16, seed=seed),
+    "lenet": lambda seed: LeNet(INPUT_SHAPE, NUM_CLASSES, conv_channels=(4, 8),
+                                fc_sizes=(24,), seed=seed),
+}
+
+
+class TestBatchedModuleParity:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_training_is_bitwise_identical(self, name):
+        rng = np.random.default_rng(3)
+        images, labels = _cohort_data(rng)
+        serial_models = _models(FACTORIES[name])
+        states = [model.state_dict() for model in serial_models]
+        module = BatchedModule(serial_models[0], states)
+
+        _train_serial(serial_models, images, labels)
+        _train_fused(module, images, labels)
+
+        for model, fused_state in zip(serial_models, module.state_dicts()):
+            expected = model.state_dict()
+            assert set(expected) == set(fused_state)
+            for key in expected:
+                np.testing.assert_array_equal(fused_state[key], expected[key],
+                                              err_msg=f"{name}:{key}")
+
+    def test_proximal_term_is_bitwise_identical(self):
+        rng = np.random.default_rng(4)
+        images, labels = _cohort_data(rng)
+        serial_models = _models(FACTORIES["fully_connected"])
+        states = [model.state_dict() for model in serial_models]
+        snapshots = [[param.data.copy() for param in model.parameters()]
+                     for model in serial_models]
+        anchors = [np.stack([snapshots[b][i] for b in range(BATCH)])
+                   for i in range(len(snapshots[0]))]
+        module = BatchedModule(serial_models[0], states)
+
+        _train_serial(serial_models, images, labels, mu=0.1, anchors=anchors)
+        _train_fused(module, images, labels, mu=0.1, anchors=anchors)
+
+        for model, fused_state in zip(serial_models, module.state_dicts()):
+            expected = model.state_dict()
+            for key in expected:
+                np.testing.assert_array_equal(fused_state[key], expected[key])
+
+    def test_eval_forward_uses_running_stats(self):
+        # Train (updates per-slice BN running stats), then compare eval-mode
+        # forwards — exercising the normalize-by-running-buffers branch.
+        rng = np.random.default_rng(5)
+        images, labels = _cohort_data(rng)
+        serial_models = _models(FACTORIES["simple_cnn"])
+        states = [model.state_dict() for model in serial_models]
+        module = BatchedModule(serial_models[0], states)
+        _train_serial(serial_models, images, labels)
+        _train_fused(module, images, labels)
+
+        module.eval()
+        probe = rng.normal(size=(BATCH, 5, *INPUT_SHAPE))
+        fused_out = module(Tensor(probe)).data
+        for b, model in enumerate(serial_models):
+            model.eval()
+            np.testing.assert_array_equal(fused_out[b], model(Tensor(probe[b])).data)
+
+
+class TestFusionSignature:
+    def test_same_architecture_shares_signature(self):
+        a, b = FACTORIES["simple_cnn"](1), FACTORIES["simple_cnn"](2)
+        assert fusion_signature(a) == fusion_signature(b)
+
+    def test_different_widths_differ(self):
+        a = FullyConnected(INPUT_SHAPE, NUM_CLASSES, hidden_sizes=(16,), seed=0)
+        b = FullyConnected(INPUT_SHAPE, NUM_CLASSES, hidden_sizes=(32,), seed=0)
+        assert fusion_signature(a) != fusion_signature(b)
+
+    def test_model_without_fusion_layers_is_unfusable(self):
+        assert fusion_signature(layers.Linear(4, 2)) is None
+
+    def test_dropout_makes_model_unfusable(self):
+        model = FullyConnected(INPUT_SHAPE, NUM_CLASSES, hidden_sizes=(8,), seed=0)
+        model.network.append(layers.Dropout(0.5))
+        assert fusion_signature(model) is None
+        with pytest.raises(UnfusableModelError):
+            BatchedModule(model, [model.state_dict()])
+
+
+_DTYPES = st.sampled_from([np.float64, np.float32, np.int64])
+_SHAPES = st.lists(st.integers(1, 4), min_size=0, max_size=3).map(tuple)
+
+
+@st.composite
+def _state_cohorts(draw):
+    """A cohort of state dicts sharing keys/shapes with mixed dtypes."""
+    batch = draw(st.integers(1, 4))
+    num_keys = draw(st.integers(1, 4))
+    spec = {f"key{i}": (draw(_SHAPES), draw(_DTYPES)) for i in range(num_keys)}
+    cohort = []
+    for _ in range(batch):
+        state = {}
+        for key, (shape, dtype) in spec.items():
+            if np.issubdtype(dtype, np.integer):
+                state[key] = draw(arrays(dtype=dtype, shape=shape,
+                                         elements=st.integers(-100, 100)))
+            else:
+                state[key] = draw(arrays(
+                    dtype=dtype, shape=shape,
+                    elements=st.floats(-100, 100, allow_nan=False, width=32)))
+        cohort.append(state)
+    return cohort
+
+
+class TestStackUnstackProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_state_cohorts())
+    def test_roundtrip_is_exact(self, cohort):
+        recovered = unstack_states(stack_states(cohort))
+        assert len(recovered) == len(cohort)
+        for original, roundtripped in zip(cohort, recovered):
+            assert list(original) == list(roundtripped)
+            for key in original:
+                np.testing.assert_array_equal(roundtripped[key], original[key])
+                assert roundtripped[key].shape == original[key].shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(_state_cohorts())
+    def test_stacked_leading_axis_is_batch(self, cohort):
+        stacked = stack_states(cohort)
+        for key, value in stacked.items():
+            assert value.shape == (len(cohort),) + cohort[0][key].shape
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError, match="keys"):
+            stack_states([{"a": np.zeros(2)}, {"b": np.zeros(2)}])
+
+    def test_inconsistent_batch_axis_rejected(self):
+        with pytest.raises(ValueError, match="batch axis"):
+            unstack_states({"a": np.zeros((2, 3)), "b": np.zeros((3, 3))})
+
+    def test_unstack_returns_copies(self):
+        stacked = stack_states([{"a": np.zeros(3)}, {"a": np.ones(3)}])
+        views = unstack_states(stacked)
+        views[0]["a"][:] = 99.0
+        np.testing.assert_array_equal(stacked["a"][0], np.zeros(3))
