@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -29,6 +27,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import bench_environment  # noqa: E402
 
 from repro.baselines import build_fedavg  # noqa: E402
 from repro.datasets.registry import load_dataset  # noqa: E402
@@ -94,9 +94,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "backend_scaling",
         "workload": params,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_environment(),
         "serial_seconds": serial_seconds,
         "process_seconds": {str(workers): seconds
                             for workers, seconds in process_seconds.items()},

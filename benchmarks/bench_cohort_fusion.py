@@ -25,8 +25,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -36,6 +34,8 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import bench_environment  # noqa: E402
 
 from repro.models.simple import FullyConnected, LeNet, SimpleCNN  # noqa: E402
 from repro.nn import SGD, Tensor  # noqa: E402
@@ -159,9 +159,7 @@ def main(argv=None) -> int:
         "workloads": results,
         "targets": {"speedup": TARGET_SPEEDUP},
         "failures": failures,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_environment(),
         "numpy": np.__version__,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }

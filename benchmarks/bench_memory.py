@@ -1,0 +1,200 @@
+"""Memory benchmark: temporary allocations per fused device-step, A/B'd.
+
+Trains one fused cohort of B={COHORT} devices (``BatchedModule`` +
+``BatchedSGD``) through a warmed steady-state step loop twice:
+
+* **optimized** — the defaults this repo ships: allocation-free gradient
+  accumulation (in-place ``+=`` into persistent ``.grad`` buffers adopted
+  on first touch), ``zero_grad(set_to_none=False)``, and im2col/grad-cols
+  scratch reuse through the thread-local :class:`~repro.nn.BufferPool`.
+* **legacy** — the pre-optimization behaviour, recreated via
+  ``set_allocation_free(False)`` + ``set_pooling(False)`` +
+  ``zero_grad(set_to_none=True)``: every backward step re-allocates its
+  gradient arrays and im2col scratch from scratch.
+
+Both paths compute bit-identical values (pinned by the nn test suite); the
+only difference tracemalloc can see is allocation churn.  The measurement
+is peak-traced-bytes minus steady-state baseline across the step loop —
+i.e. the transient working set the allocator must service per step —
+normalized per fused device-step.
+
+The benchmark **asserts** its regression guard (exit code 1 on violation,
+so CI fails loudly): the optimized path must allocate at least
+{TARGET_REDUCTION:.0%} less transient memory per fused device-step than
+the legacy path.
+
+Not a pytest file on purpose (no ``test_`` prefix): run it directly with
+
+    PYTHONPATH=src python benchmarks/bench_memory.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import bench_environment  # noqa: E402
+
+from repro.models.simple import FullyConnected, LeNet, SimpleCNN  # noqa: E402
+from repro.nn import Tensor, set_allocation_free, set_pooling  # noqa: E402
+from repro.nn.batched import (  # noqa: E402
+    BatchedModule,
+    BatchedSGD,
+    batched_cross_entropy,
+)
+
+TARGET_REDUCTION = 0.5
+COHORT = 8
+INPUT_SHAPE = (3, 8, 8)
+NUM_CLASSES = 4
+BATCH_SIZE = 8
+LR, MOMENTUM = 0.05, 0.9
+WARMUP_STEPS = 3
+
+__doc__ = __doc__.format(TARGET_REDUCTION=TARGET_REDUCTION, COHORT=COHORT)
+
+WORKLOADS = {
+    "fully_connected": lambda seed: FullyConnected(
+        INPUT_SHAPE, NUM_CLASSES, hidden_sizes=(16, 8), seed=seed),
+    "simple_cnn": lambda seed: SimpleCNN(
+        INPUT_SHAPE, NUM_CLASSES, channels=(4, 8), hidden_size=16, seed=seed),
+    "lenet": lambda seed: LeNet(
+        INPUT_SHAPE, NUM_CLASSES, conv_channels=(4, 8), fc_sizes=(24,), seed=seed),
+}
+
+
+def _cohort_data(rng, steps):
+    images = rng.normal(size=(steps, COHORT, BATCH_SIZE, *INPUT_SHAPE))
+    labels = rng.integers(0, NUM_CLASSES, size=(steps, COHORT, BATCH_SIZE))
+    return images, labels
+
+
+def _step(module, optimizer, images, labels, set_to_none):
+    optimizer.zero_grad(set_to_none=set_to_none)
+    loss_vec = batched_cross_entropy(module(Tensor(images)), labels)
+    loss_vec.sum().backward()
+    optimizer.step()
+
+
+def _measure_mode(factory, steps, optimized):
+    """Peak transient traced bytes across a warmed fused step loop.
+
+    Toggles are restored before returning so one mode cannot leak its
+    policy into the other (or into anything else running in-process).
+    """
+    previous_alloc = set_allocation_free(optimized)
+    previous_pool = set_pooling(optimized)
+    set_to_none = not optimized
+    try:
+        rng = np.random.default_rng(23)
+        images, labels = _cohort_data(rng, WARMUP_STEPS + steps)
+        states = [factory(seed=index).state_dict() for index in range(COHORT)]
+        module = BatchedModule(factory(seed=0), states)
+        module.train()
+        optimizer = BatchedSGD(module.parameters(), COHORT, lr=LR, momentum=MOMENTUM)
+
+        tracemalloc.start()
+        # Warm-up establishes the steady state each mode is entitled to:
+        # persistent grad buffers and pooled scratch for the optimized
+        # path, nothing for the legacy path.
+        for step in range(WARMUP_STEPS):
+            _step(module, optimizer, images[step], labels[step], set_to_none)
+        gc.collect()
+        tracemalloc.reset_peak()
+        baseline = tracemalloc.get_traced_memory()[0]
+        for step in range(WARMUP_STEPS, WARMUP_STEPS + steps):
+            _step(module, optimizer, images[step], labels[step], set_to_none)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        # Temporaries die within the step that made them, so the loop peak
+        # is one step's transient working set, not ``steps`` of them.
+        return max(peak - baseline, 0) / COHORT
+    finally:
+        set_allocation_free(previous_alloc)
+        set_pooling(previous_pool)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (sanity check, not a real measurement)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="measured training steps per mode")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_memory.json"))
+    args = parser.parse_args(argv)
+
+    steps = args.steps if args.steps is not None else (3 if args.quick else 10)
+    enforce = not args.quick
+
+    print(f"memory benchmark: B={COHORT} fused devices, batch {BATCH_SIZE}, "
+          f"{steps} measured steps, target >= {TARGET_REDUCTION:.0%} fewer "
+          f"transient bytes per device-step")
+
+    results = []
+    failures = []
+    for name, factory in sorted(WORKLOADS.items()):
+        legacy = _measure_mode(factory, steps, optimized=False)
+        optimized = _measure_mode(factory, steps, optimized=True)
+        reduction = 1.0 - optimized / legacy if legacy else 0.0
+        results.append({
+            "workload": name,
+            "legacy_bytes_per_device_step": legacy,
+            "optimized_bytes_per_device_step": optimized,
+            "reduction": reduction,
+        })
+        print(f"  {name:16s} legacy {legacy / 1024:8.1f} KiB/device-step  "
+              f"optimized {optimized / 1024:8.1f} KiB/device-step  "
+              f"reduction {reduction:6.1%}")
+        if reduction < TARGET_REDUCTION:
+            failures.append(f"{name}: reduction {reduction:.1%} < target "
+                            f"{TARGET_REDUCTION:.0%}")
+
+    payload = {
+        "benchmark": "memory",
+        "cohort_size": COHORT,
+        "batch_size": BATCH_SIZE,
+        "input_shape": list(INPUT_SHAPE),
+        "num_classes": NUM_CLASSES,
+        "warmup_steps": WARMUP_STEPS,
+        "measured_steps": steps,
+        "metric": "tracemalloc peak minus steady-state baseline, per fused device-step",
+        "workloads": results,
+        "targets": {"reduction": TARGET_REDUCTION},
+        "failures": failures,
+        **bench_environment(),
+        "numpy": np.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, default=float) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {output}")
+
+    if failures and not enforce:
+        print("targets not enforced under --quick; would have failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 0
+    if failures:
+        print("MEMORY REGRESSIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"ok: optimized path allocates >= {TARGET_REDUCTION:.0%} less transient "
+          f"memory per fused device-step for all workloads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

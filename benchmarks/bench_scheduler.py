@@ -21,8 +21,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -30,6 +28,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import bench_environment  # noqa: E402
 
 from repro.experiments import ExperimentScale  # noqa: E402
 from repro.experiments.runner import experiment_straggler_study  # noqa: E402
@@ -98,9 +98,7 @@ def main(argv=None) -> int:
             for kind, entry in study["results"].items()
         },
         "real_seconds_total": elapsed,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_environment(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     output = Path(args.output)

@@ -14,6 +14,14 @@ column.  Note: on single-core containers the process-pool variants record
 speedups below 1 (dispatch overhead with no parallel hardware); the
 interesting numbers come from multi-core CI runners.
 
+A second section times Phase-2 back-transfer (``transfer_to_devices``)
+over a homogeneous replica cohort with ``cohort_fusion`` off and on.  The
+fused path stacks all replicas into one ``BatchedModule`` graph (pinned
+bit-identical by ``tests/core/test_transfer_fusion.py``), so its per
+replica-step time must be at least {TARGET_TRANSFER_SPEEDUP}x faster at
+{TRANSFER_REPLICAS} replicas — this one **asserts** its regression guard
+(exit code 1 on violation, skipped under ``--quick``).
+
 Not a pytest file on purpose (no ``test_`` prefix): run it directly with
 
     PYTHONPATH=src python benchmarks/bench_server_update.py [--quick]
@@ -25,8 +33,6 @@ import argparse
 import copy
 import dataclasses
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -35,12 +41,27 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from conftest import bench_environment  # noqa: E402
+
 from repro.core import ZeroShotDistiller  # noqa: E402
 from repro.federated import ServerConfig, WorkerContext, make_backend  # noqa: E402
 from repro.models import build_generator, build_global_model, device_suite_for_family  # noqa: E402
+from repro.models.simple import SimpleCNN  # noqa: E402
 
 SHAPE = (3, 12, 12)
 CLASSES = 10
+TARGET_TRANSFER_SPEEDUP = 2.0
+TRANSFER_REPLICAS = 8
+# The fused-transfer section uses the compact geometry of
+# ``bench_cohort_fusion`` (8x8 inputs, small batch): FedZKT's
+# small-on-device-model regime, where per-replica Python dispatch is the
+# overhead fusion exists to amortize.  Larger shapes go BLAS-bound and the
+# fused/unfused gap narrows below the gate by design, not regression.
+TRANSFER_SHAPE = (3, 8, 8)
+TRANSFER_BATCH = 8
+
+__doc__ = __doc__.format(TARGET_TRANSFER_SPEEDUP=TARGET_TRANSFER_SPEEDUP,
+                         TRANSFER_REPLICAS=TRANSFER_REPLICAS)
 
 
 def _workload(num_devices: int, iterations: int, batch_size: int, seed: int = 0):
@@ -82,6 +103,37 @@ def _run_variant(spec, shards, num_devices, iterations, batch_size, rounds, seed
     return elapsed, report
 
 
+def _time_transfer(fused, replicas, iterations, batch_size, rounds, seed):
+    """Per replica-step seconds for Phase-2 back-transfer, fused or not.
+
+    The cohort is ``replicas`` same-architecture ``SimpleCNN``s with
+    different seeds — one fusion-signature group, so ``cohort_fusion=True``
+    stacks all of them into a single batched distill loop.  The replicas use
+    the compact geometry of ``bench_cohort_fusion`` (the paper's
+    small-on-device-model regime, where per-replica dispatch overhead is
+    the bottleneck fusion removes).  Both variants run identical warm-up,
+    so RNG/optimizer state advances the same way and the reports stay
+    comparable.
+    """
+    device_models = {index: SimpleCNN(TRANSFER_SHAPE, CLASSES, channels=(4, 8),
+                                      hidden_size=16, seed=seed + index)
+                     for index in range(replicas)}
+    config = ServerConfig(distillation_iterations=iterations, batch_size=batch_size,
+                          noise_dim=32, device_distill_lr=0.02)
+    global_model = build_global_model(TRANSFER_SHAPE, CLASSES, seed=seed + 7)
+    generator = build_generator(TRANSFER_SHAPE, noise_dim=config.noise_dim,
+                                seed=seed + 13)
+    distiller = ZeroShotDistiller(global_model, generator, config, seed=seed + 17,
+                                  cohort_fusion=fused)
+    distiller.transfer_to_devices(device_models)  # warm-up (pools, buffers)
+    start = time.perf_counter()
+    report = None
+    for _ in range(rounds):
+        report = distiller.transfer_to_devices(device_models)
+    elapsed = time.perf_counter() - start
+    return elapsed / (rounds * iterations * replicas), report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -94,6 +146,8 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, nargs="*", default=[1, 2, 4],
                         help="process-pool widths to benchmark")
+    parser.add_argument("--replicas", type=int, default=TRANSFER_REPLICAS,
+                        help="homogeneous replicas for the fused-transfer section")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_server_update.json"))
     args = parser.parse_args(argv)
 
@@ -125,6 +179,31 @@ def main(argv=None) -> int:
         print(f"  sharded {key:12s}   {elapsed:8.2f}s  "
               f"speedup {serial_time / elapsed:4.2f}x  parity={'ok' if matches else 'FAIL'}")
 
+    # ---- Phase-2 back-transfer: fused vs per-replica loop ---------------- #
+    transfer_iterations = 3 if args.quick else 12
+    print(f"\nfused back-transfer: {args.replicas} homogeneous replicas, "
+          f"{transfer_iterations} iterations, batch {TRANSFER_BATCH}, target >= "
+          f"{TARGET_TRANSFER_SPEEDUP}x per replica-step")
+    unfused_step, unfused_report = _time_transfer(
+        False, args.replicas, transfer_iterations, TRANSFER_BATCH, args.rounds,
+        args.seed)
+    fused_step, fused_report = _time_transfer(
+        True, args.replicas, transfer_iterations, TRANSFER_BATCH, args.rounds,
+        args.seed)
+    transfer_speedup = unfused_step / fused_step
+    transfer_parity = all(fused_report[k] == unfused_report[k] for k in unfused_report)
+    print(f"  unfused {unfused_step * 1e3:8.2f} ms/replica-step  "
+          f"fused {fused_step * 1e3:8.2f} ms/replica-step  "
+          f"speedup {transfer_speedup:4.2f}x  "
+          f"parity={'ok' if transfer_parity else 'FAIL'}")
+    failures = []
+    if transfer_speedup < TARGET_TRANSFER_SPEEDUP:
+        failures.append(f"fused transfer speedup {transfer_speedup:.2f}x < "
+                        f"target {TARGET_TRANSFER_SPEEDUP}x at "
+                        f"{args.replicas} replicas")
+    if not transfer_parity:
+        failures.append("fused transfer report diverged from the unfused run")
+
     payload = {
         "benchmark": "server_update",
         "num_devices": num_devices,
@@ -133,14 +212,37 @@ def main(argv=None) -> int:
         "timed_rounds": args.rounds,
         "seed": args.seed,
         "results": results,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        "fused_transfer": {
+            "replicas": args.replicas,
+            "iterations": transfer_iterations,
+            "input_shape": list(TRANSFER_SHAPE),
+            "batch_size": TRANSFER_BATCH,
+            "unfused_per_replica_step_ms": unfused_step * 1e3,
+            "fused_per_replica_step_ms": fused_step * 1e3,
+            "speedup": transfer_speedup,
+            "matches_unfused_report": transfer_parity,
+        },
+        "targets": {"fused_transfer_speedup": TARGET_TRANSFER_SPEEDUP},
+        "failures": failures,
+        **bench_environment(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {output}")
+
+    if failures and args.quick:
+        print("targets not enforced under --quick; would have failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 0
+    if failures:
+        print("FUSED-TRANSFER REGRESSIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"ok: fused back-transfer >= {TARGET_TRANSFER_SPEEDUP}x faster per "
+          f"replica-step at {args.replicas} replicas")
     return 0
 
 

@@ -29,8 +29,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 import timeit
@@ -41,6 +39,8 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import bench_environment  # noqa: E402
 
 from repro.baselines import build_fedavg, build_fedmd  # noqa: E402
 from repro.core import build_fedzkt  # noqa: E402
@@ -233,9 +233,7 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "dispatch_hop_ns": hop_ns,
         "results": results,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_environment(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     output = Path(args.output)

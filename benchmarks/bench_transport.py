@@ -27,8 +27,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -36,6 +34,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import bench_environment  # noqa: E402
 
 from repro.core import build_fedzkt  # noqa: E402
 from repro.datasets import SyntheticImageConfig, SyntheticImageGenerator  # noqa: E402
@@ -174,9 +174,7 @@ def main(argv=None) -> int:
         "final_stats": {key: value for key, value in final.items() if key != "by_label"},
         "by_label": final.get("by_label", {}),
         "failures": failures,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_environment(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     output = Path(args.output)

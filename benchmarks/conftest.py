@@ -10,10 +10,27 @@ invocation is a full federated run, not a micro-kernel.
 from __future__ import annotations
 
 import os
+import platform
 
 import pytest
 
 DEFAULT_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+def bench_environment() -> dict:
+    """Machine context recorded in every ``BENCH_*.json`` payload.
+
+    ROADMAP's "results from 1-core containers are dispatch-overhead-bound"
+    caveat becomes machine-readable: consumers can filter on ``cpu_count``
+    instead of knowing the folklore.  Splat this into the payload dict
+    (``**bench_environment()``) so all benchmarks stay schema-consistent.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -79,11 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
                             help="execution backend: serial, thread[:N], or process[:N]")
-    run_parser.add_argument("--cohort-fusion", action="store_true",
+    run_parser.add_argument("--cohort-fusion", nargs="?", const=True, default=False,
+                            metavar="family",
                             help="fuse each round's same-architecture device cohort "
                                  "(and FedZKT's sharded teacher ensemble) into stacked "
                                  "vectorized training tasks; bit-identical to the "
-                                 "per-device path, heterogeneous groups fall back")
+                                 "per-device path, heterogeneous groups fall back. "
+                                 "Pass the optional value 'family' to also fuse "
+                                 "pad-safe same-architecture devices with unequal "
+                                 "shard sizes (masked padding; ~1e-9-relative to "
+                                 "the per-device path rather than bitwise)")
     run_parser.add_argument("--server-shards", type=int, default=None,
                             help="shard the strategy's server update through the backend "
                                  "into this many shards (requires a strategy declaring "

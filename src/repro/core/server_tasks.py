@@ -41,9 +41,15 @@ import numpy as np
 
 from ..federated.backend import WorkerContext, resolve_arrays, resolve_state
 from ..nn import no_grad
-from ..nn.batched import BatchedModule, fusion_signature
+from ..nn.batched import (
+    BatchedAdam,
+    BatchedModule,
+    BatchedSGD,
+    batched_kl_divergence,
+    fusion_signature,
+)
 from ..nn.losses import kl_divergence_loss
-from ..nn.optim import SGD
+from ..nn.optim import SGD, Adam, Optimizer
 from ..nn.tensor import Tensor
 from ..utils.serialization import (
     StateLike,
@@ -57,6 +63,10 @@ from ..utils.serialization import (
 __all__ = [
     "partition_shards",
     "borrowed_model",
+    "make_distill_optimizer",
+    "distill_optimizer_state",
+    "load_distill_optimizer_state",
+    "distill_group_fused",
     "EnsembleForwardTask",
     "EnsembleVJPTask",
     "DeviceDistillTask",
@@ -267,6 +277,109 @@ class EnsembleVJPTask:
         return grads
 
 
+# --------------------------------------------------------------------------- #
+# Phase-2 optimizer plumbing (shared by the serial and sharded paths)
+# --------------------------------------------------------------------------- #
+def make_distill_optimizer(model, lr: float, momentum: float,
+                           kind: str = "sgd") -> Optimizer:
+    """The back-transfer optimizer for one device model (``"sgd"``/``"adam"``)."""
+    if kind == "adam":
+        return Adam(model.parameters(), lr=lr)
+    return SGD(model.parameters(), lr=lr, momentum=momentum)
+
+
+def distill_optimizer_state(optimizer: Optimizer) -> List[np.ndarray]:
+    """A back-transfer optimizer's persistent state as a flat array list.
+
+    SGD ships its momentum buffers, Adam its ``[step, m..., v...]`` flat
+    state — both fit the single ``DeviceDistillTask.velocities`` wire slot.
+    """
+    if isinstance(optimizer, Adam):
+        return optimizer.state_arrays()
+    return optimizer.velocity_state()
+
+
+def load_distill_optimizer_state(optimizer: Optimizer,
+                                 arrays: Sequence[np.ndarray]) -> None:
+    """Install a flat state list produced by :func:`distill_optimizer_state`."""
+    if isinstance(optimizer, Adam):
+        optimizer.load_state_arrays(arrays)
+    else:
+        optimizer.load_velocity_state(arrays)
+
+
+def distill_group_fused(template, states: Sequence[Dict[str, np.ndarray]],
+                        velocity_lists: Sequence[Sequence[np.ndarray]],
+                        inputs: Sequence[np.ndarray],
+                        targets: Sequence[np.ndarray],
+                        lr: float, momentum: float, optimizer_kind: str = "sgd",
+                        members=None,
+                        ) -> "tuple[List[Dict[str, np.ndarray]], List[List[np.ndarray]], List[List[float]]]":
+    """Distill into a group of same-signature device models in one fused loop.
+
+    Stacks the group's states through a :class:`BatchedModule`, loads the
+    per-device persisted optimizer state into a :class:`BatchedSGD` /
+    :class:`BatchedAdam` (stacked buffers, per-slice Adam step counters),
+    and replays every shared synthetic batch once for the whole group.
+    Slice ``b`` of the fused trajectory is bitwise identical to running the
+    serial per-device loop on member ``b`` alone.  Returns the final state
+    dicts, updated flat optimizer states, and per-device loss lists.
+    """
+    group = len(states)
+    module = BatchedModule(template, list(states), members=members)
+    module.train()
+    count = len(module.parameters())
+    if optimizer_kind == "adam":
+        optimizer = BatchedAdam(module.parameters(), group, lr=lr)
+        optimizer.load_state({
+            "step": np.array([int(np.asarray(wire[0])) for wire in velocity_lists],
+                             dtype=np.int64),
+            "m": [np.stack([np.asarray(wire[1 + index]) for wire in velocity_lists])
+                  for index in range(count)],
+            "v": [np.stack([np.asarray(wire[1 + count + index]) for wire in velocity_lists])
+                  for index in range(count)],
+        })
+    else:
+        optimizer = BatchedSGD(module.parameters(), group, lr=lr, momentum=momentum)
+        optimizer.load_velocity_state(
+            [np.stack([np.asarray(wire[index]) for wire in velocity_lists])
+             for index in range(count)])
+
+    losses: List[List[float]] = [[] for _ in range(group)]
+    for batch, target in zip(inputs, targets):
+        batch = np.asarray(batch)
+        target = np.asarray(target)
+        # Every group member consumes the same synthetic batch; materialize
+        # the stacked (B, N, ...) layout the batched ops expect.
+        stacked_batch = np.ascontiguousarray(
+            np.broadcast_to(batch, (group,) + batch.shape))
+        stacked_target = np.ascontiguousarray(
+            np.broadcast_to(target, (group,) + target.shape))
+        optimizer.zero_grad(set_to_none=False)
+        logits = module(Tensor(stacked_batch))
+        loss_vec = batched_kl_divergence(logits, Tensor(stacked_target))
+        # Summing the (B,) loss vector seeds each device's slice of the
+        # backward pass with exactly the serial upstream of 1.
+        loss_vec.sum().backward()
+        optimizer.step()
+        for member in range(group):
+            losses[member].append(float(loss_vec.data[member]))
+
+    out_states = module.state_dicts()
+    if optimizer_kind == "adam":
+        state = optimizer.state()
+        out_velocities = [
+            [np.asarray(int(state["step"][member]), dtype=np.int64)]
+            + [moment[member].copy() for moment in state["m"]]
+            + [moment[member].copy() for moment in state["v"]]
+            for member in range(group)]
+    else:
+        stacked = optimizer.velocity_state()
+        out_velocities = [[buffer[member].copy() for buffer in stacked]
+                          for member in range(group)]
+    return out_states, out_velocities, losses
+
+
 @dataclass
 class DeviceDistillTask:
     """Distill the global model into a shard of device models (Phase 2).
@@ -274,7 +387,11 @@ class DeviceDistillTask:
     Every device in the shard consumes the *same* per-iteration synthetic
     inputs and teacher targets (precomputed on the driver, so the
     generator/global-model RNG stream is identical to the serial path) and
-    trains independently with its own persisted-momentum SGD state.
+    trains independently with its own persisted optimizer state (SGD
+    momentum by default, Adam moments + per-device step count with
+    ``optimizer="adam"``).  With ``fuse=True``, same-signature devices in
+    the shard train through one :func:`distill_group_fused` stacked loop —
+    bitwise identical per device to the unfused path.
     """
 
     device_ids: List[int]
@@ -284,6 +401,8 @@ class DeviceDistillTask:
     targets: Union[StateRef, bytes, List[np.ndarray]]
     lr: float
     momentum: float = 0.9
+    optimizer: str = "sgd"
+    fuse: bool = False
 
     def __getstate__(self):
         payload = dict(self.__dict__)
@@ -299,24 +418,47 @@ class DeviceDistillTask:
     def run(self, context: WorkerContext) -> "DeviceDistillResult":
         inputs = resolve_arrays(self.inputs)
         targets = resolve_arrays(self.targets)
-        out_states: List[Dict[str, np.ndarray]] = []
-        out_velocities: List[List[np.ndarray]] = []
-        out_losses: List[List[float]] = []
-        for device_id, state, velocity in zip(self.device_ids, self.states, self.velocities):
+        count = len(self.device_ids)
+        out_states: List[Dict[str, np.ndarray]] = [None] * count
+        out_velocities: List[List[np.ndarray]] = [None] * count
+        out_losses: List[List[float]] = [None] * count
+
+        fused_positions: set = set()
+        if self.fuse:
+            for group in _fusion_groups(context, self.device_ids):
+                template = context.model_for(self.device_ids[group[0]])
+                group_states, group_velocities, group_losses = distill_group_fused(
+                    template,
+                    [resolve_state(self.states[position]) for position in group],
+                    [resolve_arrays(self.velocities[position]) for position in group],
+                    inputs, targets, self.lr, self.momentum, self.optimizer,
+                    members=[context.model_for(self.device_ids[position])
+                             for position in group])
+                for slot, position in enumerate(group):
+                    out_states[position] = group_states[slot]
+                    out_velocities[position] = group_velocities[slot]
+                    out_losses[position] = group_losses[slot]
+                    fused_positions.add(position)
+
+        for position, (device_id, state, velocity) in enumerate(
+                zip(self.device_ids, self.states, self.velocities)):
+            if position in fused_positions:
+                continue
             with borrowed_model(context, device_id, state, train=True) as model:
-                optimizer = SGD(model.parameters(), lr=self.lr, momentum=self.momentum)
-                optimizer.load_velocity_state(resolve_arrays(velocity))
+                optimizer = make_distill_optimizer(model, self.lr, self.momentum,
+                                                   self.optimizer)
+                load_distill_optimizer_state(optimizer, resolve_arrays(velocity))
                 losses: List[float] = []
                 for batch, target in zip(inputs, targets):
                     student_logits = model(Tensor(batch))
                     loss = kl_divergence_loss(student_logits, Tensor(target))
-                    optimizer.zero_grad()
+                    optimizer.zero_grad(set_to_none=False)
                     loss.backward()
                     optimizer.step()
                     losses.append(loss.item())
-                out_states.append(model.state_dict())
-                out_velocities.append(optimizer.velocity_state())
-                out_losses.append(losses)
+                out_states[position] = model.state_dict()
+                out_velocities[position] = distill_optimizer_state(optimizer)
+                out_losses[position] = losses
         return DeviceDistillResult(device_ids=list(self.device_ids), states=out_states,
                                    velocities=out_velocities, losses=out_losses)
 

@@ -44,8 +44,9 @@ from ..federated.config import ServerConfig
 from ..models.base import ClassificationModel
 from ..models.generator import Generator
 from ..nn import no_grad
+from ..nn.batched import fusion_signature
 from ..nn.losses import get_distillation_loss, kl_divergence_loss
-from ..nn.optim import SGD, Adam, MultiStepLR
+from ..nn.optim import SGD, Adam, MultiStepLR, Optimizer
 from ..nn.tensor import Tensor
 from ..utils.serialization import pack_array_list, pack_state_dict
 from .distillation import disagreement_loss, ensemble_mode_for_loss, ensemble_output
@@ -53,6 +54,10 @@ from .server_tasks import (
     DeviceDistillTask,
     EnsembleForwardTask,
     EnsembleVJPTask,
+    distill_group_fused,
+    distill_optimizer_state,
+    load_distill_optimizer_state,
+    make_distill_optimizer,
     partition_shards,
 )
 
@@ -96,12 +101,14 @@ class ZeroShotDistiller:
         usually installed later via :meth:`bind_backend` by the simulation
         engine.  Without a backend the distiller always runs in process.
     cohort_fusion:
-        Stamp ``fuse=True`` on Phase-1 ensemble shard tasks so each shard
-        evaluates its same-architecture teachers through one stacked
-        forward/VJP (bit-identical; heterogeneous teachers fall back to
-        the per-model path).  Phase 2 is *not* fused: each device's
-        distillation carries per-device persisted momentum and already
-        shares its synthetic batches, so the per-model loop is kept.
+        Fuse both phases over same-architecture groups.  Phase 1: shard
+        tasks evaluate their same-signature teachers through one stacked
+        forward/VJP.  Phase 2: same-signature device replicas distill in
+        one :func:`~repro.core.server_tasks.distill_group_fused` loop —
+        per-device persisted optimizer state rides along as stacked
+        momentum (or stacked Adam moments with per-slice step counters).
+        Both are bit-identical to the unfused path; heterogeneous models
+        fall back per model.
     """
 
     def __init__(self, global_model: ClassificationModel, generator: Generator,
@@ -121,7 +128,7 @@ class ZeroShotDistiller:
         # Device-distill optimizers persist too (keyed by device id), so the
         # back-transfer momentum carries across rounds instead of silently
         # resetting every server update.
-        self._device_optimizers: Dict[int, Tuple[ClassificationModel, SGD]] = {}
+        self._device_optimizers: Dict[int, Tuple[ClassificationModel, Optimizer]] = {}
         self.parameter_updates_total = 0
 
     # ------------------------------------------------------------------ #
@@ -191,16 +198,20 @@ class ZeroShotDistiller:
             store.discard(list(ephemerals))
         ephemerals.clear()
 
-    def device_optimizer_for(self, device_id: int, model: ClassificationModel) -> SGD:
-        """The persistent back-transfer SGD for a device model (created lazily).
+    def device_optimizer_for(self, device_id: int,
+                             model: ClassificationModel) -> Optimizer:
+        """The persistent back-transfer optimizer for a device model.
 
-        Recreated only when the model object for the id changes (the
-        optimizer holds references to the model's parameter tensors).
+        Created lazily per ``config.device_distill_optimizer`` (SGD with
+        momentum 0.9, or Adam); recreated only when the model object for
+        the id changes (the optimizer holds references to the model's
+        parameter tensors).
         """
         cached = self._device_optimizers.get(device_id)
         if cached is None or cached[0] is not model:
-            optimizer = SGD(model.parameters(), lr=self.config.device_distill_lr,
-                            momentum=0.9)
+            optimizer = make_distill_optimizer(
+                model, self.config.device_distill_lr, 0.9,
+                self.config.device_distill_optimizer)
             self._device_optimizers[device_id] = (model, optimizer)
             return optimizer
         return cached[1]
@@ -269,6 +280,9 @@ class ZeroShotDistiller:
             if iteration % steps_per_generator == 0:
                 noise = self.generator.sample_noise(self.config.batch_size, self._rng)
                 synthetic = self.generator(noise)
+                # The input-gradient norm below reads this intermediate's
+                # gradient after backward; keep it through buffer reclaim.
+                synthetic.retain_grad()
                 if sharded:
                     # Same op order as disagreement_loss: student branch first,
                     # then the ensemble branch (here a backend-backed graph node).
@@ -282,8 +296,8 @@ class ZeroShotDistiller:
                                              self._loss_name)
                 generator_loss = loss * -1.0
                 self._zero_all(teachers)
-                self.generator_optimizer.zero_grad()
-                self.global_optimizer.zero_grad()
+                self.generator_optimizer.zero_grad(set_to_none=False)
+                self.global_optimizer.zero_grad(set_to_none=False)
                 generator_loss.backward()
                 if synthetic.grad is not None:
                     input_grad_norms.append(float(np.linalg.norm(synthetic.grad)))
@@ -307,7 +321,7 @@ class ZeroShotDistiller:
                 teacher_data = teacher_out.data
             student_logits = self.global_model(Tensor(synthetic.data))
             global_loss = loss_fn(student_logits, Tensor(teacher_data))
-            self.global_optimizer.zero_grad()
+            self.global_optimizer.zero_grad(set_to_none=False)
             global_loss.backward()
             self.global_optimizer.step()
             global_losses.append(global_loss.item())
@@ -441,27 +455,85 @@ class ZeroShotDistiller:
             teacher_probs = self.global_model(synthetic).softmax(axis=-1)
         return synthetic.data, teacher_probs.data
 
-    def _transfer_serial(self, device_models: Dict[int, ClassificationModel],
-                         optimizers: Dict[int, SGD],
-                         iterations: int) -> Tuple[List[float], int]:
-        transfer_losses: List[float] = []
-        updates = 0
+    def _synthesize_batches(self, iterations: int) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Precompute every iteration's synthetic batch and soft targets.
+
+        The distill loops consume no driver RNG, so synthesizing up front
+        draws the exact noise sequence the historical interleaved loop drew
+        — batches are bit-identical, and sharing them across devices,
+        shards, and fused groups needs no further care.
+        """
+        batches: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
         for _ in range(iterations):
             batch, target = self._synthesize_batch()
-            inputs = Tensor(batch)
-            targets = Tensor(target)
-            for device_id, model in device_models.items():
-                student_logits = model(inputs)
-                loss = kl_divergence_loss(student_logits, targets)
-                optimizers[device_id].zero_grad()
+            batches.append(batch)
+            targets.append(target)
+        return batches, targets
+
+    def _fused_device_groups(self, device_models: Dict[int, ClassificationModel],
+                             ) -> List[List[int]]:
+        """Same-signature device-id groups (≥2) eligible for fused transfer."""
+        groups: Dict[tuple, List[int]] = {}
+        for device_id, model in device_models.items():
+            signature = fusion_signature(model)
+            if signature is None:
+                continue
+            groups.setdefault(signature, []).append(device_id)
+        return [ids for ids in groups.values() if len(ids) >= 2]
+
+    def _transfer_serial(self, device_models: Dict[int, ClassificationModel],
+                         optimizers: Dict[int, Optimizer],
+                         iterations: int) -> Tuple[List[float], int]:
+        device_order = list(device_models.keys())
+        batches, targets = self._synthesize_batches(iterations)
+        losses_by_device: Dict[int, List[float]] = {}
+
+        fused_ids: set = set()
+        if self.cohort_fusion:
+            for group_ids in self._fused_device_groups(device_models):
+                template = device_models[group_ids[0]]
+                group_states, group_velocities, group_losses = distill_group_fused(
+                    template,
+                    [device_models[device_id].state_dict() for device_id in group_ids],
+                    [distill_optimizer_state(optimizers[device_id])
+                     for device_id in group_ids],
+                    batches, targets, self.config.device_distill_lr, 0.9,
+                    self.config.device_distill_optimizer,
+                    members=[device_models[device_id] for device_id in group_ids])
+                for slot, device_id in enumerate(group_ids):
+                    device_models[device_id].load_state_dict(group_states[slot])
+                    load_distill_optimizer_state(optimizers[device_id],
+                                                 group_velocities[slot])
+                    losses_by_device[device_id] = group_losses[slot]
+                    fused_ids.add(device_id)
+
+        for device_id in device_order:
+            if device_id in fused_ids:
+                continue
+            model = device_models[device_id]
+            optimizer = optimizers[device_id]
+            losses: List[float] = []
+            for batch, target in zip(batches, targets):
+                student_logits = model(Tensor(batch))
+                loss = kl_divergence_loss(student_logits, Tensor(target))
+                optimizer.zero_grad(set_to_none=False)
                 loss.backward()
-                optimizers[device_id].step()
-                transfer_losses.append(loss.item())
-                updates += self._count_parameters(model)
+                optimizer.step()
+                losses.append(loss.item())
+            losses_by_device[device_id] = losses
+
+        # Reassemble iteration-major so ``transfer_loss`` reduces in the
+        # historical interleaved (iteration, device) order.
+        transfer_losses = [losses_by_device[device_id][iteration]
+                           for iteration in range(iterations)
+                           for device_id in device_order]
+        updates = iterations * sum(self._count_parameters(model)
+                                   for model in device_models.values())
         return transfer_losses, updates
 
     def _transfer_sharded(self, device_models: Dict[int, ClassificationModel],
-                          optimizers: Dict[int, SGD],
+                          optimizers: Dict[int, Optimizer],
                           iterations: int) -> Tuple[List[float], int]:
         """Backend-sharded Phase 2: one distill task per shard of devices.
 
@@ -471,12 +543,7 @@ class ZeroShotDistiller:
         so ``transfer_loss`` reduces in the serial order.
         """
         device_order = list(device_models.keys())
-        batches: List[np.ndarray] = []
-        targets: List[np.ndarray] = []
-        for _ in range(iterations):
-            batch, target = self._synthesize_batch()
-            batches.append(batch)
-            targets.append(target)
+        batches, targets = self._synthesize_batches(iterations)
 
         shards = partition_shards(device_order, self.config.server_shards)
         # Publish the *shared* batch/target payloads once into the state
@@ -492,9 +559,12 @@ class ZeroShotDistiller:
         tasks = [DeviceDistillTask(
             device_ids=list(shard),
             states=[device_models[device_id].state_dict() for device_id in shard],
-            velocities=[optimizers[device_id].velocity_state() for device_id in shard],
+            velocities=[distill_optimizer_state(optimizers[device_id])
+                        for device_id in shard],
             inputs=packed_inputs, targets=packed_targets,
             lr=self.config.device_distill_lr, momentum=0.9,
+            optimizer=self.config.device_distill_optimizer,
+            fuse=self.cohort_fusion,
         ) for shard in shards]
         results = self.backend.run_tasks(tasks)
 
@@ -502,7 +572,8 @@ class ZeroShotDistiller:
         for result in results:
             for index, device_id in enumerate(result.device_ids):
                 device_models[device_id].load_state_dict(result.state_dict_for(index))
-                optimizers[device_id].load_velocity_state(result.velocity_for(index))
+                load_distill_optimizer_state(optimizers[device_id],
+                                             result.velocity_for(index))
                 losses_by_device[device_id] = result.losses[index]
 
         self._drain(ephemerals)
@@ -544,7 +615,7 @@ class ZeroShotDistiller:
     @staticmethod
     def _zero_all(models: Sequence[ClassificationModel]) -> None:
         for model in models:
-            model.zero_grad()
+            model.zero_grad(set_to_none=False)
 
     @staticmethod
     def _count_parameters(model) -> int:

@@ -143,7 +143,7 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
                          server_shards: int = 1,
                          scheduler: SchedulerConfig = None,
                          heterogeneity: HeterogeneityConfig = None,
-                         cohort_fusion: bool = False) -> FederatedConfig:
+                         cohort_fusion: "bool | str" = False) -> FederatedConfig:
     """Build a :class:`FederatedConfig` for a dataset family at a given scale.
 
     ``scheduler`` / ``heterogeneity`` select the round-scheduling policy and

@@ -129,7 +129,7 @@ def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
                                   server_shards=server_shards if server_shards is not None else 1,
                                   scheduler=scheduler_config,
                                   heterogeneity=heterogeneity_config,
-                                  cohort_fusion=bool(cohort_fusion))
+                                  cohort_fusion=cohort_fusion)
     train, test = load_dataset(dataset_name, train_size=scale.train_size,
                                test_size=scale.test_size, image_size=scale.image_size, seed=seed)
     partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
@@ -151,7 +151,7 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                latency_mean: Optional[float] = None,
                dropout_rate: Optional[float] = None,
                server_shards: Optional[int] = None,
-               cohort_fusion: bool = False) -> TrainingHistory:
+               cohort_fusion: "bool | str" = False) -> TrainingHistory:
     """Run FedZKT on a named dataset and return its training history."""
     def make(train, test, config, family, partitioner, scale):
         simulation = build_fedzkt(train, test, config, family=family,
@@ -189,7 +189,7 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
               latency_mean: Optional[float] = None,
               dropout_rate: Optional[float] = None,
               server_shards: Optional[int] = None,
-              cohort_fusion: bool = False) -> TrainingHistory:
+              cohort_fusion: "bool | str" = False) -> TrainingHistory:
     """Run the FedMD baseline with the paper's public-dataset pairing.
 
     Under ``deadline``/``async`` schedulers FedMD runs its partial-consensus
@@ -230,7 +230,7 @@ def run_fedavg(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                latency_mean: Optional[float] = None,
                dropout_rate: Optional[float] = None,
                server_shards: Optional[int] = None,
-               cohort_fusion: bool = False) -> TrainingHistory:
+               cohort_fusion: "bool | str" = False) -> TrainingHistory:
     """Run the FedAvg baseline (homogeneous devices, parameter averaging).
 
     ``prox_mu > 0`` runs FedProx (FedAvg plus the on-device ℓ2 proximal
@@ -263,7 +263,7 @@ def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] 
                    latency_mean: Optional[float] = None,
                    dropout_rate: Optional[float] = None,
                    server_shards: Optional[int] = None,
-                   cohort_fusion: bool = False) -> TrainingHistory:
+                   cohort_fusion: "bool | str" = False) -> TrainingHistory:
     """Run the standalone (no-collaboration) lower-bound trajectory.
 
     Same heterogeneous device suite and partitioning as FedZKT, but devices

@@ -30,6 +30,7 @@ from ..nn.batched import (
     BatchedModule,
     BatchedSGD,
     batched_cross_entropy,
+    batched_cross_entropy_masked,
     batched_l2_proximal,
     batched_mse_loss,
 )
@@ -114,7 +115,7 @@ class FusedLocalTrainTask:
                 chosen = [order[start:start + spec.batch_size] for order in orders]
                 images = np.stack([public.images[chosen[b]] for b in range(batch)])
                 targets = np.stack([consensus[b][chosen[b]] for b in range(batch)])
-                optimizer.zero_grad()
+                optimizer.zero_grad(set_to_none=False)
                 prediction = module(Tensor(images))
                 loss_vec = batched_mse_loss(prediction, Tensor(targets))
                 loss_vec.sum().backward()
@@ -131,7 +132,12 @@ class FusedLocalTrainTask:
         template = context.model_for(self.device_ids[0])
         config = context.train_configs[self.device_ids[0]]
         states = [resolve_state(value) for value in self.states]
-        module = BatchedModule(template, states)
+        # members= hands each stacked slice its own live model, so RNG-stateful
+        # layers (Dropout) draw per-device streams exactly as the serial
+        # fallback would on the same worker.
+        module = BatchedModule(
+            template, states,
+            members=[context.model_for(device_id) for device_id in self.device_ids])
         rngs = [_restored_rng(state) for state in self.rng_states]
 
         digest_losses: List[Optional[float]] = [None] * batch
@@ -145,14 +151,49 @@ class FusedLocalTrainTask:
                        for i in range(len(per_device[0]))]
 
         shards = [context.shards[device_id] for device_id in self.device_ids]
-        size = len(shards[0])
+        sizes = [len(shard) for shard in shards]
         module.train()
         optimizer = BatchedSGD(module.parameters(), batch, lr=config.lr,
                                momentum=config.momentum,
                                weight_decay=config.weight_decay)
         losses: List[List[float]] = [[] for _ in range(batch)]
-        batches = 0
-        samples = 0
+        batch_counts = [0] * batch
+        sample_counts = [0] * batch
+        if len(set(sizes)) == 1:
+            self._train_exact(module, optimizer, shards, rngs, config, anchors,
+                              losses, batch_counts, sample_counts)
+        else:
+            self._train_padded(module, optimizer, shards, rngs, config, anchors,
+                               losses, batch_counts, sample_counts)
+
+        parameter_count = template.num_parameters()
+        results: List[LocalTrainResult] = []
+        final_states = module.state_dicts()
+        for b, device_id in enumerate(self.device_ids):
+            device_losses = losses[b]
+            report = LocalTrainingReport(
+                device_id=device_id,
+                epochs=self.epochs,
+                batches=batch_counts[b],
+                final_loss=device_losses[-1] if device_losses else 0.0,
+                mean_loss=float(np.mean(device_losses)) if device_losses else 0.0,
+                samples_seen=sample_counts[b],
+                parameter_updates=batch_counts[b] * parameter_count,
+            )
+            results.append(LocalTrainResult(
+                device_id=device_id,
+                state=final_states[b],
+                report=report,
+                rng_state=rngs[b].bit_generator.state,
+                digest_loss=digest_losses[b],
+            ))
+        return results
+
+    def _train_exact(self, module, optimizer, shards, rngs, config, anchors,
+                     losses, batch_counts, sample_counts) -> None:
+        """Equal-size cohort: the bit-identical fused loop."""
+        batch = len(self.device_ids)
+        size = len(shards[0])
         base = np.arange(size)
         for _ in range(self.epochs):
             # Each device replays exactly the shuffle DataLoader would draw
@@ -162,7 +203,7 @@ class FusedLocalTrainTask:
                 chosen = [order[start:start + config.batch_size] for order in orders]
                 images = np.stack([shards[b].images[chosen[b]] for b in range(batch)])
                 labels = np.stack([shards[b].labels[chosen[b]] for b in range(batch)])
-                optimizer.zero_grad()
+                optimizer.zero_grad(set_to_none=False)
                 logits = module(Tensor(images))
                 loss_vec = batched_cross_entropy(logits, labels)
                 if config.prox_mu > 0 and anchors is not None:
@@ -174,31 +215,66 @@ class FusedLocalTrainTask:
                 optimizer.step()
                 for b in range(batch):
                     losses[b].append(float(loss_vec.data[b]))
-                batches += 1
-                samples += int(labels.shape[1])
+                    batch_counts[b] += 1
+                    sample_counts[b] += int(labels.shape[1])
 
-        parameter_count = template.num_parameters()
-        results: List[LocalTrainResult] = []
-        final_states = module.state_dicts()
-        for b, device_id in enumerate(self.device_ids):
-            device_losses = losses[b]
-            report = LocalTrainingReport(
-                device_id=device_id,
-                epochs=self.epochs,
-                batches=batches,
-                final_loss=device_losses[-1] if device_losses else 0.0,
-                mean_loss=float(np.mean(device_losses)) if device_losses else 0.0,
-                samples_seen=samples,
-                parameter_updates=batches * parameter_count,
-            )
-            results.append(LocalTrainResult(
-                device_id=device_id,
-                state=final_states[b],
-                report=report,
-                rng_state=rngs[b].bit_generator.state,
-                digest_loss=digest_losses[b],
-            ))
-        return results
+    def _train_padded(self, module, optimizer, shards, rngs, config, anchors,
+                      losses, batch_counts, sample_counts) -> None:
+        """Family cohort with unequal shard sizes: masked padding on the
+        sample axis.
+
+        Each device still draws its own shuffle permutation over its own
+        shard; a step's stacked batch is padded to the widest member and a
+        0/1 mask keeps padding rows out of the loss (so, for the pad-safe
+        models the planner admits here, out of every real gradient).
+        Members whose epoch is already exhausted sit out the step entirely:
+        their loss contribution is exactly zero and
+        :meth:`BatchedSGD.snapshot_slices` / ``restore_slices`` around the
+        step keep their parameters and momentum bitwise untouched (a zero
+        gradient would still decay momentum).  Numeric policy: the masked
+        mean reduces over the padded width, so active members match the
+        per-device path to ~1e-9 relative rather than bitwise — the one
+        documented fusion deviation (see ``batched_cross_entropy_masked``).
+        """
+        batch = len(self.device_ids)
+        sizes = [len(shard) for shard in shards]
+        sample_shape = shards[0].images.shape[1:]
+        dtype = shards[0].images.dtype
+        for _ in range(self.epochs):
+            orders = [rng.permutation(np.arange(size))
+                      for rng, size in zip(rngs, sizes)]
+            for start in range(0, max(sizes), config.batch_size):
+                chosen = [order[start:start + config.batch_size] for order in orders]
+                counts = np.array([len(c) for c in chosen], dtype=np.int64)
+                active = counts > 0
+                width = int(counts.max())
+                images = np.zeros((batch, width) + sample_shape, dtype=dtype)
+                labels = np.zeros((batch, width), dtype=np.int64)
+                for b in range(batch):
+                    if counts[b]:
+                        images[b, :counts[b]] = shards[b].images[chosen[b]]
+                        labels[b, :counts[b]] = shards[b].labels[chosen[b]]
+                mask = (np.arange(width)[None, :] < counts[:, None]).astype(np.float64)
+                optimizer.zero_grad(set_to_none=False)
+                logits = module(Tensor(images))
+                loss_vec = batched_cross_entropy_masked(
+                    logits, labels, mask, np.maximum(counts, 1))
+                if config.prox_mu > 0 and anchors is not None:
+                    prox = batched_l2_proximal(module.parameters(), anchors,
+                                               mu=config.prox_mu)
+                    loss_vec = loss_vec + prox * Tensor(active.astype(np.float64))
+                loss_vec.sum().backward()
+                inactive = np.nonzero(~active)[0]
+                snapshot = (optimizer.snapshot_slices(inactive)
+                            if inactive.size else None)
+                optimizer.step()
+                if snapshot is not None:
+                    optimizer.restore_slices(snapshot)
+                for b in range(batch):
+                    if active[b]:
+                        losses[b].append(float(loss_vec.data[b]))
+                        batch_counts[b] += 1
+                        sample_counts[b] += int(counts[b])
 
 
 # --------------------------------------------------------------------------- #

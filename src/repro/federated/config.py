@@ -10,7 +10,7 @@ coefficient.  The experiment harness builds these from per-table presets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 __all__ = [
     "FederatedConfig",
@@ -154,7 +154,13 @@ class ServerConfig:
     global_lr:
         SGD learning rate for the global model (paper: 0.01).
     device_distill_lr:
-        SGD learning rate used when distilling back into on-device models.
+        Learning rate used when distilling back into on-device models.
+    device_distill_optimizer:
+        Optimizer for the Phase-2 back-transfer: ``"sgd"`` (paper default,
+        momentum 0.9) or ``"adam"``.  Both persist their state across
+        rounds per device, both fuse under ``cohort_fusion`` (``"adam"``
+        via :class:`~repro.nn.batched.BatchedAdam`'s per-slice step
+        counters), and both are bit-identical fused vs. unfused.
     lr_decay_gamma / lr_decay_milestones:
         Learning-rate decay applied at fractions of the total iterations
         (paper: ×0.3 at 1/2 and 3/4).
@@ -185,6 +191,7 @@ class ServerConfig:
     generator_lr: float = 1e-3
     global_lr: float = 0.01
     device_distill_lr: float = 0.01
+    device_distill_optimizer: str = "sgd"
     lr_decay_gamma: float = 0.3
     lr_decay_milestones: tuple = (0.5, 0.75)
     noise_dim: int = 64
@@ -195,6 +202,10 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.server_shards < 1:
             raise ValueError("server_shards must be at least 1")
+        if self.device_distill_optimizer not in ("sgd", "adam"):
+            raise ValueError(
+                "device_distill_optimizer must be 'sgd' or 'adam', "
+                f"got {self.device_distill_optimizer!r}")
 
     @property
     def effective_transfer_iterations(self) -> int:
@@ -245,6 +256,11 @@ class FederatedConfig:
         Opt-in: fuse each round's same-architecture device cohort into one
         vectorized training task (bit-identical to the per-device path;
         heterogeneous or batch-incompatible groups fall back per device).
+        ``True`` groups only exact-signature devices with equal shard
+        sizes; ``"family"`` additionally fuses pad-safe same-architecture
+        devices with *unequal* shard sizes by masked padding on the sample
+        axis — numerically ~1e-9-relative to the per-device path rather
+        than bitwise (the one documented fusion deviation).
     """
 
     num_devices: int = 10
@@ -261,11 +277,15 @@ class FederatedConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     heterogeneity: HeterogeneityConfig = field(default_factory=HeterogeneityConfig)
     strategy: StrategyConfig = field(default_factory=StrategyConfig)
-    cohort_fusion: bool = False
+    cohort_fusion: Union[bool, str] = False
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be at least 1")
+        if not isinstance(self.cohort_fusion, bool) and self.cohort_fusion != "family":
+            raise ValueError(
+                f"cohort_fusion must be True, False, or 'family', "
+                f"got {self.cohort_fusion!r}")
         if not 0.0 < self.participation_fraction <= 1.0:
             raise ValueError("participation_fraction must be in (0, 1]")
         if self.rounds < 1:
@@ -325,6 +345,8 @@ class FederatedConfig:
             summary["speed_skew"] = self.heterogeneity.speed_skew
             summary["latency_mean"] = self.heterogeneity.latency_mean
             summary["dropout_rate"] = self.heterogeneity.dropout_rate
+        if self.server.device_distill_optimizer != "sgd":
+            summary["device_distill_optimizer"] = self.server.device_distill_optimizer
         if self.cohort_fusion:
-            summary["cohort_fusion"] = True
+            summary["cohort_fusion"] = self.cohort_fusion
         return summary

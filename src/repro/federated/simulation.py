@@ -49,7 +49,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets.base import ImageDataset
-from ..nn.batched import fusion_signature
+from ..nn.batched import fusion_signature, supports_padded_fusion
+from ..nn.buffers import scratch_pool
 from ..utils.serialization import StateRef
 from .backend import ExecutionBackend, SerialBackend, WorkerContext, build_worker_context
 from .cohort import plan_cohorts
@@ -248,13 +249,26 @@ class Simulation:
         FedMD digest phase additionally requires all cohort members to
         share the public dataset, which they do by construction (one
         ``public_dataset`` per worker context).
+
+        With ``cohort_fusion == "family"``, pad-safe models on plain
+        (no-digest) training tasks drop the shard-size dimension: devices
+        of one model family fuse across unequal shard sizes through the
+        masked-padding loop.  Models with cross-sample or RNG-shape layers
+        (batch norm, active dropout) and digest-phase tasks keep the exact
+        key — padding would perturb their numerics beyond the documented
+        ~1e-9 loss-reduction deviation.
         """
         device = self.devices[task.device_id]
         if task.device_id not in self._fusion_signatures:
-            self._fusion_signatures[task.device_id] = fusion_signature(device.model)
-        signature = self._fusion_signatures[task.device_id]
+            self._fusion_signatures[task.device_id] = (
+                fusion_signature(device.model),
+                supports_padded_fusion(device.model))
+        signature, pad_safe = self._fusion_signatures[task.device_id]
         if signature is None:
             return None
+        if (self.config.cohort_fusion == "family" and pad_safe
+                and getattr(task, "digest", None) is None):
+            return (signature, device.training_config)
         return (signature, device.training_config, len(device.dataset))
 
     def run_device_tasks(self, tasks: Sequence) -> List:
@@ -304,7 +318,10 @@ class Simulation:
     def advance_round_version(self, round_index: int) -> None:
         """Bump the state store's round version (called by the scheduler at
         the top of every round); entries from rounds before the previous one
-        are evicted from the channel."""
+        are evicted from the channel.  The autograd scratch pool is dropped
+        on the same cadence so shape churn between rounds (cohorts of
+        different sizes) cannot pin stale buffers."""
+        scratch_pool().reset()
         store = self.state_store
         if store is not None:
             store.advance_round(round_index)

@@ -111,7 +111,7 @@ def local_sgd_train(model: ClassificationModel, dataset: ImageDataset, epochs: i
     samples = 0
     for _ in range(epochs):
         for images, labels in loader:
-            optimizer.zero_grad()
+            optimizer.zero_grad(set_to_none=False)
             logits = model(images)
             loss = cross_entropy(logits, labels)
             if config.prox_mu > 0 and anchor is not None:
@@ -181,7 +181,7 @@ def digest_on_public(model: ClassificationModel, public_dataset: ImageDataset,
             chosen = order[start:start + batch_size]
             images = Tensor(public_dataset.images[chosen])
             targets = Tensor(consensus[chosen])
-            optimizer.zero_grad()
+            optimizer.zero_grad(set_to_none=False)
             loss = mse_loss(model(images), targets)
             loss.backward()
             optimizer.step()

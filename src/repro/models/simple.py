@@ -66,14 +66,18 @@ class SimpleCNN(ClassificationModel):
         resolution with a max-pool.
     hidden_size:
         Width of the hidden fully-connected layer before the logits.
+    dropout:
+        Probability of the inverted-dropout layer between the hidden layer
+        and the logits; 0 (the default) omits the layer entirely.
     """
 
     def __init__(self, input_shape: Tuple[int, int, int], num_classes: int,
                  channels: Sequence[int] = (16, 32), hidden_size: int = 64,
-                 seed: Optional[int] = None) -> None:
+                 dropout: float = 0.0, seed: Optional[int] = None) -> None:
         super().__init__(input_shape, num_classes)
         self.channels = tuple(int(c) for c in channels)
         self.hidden_size = int(hidden_size)
+        self.dropout = float(dropout)
         in_channels, height, width = self.input_shape
         blocks = []
         previous = in_channels
@@ -91,14 +95,18 @@ class SimpleCNN(ClassificationModel):
         out_w = _pooled_size(width, len(self.channels))
         if out_h == 0 or out_w == 0:
             raise ValueError("input spatial size too small for the number of conv stages")
-        self.classifier = Sequential(
+        head = [
             layers.Flatten(),
             layers.Linear(previous * out_h * out_w, self.hidden_size,
                           seed=None if seed is None else seed + 100),
             layers.ReLU(),
-            layers.Linear(self.hidden_size, num_classes,
-                          seed=None if seed is None else seed + 200),
-        )
+        ]
+        if self.dropout > 0.0:
+            head.append(layers.Dropout(self.dropout,
+                                       seed=None if seed is None else seed + 300))
+        head.append(layers.Linear(self.hidden_size, num_classes,
+                                  seed=None if seed is None else seed + 200))
+        self.classifier = Sequential(*head)
 
     def forward(self, x: Tensor) -> Tensor:
         self.validate_input(x)

@@ -7,8 +7,15 @@ reverse-mode autodiff (:mod:`repro.nn.tensor`), modules and layers
 and the classification / distillation losses (:mod:`repro.nn.losses`).
 """
 
-from . import batched, conv, functional, init, losses, optim
-from .batched import BatchedModule, BatchedSGD, UnfusableModelError, fusion_signature
+from . import batched, buffers, conv, functional, init, losses, optim
+from .batched import (
+    BatchedAdam,
+    BatchedModule,
+    BatchedSGD,
+    UnfusableModelError,
+    fusion_signature,
+)
+from .buffers import BufferPool, pooling_enabled, scratch_pool, set_pooling
 from .layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -29,7 +36,16 @@ from .layers import (
 )
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, MultiStepLR, StepLR
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    allocation_free_enabled,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    set_allocation_free,
+    stack,
+)
 
 __all__ = [
     "Tensor",
@@ -38,6 +54,12 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "set_allocation_free",
+    "allocation_free_enabled",
+    "BufferPool",
+    "scratch_pool",
+    "set_pooling",
+    "pooling_enabled",
     "Module",
     "ModuleList",
     "Parameter",
@@ -62,11 +84,13 @@ __all__ = [
     "Adam",
     "MultiStepLR",
     "StepLR",
+    "BatchedAdam",
     "BatchedModule",
     "BatchedSGD",
     "UnfusableModelError",
     "fusion_signature",
     "batched",
+    "buffers",
     "conv",
     "functional",
     "init",

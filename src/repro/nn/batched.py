@@ -31,9 +31,12 @@ per slice:
 * reductions move every serial axis up by one (conv bias ``(0,2)``→``(1,3)``,
   batch-norm ``(0,2,3)``→``(1,3,4)``, loss means over the trailing axes).
 
-Any layer without a registered adapter (e.g. :class:`~repro.nn.layers.Dropout`,
-whose per-layer RNG cannot be replayed under stacking) makes the model
-unfusable and the cohort planner falls back to the per-device path.
+Any layer without a registered adapter makes the model unfusable and the
+cohort planner falls back to the per-device path.  Layers with per-instance
+RNG state (:class:`~repro.nn.layers.Dropout`) fuse only when the module is
+built with ``members=`` — the live per-device models — so each stacked slice
+draws its masks from its own device's generator, advancing it exactly as the
+serial path would.
 """
 
 from __future__ import annotations
@@ -45,22 +48,27 @@ import numpy as np
 
 from . import conv as conv_ops
 from . import layers as layer_types
+from .buffers import scratch_pool
 from .conv import col2im, im2col
 from .module import Module
-from .optim import SGD
+from .optim import SGD, Adam
 from .tensor import Tensor
 
 __all__ = [
+    "BatchedAdam",
     "BatchedModule",
     "BatchedSGD",
     "UnfusableModelError",
     "batched_conv2d",
     "batched_cross_entropy",
+    "batched_cross_entropy_masked",
+    "batched_kl_divergence",
     "batched_l2_proximal",
     "batched_mse_loss",
     "fusion_signature",
     "register_batched_adapter",
     "stack_states",
+    "supports_padded_fusion",
     "unstack_states",
 ]
 
@@ -117,7 +125,9 @@ def batched_conv2d(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None
             f"batched_conv2d channel mismatch: input has {x.data.shape[2]}, "
             f"weight expects {in_channels}")
     merged_shape = (batch * samples,) + x.data.shape[2:]
-    columns, out_h, out_w = im2col(x.data.reshape(merged_shape), kernel, stride, padding)
+    pool = scratch_pool()
+    columns, out_h, out_w = im2col(x.data.reshape(merged_shape), kernel, stride,
+                                   padding, pool=pool)
     cols = columns.reshape(batch, samples, columns.shape[1], columns.shape[2])
     w_mat = w.data.reshape(batch, out_channels, -1)
     out_data = np.einsum("bof,bnfl->bnol", w_mat, cols, optimize=True)
@@ -132,19 +142,57 @@ def batched_conv2d(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None
             grad = np.asarray(out.grad, dtype=np.float64).reshape(
                 batch, samples, out_channels, -1)
             if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(1, 3)))
+                bias._accumulate(grad.sum(axis=(1, 3)), owned=True)
             if w.requires_grad:
-                grad_w = np.einsum("bnol,bnfl->bof", grad, cols, optimize=True)
-                w._accumulate(grad_w.reshape(w.data.shape))
+                features, length = w_mat.shape[-1], grad.shape[-1]
+                if (batch >= 2 and samples >= 2 and out_channels >= 2
+                        and features >= 2 and length >= 2):
+                    # Same pooled staging as the per-device conv backward:
+                    # einsum copies both operands contiguous and runs one
+                    # batched GEMM, so identical copies in pooled scratch
+                    # keep the bits while dropping the allocations.
+                    lhs = pool.acquire((batch, features, samples * length))
+                    np.copyto(lhs.reshape(batch, features, samples, length),
+                              cols.transpose(0, 2, 1, 3))
+                    rhs = pool.acquire((batch, samples * length, out_channels))
+                    np.copyto(rhs.reshape(batch, samples, length, out_channels),
+                              grad.transpose(0, 1, 3, 2))
+                    grad_w = np.matmul(lhs, rhs).transpose(0, 2, 1)
+                    pool.release(lhs)
+                    pool.release(rhs)
+                else:
+                    grad_w = np.einsum("bnol,bnfl->bof", grad, cols,
+                                       optimize=True)
+                w._accumulate(grad_w.reshape(w.data.shape), owned=True)
             if x.requires_grad:
-                grad_cols = np.einsum("bof,bnol->bnfl", w_mat, grad, optimize=True)
-                grad_cols = grad_cols.reshape(batch * samples, -1, grad_cols.shape[-1])
-                grad_x = col2im(grad_cols, merged_shape, kernel, stride, padding)
-                x._accumulate(grad_x.reshape(x.data.shape))
+                features, length = w_mat.shape[-1], grad.shape[-1]
+                if features >= 2 and length >= 2:
+                    # Same lowering as the per-device conv backward: einsum's
+                    # optimized path is this exact batched GEMM, so pooled
+                    # ``out=`` keeps bits and drops the allocation.
+                    grad_cols = pool.acquire((batch, samples, features, length))
+                    np.matmul(w_mat.transpose(0, 2, 1)[:, None], grad,
+                              out=grad_cols)
+                    grad_x = col2im(
+                        grad_cols.reshape(batch * samples, -1, length),
+                        merged_shape, kernel, stride, padding)
+                    x._accumulate(grad_x.reshape(x.data.shape), owned=True)
+                    pool.release(grad_cols)
+                else:
+                    grad_cols = np.einsum("bof,bnol->bnfl", w_mat, grad,
+                                          optimize=True)
+                    grad_cols = grad_cols.reshape(
+                        batch * samples, -1, grad_cols.shape[-1])
+                    grad_x = col2im(grad_cols, merged_shape, kernel, stride, padding)
+                    x._accumulate(grad_x.reshape(x.data.shape), owned=True)
+            pool.release(columns)
 
         return backward
 
-    return Tensor._make(out_data, parents, factory)
+    out = Tensor._make(out_data, parents, factory)
+    if out._backward is None:
+        pool.release(columns)
+    return out
 
 
 # --------------------------------------------------------------------------- #
@@ -170,6 +218,28 @@ def batched_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     return -(log_probs * Tensor(targets)).sum(axis=-1).mean(axis=-1)
 
 
+def batched_cross_entropy_masked(logits: Tensor, labels: np.ndarray,
+                                 mask: np.ndarray, counts: np.ndarray) -> Tensor:
+    """Cross-entropy over a padded sample axis: mask-weighted sum / count.
+
+    ``mask`` is a ``(B, N)`` 0/1 array marking real samples, ``counts`` the
+    per-device real-sample counts (clamped to ≥1 by the caller for all-padding
+    slices, whose losses come out exactly 0 with exactly-zero gradients).
+    Padding rows never reach the loss, so for per-sample-independent (pad-safe)
+    models the gradients of real samples are unperturbed.  Numeric policy:
+    the masked ``sum / count`` reduction sums ``N`` padded terms where the
+    serial loss sums ``n_b``, so pairwise-summation grouping differs — family
+    cohorts match the per-device path to ~1e-9 relative, not bitwise (the
+    one documented deviation; exact-size cohorts keep the bitwise path).
+    """
+    num_classes = logits.shape[-1]
+    targets = _stacked_one_hot(np.asarray(labels), num_classes)
+    log_probs = logits.log_softmax(axis=-1)
+    per_sample = -(log_probs * Tensor(targets)).sum(axis=-1)
+    masked = per_sample * Tensor(np.asarray(mask, dtype=np.float64))
+    return masked.sum(axis=-1) / Tensor(np.asarray(counts, dtype=np.float64))
+
+
 def batched_l2_proximal(parameters: Sequence[Tensor], anchors: Sequence[np.ndarray],
                         mu: float = 1.0) -> Tensor:
     """Per-device ℓ2 proximal term over stacked ``(B, *shape)`` parameters."""
@@ -193,32 +263,58 @@ def batched_mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     return (diff * diff).mean(axis=tuple(range(1, diff.data.ndim)))
 
 
+def batched_kl_divergence(student_logits: Tensor, teacher_probs: Tensor) -> Tensor:
+    """Per-device KL(student || teacher): ``(B, N, C)`` → ``(B,)`` losses.
+
+    Mirrors :func:`repro.nn.losses.kl_divergence_loss` op for op (log-softmax,
+    exp, clipped teacher log, sum over classes, mean over samples) with every
+    reduction shifted one axis up, so slice ``b`` is bitwise equal to the
+    serial loss on slice ``b`` alone.
+    """
+    student_log_probs = student_logits.log_softmax(axis=-1)
+    student_probs = student_log_probs.exp()
+    log_teacher = teacher_probs.clip(1e-12, 1.0).log()
+    return (student_probs * (student_log_probs - log_teacher)).sum(axis=-1).mean(axis=-1)
+
+
 # --------------------------------------------------------------------------- #
 # Adapter registry: layer class -> (signature, batched forward builder)
 # --------------------------------------------------------------------------- #
-# A builder receives (layer, params, buffers, module) where ``params`` maps
-# the layer's local parameter names to stacked (B, *shape) Tensors and
-# ``buffers`` maps local buffer names to stacked (B, *shape) arrays (mutated
-# in place for running statistics).  It returns the batched forward callable.
-_ADAPTERS: Dict[Type[Module], Tuple[Callable, Callable]] = {}
+# A builder receives (layer, params, buffers, module, member_layers) where
+# ``params`` maps the layer's local parameter names to stacked (B, *shape)
+# Tensors, ``buffers`` maps local buffer names to stacked (B, *shape) arrays
+# (mutated in place for running statistics), and ``member_layers`` is the
+# per-cohort-member list of live layer instances at this position (None when
+# the module was built without ``members=``; only stateful-RNG layers such as
+# Dropout need it).  It returns the batched forward callable.
+_ADAPTERS: Dict[Type[Module], Tuple[Callable, Callable, Callable]] = {}
 
 
 def register_batched_adapter(layer_cls: Type[Module], signature: Callable,
-                             builder: Callable) -> None:
+                             builder: Callable,
+                             pad_safe: Optional[Callable] = None) -> None:
     """Register a batched adapter for a layer class.
 
     ``signature(layer)`` must return a hashable description of everything
     that has to match for two layer instances to share one fused forward;
-    ``builder(layer, params, buffers, module)`` returns the batched callable.
+    ``builder(layer, params, buffers, module, member_layers)`` returns the
+    batched callable.  ``pad_safe(layer)`` reports whether the layer treats
+    every sample independently, so masked padding rows on the sample axis
+    cannot perturb the real samples (default: yes).  Cross-sample layers
+    (batch norm: padded rows enter the batch statistics) and RNG-shape
+    layers (dropout with ``p > 0``: the mask draw depends on the sample
+    count) must say no — they exclude the model from family-level padded
+    fusion while remaining fusable in exact-size cohorts.
     """
-    _ADAPTERS[layer_cls] = (signature, builder)
+    _ADAPTERS[layer_cls] = (signature, builder,
+                            pad_safe if pad_safe is not None else lambda layer: True)
 
 
 def _sig_linear(layer):
     return ("Linear", layer.in_features, layer.out_features, layer.bias is not None)
 
 
-def _build_linear(layer, params, buffers, module):
+def _build_linear(layer, params, buffers, module, member_layers):
     weight = params["weight"]
     bias = params.get("bias")
     batch = weight.data.shape[0]
@@ -237,7 +333,7 @@ def _sig_conv2d(layer):
             layer.stride, layer.padding, layer.bias is not None)
 
 
-def _build_conv2d(layer, params, buffers, module):
+def _build_conv2d(layer, params, buffers, module, member_layers):
     weight = params["weight"]
     bias = params.get("bias")
     stride, padding = layer.stride, layer.padding
@@ -252,7 +348,7 @@ def _sig_batchnorm(layer):
     return (type(layer).__name__, layer.num_features, layer.momentum, layer.eps)
 
 
-def _build_batchnorm(layer, params, buffers, module):
+def _build_batchnorm(layer, params, buffers, module, member_layers):
     weight, bias = params["weight"], params["bias"]
     running_mean, running_var = buffers["running_mean"], buffers["running_var"]
     momentum, eps = layer.momentum, layer.eps
@@ -286,7 +382,7 @@ def _sig_activation(layer):
     return (type(layer).__name__,)
 
 
-def _build_activation(layer, params, buffers, module):
+def _build_activation(layer, params, buffers, module, member_layers):
     if isinstance(layer, layer_types.ReLU):
         return lambda x: x.relu()
     if isinstance(layer, layer_types.LeakyReLU):
@@ -301,7 +397,7 @@ def _sig_flatten(layer):
     return ("Flatten",)
 
 
-def _build_flatten(layer, params, buffers, module):
+def _build_flatten(layer, params, buffers, module, member_layers):
     def run(x: Tensor) -> Tensor:
         shape = x.shape
         tail = int(np.prod(shape[2:])) if shape[2:] else 1
@@ -314,7 +410,7 @@ def _sig_reshape(layer):
     return ("Reshape", layer.shape)
 
 
-def _build_reshape(layer, params, buffers, module):
+def _build_reshape(layer, params, buffers, module, member_layers):
     target = layer.shape
 
     def run(x: Tensor) -> Tensor:
@@ -327,7 +423,7 @@ def _sig_pool(layer):
     return (type(layer).__name__, layer.kernel_size, layer.stride)
 
 
-def _build_pool(layer, params, buffers, module):
+def _build_pool(layer, params, buffers, module, member_layers):
     op = (conv_ops.max_pool2d if isinstance(layer, layer_types.MaxPool2d)
           else conv_ops.avg_pool2d)
     kernel, stride = layer.kernel_size, layer.stride
@@ -345,14 +441,43 @@ def _sig_global_pool(layer):
     return ("GlobalAvgPool2d",)
 
 
-def _build_global_pool(layer, params, buffers, module):
+def _build_global_pool(layer, params, buffers, module, member_layers):
     return lambda x: x.mean(axis=(3, 4))
+
+
+def _sig_dropout(layer):
+    return ("Dropout", layer.p)
+
+
+def _build_dropout(layer, params, buffers, module, member_layers):
+    p = layer.p
+
+    def run(x: Tensor) -> Tensor:
+        if not module.training or p == 0.0:
+            return x
+        if member_layers is None:
+            raise UnfusableModelError(
+                "training through a stacked Dropout requires per-member layer "
+                "instances (BatchedModule(..., members=...)) so each cohort "
+                "slice draws from its own device's RNG stream")
+        # Slice b's input is (N, ...), exactly what the serial layer sees, so
+        # drawing mask b from member b's own generator consumes that stream
+        # in the same order as per-device training — masks, outputs, and the
+        # post-round RNG states are all bitwise identical to the fallback.
+        mask = np.stack([
+            (member._rng.random(x.shape[1:]) >= p).astype(np.float64) / (1.0 - p)
+            for member in member_layers])
+        return x * Tensor(mask)
+
+    return run
 
 
 register_batched_adapter(layer_types.Linear, _sig_linear, _build_linear)
 register_batched_adapter(layer_types.Conv2d, _sig_conv2d, _build_conv2d)
-register_batched_adapter(layer_types.BatchNorm1d, _sig_batchnorm, _build_batchnorm)
-register_batched_adapter(layer_types.BatchNorm2d, _sig_batchnorm, _build_batchnorm)
+register_batched_adapter(layer_types.BatchNorm1d, _sig_batchnorm, _build_batchnorm,
+                         pad_safe=lambda layer: False)
+register_batched_adapter(layer_types.BatchNorm2d, _sig_batchnorm, _build_batchnorm,
+                         pad_safe=lambda layer: False)
 register_batched_adapter(layer_types.ReLU, _sig_activation, _build_activation)
 register_batched_adapter(layer_types.LeakyReLU, _sig_activation, _build_activation)
 register_batched_adapter(layer_types.Tanh, _sig_activation, _build_activation)
@@ -362,6 +487,8 @@ register_batched_adapter(layer_types.Reshape, _sig_reshape, _build_reshape)
 register_batched_adapter(layer_types.MaxPool2d, _sig_pool, _build_pool)
 register_batched_adapter(layer_types.AvgPool2d, _sig_pool, _build_pool)
 register_batched_adapter(layer_types.GlobalAvgPool2d, _sig_global_pool, _build_global_pool)
+register_batched_adapter(layer_types.Dropout, _sig_dropout, _build_dropout,
+                         pad_safe=lambda layer: layer.p == 0.0)
 
 
 def fusion_signature(model: Module) -> Optional[Tuple]:
@@ -390,6 +517,28 @@ def fusion_signature(model: Module) -> Optional[Tuple]:
     return (type(model).__name__, tuple(parts), shapes)
 
 
+def supports_padded_fusion(model: Module) -> bool:
+    """Whether a fusable model tolerates masked padding rows on the sample
+    axis — the entry condition for family-level (unequal shard size) cohort
+    grouping.  True iff every fusion layer's adapter declares itself
+    pad-safe; batch norm (cross-sample statistics) and active dropout
+    (sample-count-dependent RNG draws) veto padding while staying fusable
+    in exact-size cohorts.
+    """
+    fusion_layers = getattr(model, "fusion_layers", None)
+    if fusion_layers is None:
+        return False
+    try:
+        sequence = fusion_layers()
+    except NotImplementedError:
+        return False
+    for layer in sequence:
+        entry = _ADAPTERS.get(type(layer))
+        if entry is None or not entry[2](layer):
+            return False
+    return True
+
+
 # --------------------------------------------------------------------------- #
 # BatchedModule
 # --------------------------------------------------------------------------- #
@@ -408,12 +557,22 @@ class BatchedModule:
     requires_grad:
         Whether the stacked parameters accumulate gradients (``False`` for
         forward/VJP-only uses such as the teacher ensemble).
+    members:
+        Optional live per-cohort-member model instances (one per state).
+        Required to *train* through layers with per-instance RNG state
+        (Dropout): each stacked slice then draws from its own member's
+        generator stream, keeping fused training bitwise identical to the
+        per-device fallback — including the post-round RNG states.
     """
 
     def __init__(self, template: Module, states: Sequence[Dict[str, np.ndarray]],
-                 requires_grad: bool = True) -> None:
+                 requires_grad: bool = True,
+                 members: Optional[Sequence[Module]] = None) -> None:
         if not states:
             raise ValueError("BatchedModule needs at least one state dict")
+        if members is not None and len(members) != len(states):
+            raise ValueError(
+                f"got {len(members)} member models for {len(states)} states")
         signature = fusion_signature(template)
         if signature is None:
             raise UnfusableModelError(
@@ -434,17 +593,28 @@ class BatchedModule:
                 [np.asarray(state[f"buffer::{name}"], dtype=np.float64)
                  for state in states], axis=0)
 
+        member_sequences: Optional[List[List[Module]]] = None
+        if members is not None:
+            member_sequences = []
+            for member in members:
+                if fusion_signature(member) != signature:
+                    raise ValueError(
+                        "member model's fusion signature differs from the template")
+                member_sequences.append(list(member.fusion_layers()))
+
         prefix_of = {id(module): name for name, module in template.named_modules()}
         self._ops: List[Callable[[Tensor], Tensor]] = []
-        for layer in template.fusion_layers():
+        for position, layer in enumerate(template.fusion_layers()):
             prefix = prefix_of[id(layer)]
             qualify = (lambda local, p=prefix: f"{p}.{local}" if p else local)
             params = {local: self._params[qualify(local)]
                       for local in layer._parameters}
             buffers = {local: self._buffers[qualify(local)]
                        for local in layer._buffers}
-            _, builder = _ADAPTERS[type(layer)]
-            self._ops.append(builder(layer, params, buffers, self))
+            member_layers = (None if member_sequences is None
+                             else [sequence[position] for sequence in member_sequences])
+            builder = _ADAPTERS[type(layer)][1]
+            self._ops.append(builder(layer, params, buffers, self, member_layers))
 
     # ------------------------------------------------------------------ #
     def forward(self, x: Tensor) -> Tensor:
@@ -461,9 +631,9 @@ class BatchedModule:
     def named_parameters(self):
         return list(self._params.items())
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         for param in self._params.values():
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def train(self, mode: bool = True) -> "BatchedModule":
         self.training = mode
@@ -497,9 +667,126 @@ class BatchedSGD(SGD):
     def __init__(self, parameters: Sequence[Tensor], batch_size: int, lr: float = 0.01,
                  momentum: float = 0.0, weight_decay: float = 0.0) -> None:
         super().__init__(parameters, lr=lr, momentum=momentum, weight_decay=weight_decay)
-        self.batch_size = int(batch_size)
-        for param in self.parameters:
-            if param.data.shape[0] != self.batch_size:
-                raise ValueError(
-                    f"stacked parameter has leading axis {param.data.shape[0]}, "
-                    f"expected cohort size {self.batch_size}")
+        self.batch_size = _validate_stacked(self.parameters, batch_size)
+
+    def snapshot_slices(self, indices: Sequence[int]) -> Dict[str, object]:
+        """Copy parameter values and momentum of the given cohort slices.
+
+        Used by the family-padded training loop to freeze inactive devices:
+        snapshot before ``step()``, restore after, and the frozen slices are
+        bitwise untouched by the step.  A ``None`` velocity entry records
+        "never stepped", which restores as zeros (the two are bit-exact —
+        see :meth:`SGD.velocity_state`).
+        """
+        index_array = np.asarray(indices, dtype=np.int64)
+        return {
+            "indices": index_array,
+            "params": [param.data[index_array].copy() for param in self.parameters],
+            "velocity": [None if velocity is None else velocity[index_array].copy()
+                         for velocity in self._velocity],
+        }
+
+    def restore_slices(self, snapshot: Dict[str, object]) -> None:
+        """Write a :meth:`snapshot_slices` capture back into its slices."""
+        index_array = snapshot["indices"]
+        for param, values in zip(self.parameters, snapshot["params"]):
+            param.data[index_array] = values
+        for position, values in enumerate(snapshot["velocity"]):
+            velocity = self._velocity[position]
+            if velocity is None:
+                continue
+            if values is None:
+                velocity[index_array] = 0.0
+            else:
+                velocity[index_array] = values
+
+
+def _validate_stacked(parameters: Sequence[Tensor], batch_size: int) -> int:
+    size = int(batch_size)
+    for param in parameters:
+        if param.data.shape[0] != size:
+            raise ValueError(
+                f"stacked parameter has leading axis {param.data.shape[0]}, "
+                f"expected cohort size {size}")
+    return size
+
+
+class BatchedAdam(Adam):
+    """Adam over stacked ``(B, *shape)`` parameter blocks.
+
+    Unlike SGD, Adam is *not* purely element-wise across the stack: the
+    bias corrections depend on each slice's step count.  The step counter
+    is therefore a ``(B,)`` vector and the corrections broadcast as
+    ``(B, 1, ...)`` factors, which keeps every ufunc element-wise per slice
+    — slice ``b`` of a fused step is bitwise identical to an independent
+    :class:`~repro.nn.optim.Adam` at step ``steps[b]``.  Corrections are
+    cast to the parameter dtype before dividing, matching the effective
+    precision of the scalar corrections in the serial formulation.
+    """
+
+    def __init__(self, parameters: Sequence[Tensor], batch_size: int, lr: float = 0.001,
+                 betas: Sequence[float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay)
+        self.batch_size = _validate_stacked(self.parameters, batch_size)
+        self._steps = np.zeros(self.batch_size, dtype=np.int64)
+
+    def step(self) -> None:
+        self._steps += 1
+        # Python-float pow per slice: ``np.power(beta, int64_vector)`` takes
+        # numpy's repeated-squaring fast path for integer exponents, which can
+        # differ from libm ``pow`` by 1 ulp — enough to break bit-parity with
+        # the serial optimizer's scalar ``beta ** step``.
+        correction1 = np.array([1.0 - self.beta1 ** int(step)
+                                for step in self._steps])
+        correction2 = np.array([1.0 - self.beta2 ** int(step)
+                                for step in self._steps])
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            scratch = self._scratch_for(index, param)
+            extra = self._scratch2_for(index, param)
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=extra)
+                np.add(extra, grad, out=extra)
+                grad = extra
+            m, v = self._m[index], self._v[index]
+            if m is None:
+                m = self._m[index] = np.zeros_like(param.data)
+                v = self._v[index] = np.zeros_like(param.data)
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1 - self.beta1, out=scratch)
+            np.add(m, scratch, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.power(grad, 2, out=scratch)
+            np.multiply(scratch, 1 - self.beta2, out=scratch)
+            np.add(v, scratch, out=v)
+            shape = (self.batch_size,) + (1,) * (param.data.ndim - 1)
+            c1 = correction1.reshape(shape).astype(param.data.dtype, copy=False)
+            c2 = correction2.reshape(shape).astype(param.data.dtype, copy=False)
+            np.divide(m, c1, out=extra)
+            np.multiply(extra, self.lr, out=extra)
+            np.divide(v, c2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            np.add(scratch, self.eps, out=scratch)
+            np.divide(extra, scratch, out=extra)
+            np.subtract(param.data, extra, out=param.data)
+
+    def state(self) -> dict:
+        """Like :meth:`Adam.state`, with a ``(B,)`` per-slice step vector."""
+        payload = super().state()
+        payload["step"] = self._steps.copy()
+        return payload
+
+    def load_state(self, state: dict) -> None:
+        """Install stacked state; a scalar ``step`` broadcasts to all slices."""
+        steps = np.asarray(state["step"])
+        if steps.ndim == 0:
+            steps = np.full(self.batch_size, int(steps), dtype=np.int64)
+        if steps.shape != (self.batch_size,):
+            raise ValueError(
+                f"expected a ({self.batch_size},) step vector, got shape {steps.shape}")
+        super().load_state({**state, "step": 0})
+        self._steps = steps.astype(np.int64, copy=True)

@@ -10,10 +10,11 @@ on-device models practical.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from .buffers import BufferPool, scratch_pool
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -34,17 +35,34 @@ def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    images: np.ndarray, kernel: int, stride: int, padding: int
+    images: np.ndarray, kernel: int, stride: int, padding: int,
+    pool: Optional[BufferPool] = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold ``images`` (N, C, H, W) into columns of shape (N, C*k*k, L).
 
     Returns the column matrix along with the output height and width.
+    With a ``pool``, the column matrix (and the zero-padded image plane,
+    when padding is active) is written into pooled scratch instead of
+    freshly allocated storage — the caller owns the returned array until
+    it releases it back to the pool.  Values are byte-identical either
+    way: the pooled path performs the same strided gather into the same
+    C-order layout.
     """
     batch, channels, height, width = images.shape
     out_h = _out_size(height, kernel, stride, padding)
     out_w = _out_size(width, kernel, stride, padding)
+    padded = None
     if padding > 0:
-        images = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if pool is None:
+            images = np.pad(images,
+                            ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        else:
+            padded = pool.acquire(
+                (batch, channels, height + 2 * padding, width + 2 * padding),
+                images.dtype)
+            padded.fill(0)
+            padded[:, :, padding:-padding, padding:-padding] = images
+            images = padded
 
     strides = images.strides
     windows = np.lib.stride_tricks.as_strided(
@@ -61,10 +79,19 @@ def im2col(
         writeable=False,
     )
     # (N, C, kh, kw, out_h, out_w) -> (N, C*k*k, out_h*out_w)
-    columns = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
-        batch, channels * kernel * kernel, out_h * out_w
-    )
-    return np.ascontiguousarray(columns), out_h, out_w
+    if pool is None:
+        columns = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+            batch, channels * kernel * kernel, out_h * out_w
+        )
+        return np.ascontiguousarray(columns), out_h, out_w
+    columns = pool.acquire(
+        (batch, channels * kernel * kernel, out_h * out_w), images.dtype)
+    np.copyto(
+        columns.reshape(batch, channels, kernel, kernel, out_h, out_w),
+        windows.transpose(0, 1, 4, 5, 2, 3))
+    if padded is not None:
+        pool.release(padded)  # windows gather is done; the plane is free
+    return columns, out_h, out_w
 
 
 @lru_cache(maxsize=32)
@@ -155,7 +182,8 @@ def conv2d(
         raise ValueError(
             f"conv2d channel mismatch: input has {x.data.shape[1]}, weight expects {in_channels}"
         )
-    columns, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    pool = scratch_pool()
+    columns, out_h, out_w = im2col(x.data, kernel, stride, padding, pool=pool)
     w_mat = w.data.reshape(out_channels, -1)
     out_data = np.einsum("of,nfl->nol", w_mat, columns, optimize=True)
     if bias is not None:
@@ -168,17 +196,58 @@ def conv2d(
         def backward() -> None:
             grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, out_channels, -1)
             if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(0, 2)))
+                bias._accumulate(grad.sum(axis=(0, 2)), owned=True)
             if w.requires_grad:
-                grad_w = np.einsum("nol,nfl->of", grad, columns, optimize=True)
-                w._accumulate(grad_w.reshape(w.data.shape))
+                features, length = w_mat.shape[1], grad.shape[-1]
+                if (batch >= 2 and out_channels >= 2
+                        and features >= 2 and length >= 2):
+                    # einsum's optimized path stages both operands as
+                    # contiguous copies and runs one GEMM; making the same
+                    # copies in pooled scratch keeps the bits while dropping
+                    # the two large allocations.  Degenerate widths take
+                    # einsum's special cases, so those fall through.
+                    lhs = pool.acquire((features, batch * length))
+                    np.copyto(lhs.reshape(features, batch, length),
+                              columns.transpose(1, 0, 2))
+                    rhs = pool.acquire((batch * length, out_channels))
+                    np.copyto(rhs.reshape(batch, length, out_channels),
+                              grad.transpose(0, 2, 1))
+                    grad_w = np.matmul(lhs, rhs).transpose(1, 0)
+                    pool.release(lhs)
+                    pool.release(rhs)
+                else:
+                    grad_w = np.einsum("nol,nfl->of", grad, columns,
+                                       optimize=True)
+                w._accumulate(grad_w.reshape(w.data.shape), owned=True)
             if x.requires_grad:
-                grad_cols = np.einsum("of,nol->nfl", w_mat, grad, optimize=True)
-                x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, padding))
+                features, length = w_mat.shape[1], grad.shape[-1]
+                if features >= 2 and length >= 2:
+                    # einsum's optimized path lowers this contraction to the
+                    # identical batched GEMM, so writing it into pooled
+                    # scratch keeps the bits while dropping the allocation.
+                    # Degenerate widths (f or l of 1) take einsum's special
+                    # cases instead, so those fall through unchanged.
+                    grad_cols = pool.acquire((batch, features, length))
+                    np.matmul(w_mat.T, grad, out=grad_cols)
+                    x._accumulate(
+                        col2im(grad_cols, x.data.shape, kernel, stride, padding),
+                        owned=True)
+                    pool.release(grad_cols)
+                else:
+                    grad_cols = np.einsum("of,nol->nfl", w_mat, grad, optimize=True)
+                    x._accumulate(
+                        col2im(grad_cols, x.data.shape, kernel, stride, padding),
+                        owned=True)
+            # Backward closures run at most once, so the columns can rejoin
+            # the free-list for the next step's forward.
+            pool.release(columns)
 
         return backward
 
-    return Tensor._make(out_data, parents, factory)
+    out = Tensor._make(out_data, parents, factory)
+    if out._backward is None:
+        pool.release(columns)  # inference path: nothing will read them again
+    return out
 
 
 def depthwise_conv2d(
@@ -199,7 +268,8 @@ def depthwise_conv2d(
     w_channels, one, kernel, _ = w.data.shape
     if w_channels != channels or one != 1:
         raise ValueError("depthwise_conv2d expects weight of shape (C, 1, k, k)")
-    columns, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    pool = scratch_pool()
+    columns, out_h, out_w = im2col(x.data, kernel, stride, padding, pool=pool)
     # columns: (N, C*k*k, L) -> (N, C, k*k, L)
     cols = columns.reshape(batch, channels, kernel * kernel, -1)
     w_mat = w.data.reshape(channels, kernel * kernel)
@@ -214,18 +284,47 @@ def depthwise_conv2d(
         def backward() -> None:
             grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, -1)
             if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(0, 2)))
+                bias._accumulate(grad.sum(axis=(0, 2)), owned=True)
             if w.requires_grad:
-                grad_w = np.einsum("ncl,ncfl->cf", grad, cols, optimize=True)
-                w._accumulate(grad_w.reshape(w.data.shape))
+                taps, length = w_mat.shape[1], grad.shape[-1]
+                if (batch >= 2 and channels >= 2 and taps >= 2
+                        and length >= 2):
+                    # Same pooled staging as the dense conv grad_w (einsum
+                    # lowers this to one per-channel GEMV after contiguous
+                    # copies of both operands).
+                    lhs = pool.acquire((channels, taps, batch * length))
+                    np.copyto(lhs.reshape(channels, taps, batch, length),
+                              cols.transpose(1, 2, 0, 3))
+                    rhs = pool.acquire((channels, batch * length, 1))
+                    np.copyto(rhs.reshape(channels, batch, length),
+                              grad.transpose(1, 0, 2))
+                    grad_w = np.matmul(lhs, rhs).reshape(channels, taps)
+                    pool.release(lhs)
+                    pool.release(rhs)
+                else:
+                    grad_w = np.einsum("ncl,ncfl->cf", grad, cols,
+                                       optimize=True)
+                w._accumulate(grad_w.reshape(w.data.shape), owned=True)
             if x.requires_grad:
-                grad_cols = np.einsum("cf,ncl->ncfl", w_mat, grad, optimize=True)
-                grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
-                x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, padding))
+                # Pure outer product (no contracted index): matmul over a
+                # length-1 inner axis computes the same single multiply per
+                # element, bitwise, for every shape.
+                grad_cols = pool.acquire(
+                    (batch, channels, kernel * kernel, grad.shape[-1]))
+                np.matmul(w_mat[:, :, None], grad[:, :, None, :], out=grad_cols)
+                x._accumulate(
+                    col2im(grad_cols.reshape(batch, channels * kernel * kernel, -1),
+                           x.data.shape, kernel, stride, padding),
+                    owned=True)
+                pool.release(grad_cols)
+            pool.release(columns)
 
         return backward
 
-    return Tensor._make(out_data, parents, factory)
+    out = Tensor._make(out_data, parents, factory)
+    if out._backward is None:
+        pool.release(columns)
+    return out
 
 
 def max_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
@@ -233,21 +332,28 @@ def max_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
     stride = stride or kernel
     x = as_tensor(inputs)
     batch, channels, height, width = x.data.shape
-    columns, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    pool = scratch_pool()
+    columns, out_h, out_w = im2col(x.data, kernel, stride, 0, pool=pool)
     cols = columns.reshape(batch, channels, kernel * kernel, out_h * out_w)
     arg = cols.argmax(axis=2)
     out_data = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
     out_data = out_data.reshape(batch, channels, out_h, out_w)
+    cols_shape = cols.shape
+    # The backward only needs the argmax positions, never the column values.
+    pool.release(columns)
 
     def factory(out: Tensor) -> Callable[[], None]:
         def backward() -> None:
             if not x.requires_grad:
                 return
             grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, 1, -1)
-            grad_cols = np.zeros_like(cols)
-            np.put_along_axis(grad_cols, arg[:, :, None, :], grad, axis=2)
-            grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
-            x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0))
+            grad_cols = pool.acquire((batch, channels * kernel * kernel, cols_shape[-1]))
+            grad_cols.fill(0.0)
+            np.put_along_axis(
+                grad_cols.reshape(cols_shape), arg[:, :, None, :], grad, axis=2)
+            x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0),
+                          owned=True)
+            pool.release(grad_cols)
 
         return backward
 
@@ -259,18 +365,24 @@ def avg_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
     stride = stride or kernel
     x = as_tensor(inputs)
     batch, channels, height, width = x.data.shape
-    columns, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    pool = scratch_pool()
+    columns, out_h, out_w = im2col(x.data, kernel, stride, 0, pool=pool)
     cols = columns.reshape(batch, channels, kernel * kernel, out_h * out_w)
     out_data = cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
+    cols_shape = cols.shape
+    # The backward only needs the window geometry, never the column values.
+    pool.release(columns)
 
     def factory(out: Tensor) -> Callable[[], None]:
         def backward() -> None:
             if not x.requires_grad:
                 return
             grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, 1, -1)
-            grad_cols = np.broadcast_to(grad / (kernel * kernel), cols.shape).copy()
-            grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
-            x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0))
+            grad_cols = pool.acquire((batch, channels * kernel * kernel, cols_shape[-1]))
+            np.copyto(grad_cols.reshape(cols_shape), grad / (kernel * kernel))
+            x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0),
+                          owned=True)
+            pool.release(grad_cols)
 
         return backward
 

@@ -127,10 +127,15 @@ class Module:
         """Set evaluation mode recursively."""
         return self.train(False)
 
-    def zero_grad(self) -> None:
-        """Clear gradients of every parameter."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of every parameter.
+
+        ``set_to_none=False`` zeroes persistent buffers in place instead of
+        dropping them — the allocation-free mode used by the training hot
+        loops (see :meth:`Tensor.zero_grad`).
+        """
         for param in self.parameters():
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     # ------------------------------------------------------------------ #
     # State (de)serialization — the device/server exchange format

@@ -43,10 +43,14 @@ class Optimizer:
             self._scratch[index] = scratch
         return scratch
 
-    def zero_grad(self) -> None:
-        """Clear gradients of all managed parameters."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of all managed parameters.
+
+        ``set_to_none=False`` keeps each parameter's grad buffer and zeroes
+        it in place, so steady-state training steps allocate nothing.
+        """
         for param in self.parameters:
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -225,6 +229,29 @@ class Adam(Optimizer):
                    for buffer, param in zip(moments1, self.parameters)]
         self._v = [np.array(buffer, dtype=param.data.dtype, copy=True)
                    for buffer, param in zip(moments2, self.parameters)]
+
+    def state_arrays(self) -> List[np.ndarray]:
+        """State as a flat array list: ``[step, m..., v...]``.
+
+        This is the wire format that lets Adam ride in the same transport
+        slot as :meth:`SGD.velocity_state` (a plain list of arrays, e.g.
+        ``DeviceDistillTask.velocities``) without a second packing scheme.
+        """
+        state = self.state()
+        return [np.asarray(state["step"], dtype=np.int64)] + state["m"] + state["v"]
+
+    def load_state_arrays(self, arrays: Sequence[np.ndarray]) -> None:
+        """Install state previously produced by :meth:`state_arrays`."""
+        arrays = list(arrays)
+        count = len(self.parameters)
+        if len(arrays) != 1 + 2 * count:
+            raise ValueError(
+                f"expected {1 + 2 * count} state arrays, got {len(arrays)}")
+        self.load_state({
+            "step": int(np.asarray(arrays[0])),
+            "m": arrays[1:1 + count],
+            "v": arrays[1 + count:],
+        })
 
 
 class LRScheduler:

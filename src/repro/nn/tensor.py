@@ -30,7 +30,18 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "concatenate", "stack"]
+from .buffers import scratch_pool
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "set_allocation_free",
+    "allocation_free_enabled",
+]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
@@ -44,6 +55,28 @@ class _GradMode(threading.local):
 
 
 _GRAD_MODE = _GradMode()
+
+# Allocation policy for gradient accumulation.  The allocation-free path
+# (the default) adds in place into an existing ``.grad`` buffer and adopts
+# freshly allocated closure outputs on first accumulation; the legacy path
+# reproduces the historical allocate-and-copy behaviour.  Both compute
+# bit-identical values (``a += b`` and ``a = a + b`` are the same IEEE-754
+# additions) — the switch exists so ``benchmarks/bench_memory.py`` can
+# measure the allocation delta, not because results differ.
+_ALLOC_FREE = True
+
+
+def set_allocation_free(enabled: bool) -> bool:
+    """Toggle the allocation-free accumulation fast path; returns the old value."""
+    global _ALLOC_FREE
+    previous = _ALLOC_FREE
+    _ALLOC_FREE = bool(enabled)
+    return previous
+
+
+def allocation_free_enabled() -> bool:
+    """Whether gradient accumulation uses the allocation-free fast path."""
+    return _ALLOC_FREE
 
 
 class no_grad:
@@ -106,7 +139,8 @@ class Tensor:
         parents.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_retain_grad", "name")
 
     def __init__(
         self,
@@ -126,6 +160,7 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad) and _GRAD_MODE.enabled
         self._backward: Optional[Callable[[], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        self._retain_grad: bool = False
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -168,6 +203,16 @@ class Tensor:
             raise ValueError("item() requires a single-element tensor")
         return float(self.data.reshape(())[()])
 
+    def retain_grad(self) -> None:
+        """Keep this tensor's ``.grad`` through ``backward()``'s cleanup.
+
+        Intermediate (non-leaf) gradients are normally reclaimed into the
+        scratch pool once backward finishes; call this before ``backward()``
+        on any intermediate whose gradient must stay readable afterwards
+        (e.g. the synthetic batch whose input-gradient norm Phase 1 logs).
+        """
+        self._retain_grad = True
+
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
         return Tensor(self.data, requires_grad=False)
@@ -176,9 +221,21 @@ class Tensor:
         """Return a graph-detached deep copy of this tensor."""
         return Tensor(self.data.copy(), requires_grad=False)
 
-    def zero_grad(self) -> None:
-        """Reset the accumulated gradient."""
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Reset the accumulated gradient.
+
+        ``set_to_none=False`` keeps an already-allocated buffer and zeroes
+        it in place instead of dropping it, making steady-state training
+        loops allocation-free: the next backward pass accumulates into the
+        same array via in-place ``+=``.  Starting from a zeroed buffer is
+        bit-identical to starting from scratch (``0.0 + g == g`` under
+        IEEE-754 up to the sign of zero, which no comparison in the
+        library distinguishes).
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad.fill(0.0)
 
     # ------------------------------------------------------------------ #
     # Graph construction / backward pass
@@ -203,13 +260,102 @@ class Tensor:
             out._backward = backward_factory(out)
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` (unbroadcast to our shape) into ``.grad``."""
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` (unbroadcast to our shape) into ``.grad``.
+
+        ``owned=True`` is the caller's promise that ``grad`` was freshly
+        allocated by the backward closure and no other reference to it
+        exists, letting a first accumulation adopt the array instead of
+        copying it.  Anything that aliases live graph state — ``out.grad``
+        itself, views/slices of it, user-supplied seeds, pooled scratch
+        buffers — must stay ``owned=False``.  When ``.grad`` already holds
+        a buffer (persistent buffers via ``zero_grad(set_to_none=False)``,
+        or a second accumulation) the addition happens in place; ``+=`` on
+        float64 arrays performs the identical IEEE-754 additions as the
+        allocating ``a = a + b``, so trajectories are bit-identical.
+        """
+        array = np.asarray(grad)
+        if array.dtype != np.float64:
+            array = array.astype(np.float64)
+            owned = True
+        if array.shape != self.data.shape:
+            # _unbroadcast always reduces (sum / reshape-of-sum), so the
+            # result is a fresh array the caller cannot hold a reference to.
+            array = _unbroadcast(array, self.data.shape)
+            owned = True
+        buffer = self.grad
+        if buffer is None:
+            if _ALLOC_FREE and owned and array.flags.writeable:
+                self.grad = array
+            else:
+                pool = scratch_pool()
+                if _ALLOC_FREE and pool.enabled:
+                    # First accumulation of a shared/viewed gradient: copy
+                    # into pooled storage instead of a fresh allocation.
+                    # The buffer returns to the pool when ``backward()``
+                    # reclaims intermediate gradients.
+                    copy = pool.acquire(array.shape, array.dtype)
+                    np.copyto(copy, array)
+                    self.grad = copy
+                else:
+                    self.grad = array.copy()
+        elif _ALLOC_FREE:
+            buffer += array
         else:
-            self.grad = self.grad + grad
+            self.grad = buffer + array
+
+    def _accumulate_pooled(self, shape: Tuple[int, ...],
+                           fill: Callable[[np.ndarray], None],
+                           fallback: Callable[[], np.ndarray]) -> None:
+        """Accumulate a computed gradient contribution through pooled scratch.
+
+        ``fill(buffer)`` must write the full contribution (shape ``shape``,
+        float64) into ``buffer``; ``fallback()`` must compute the identical
+        values the historical allocating way.  On the allocation-free path
+        the contribution lands either directly in a pooled buffer adopted as
+        ``.grad`` (first accumulation), in pooled scratch added in place
+        (subsequent accumulations), or in pooled scratch reduced by
+        ``_unbroadcast`` (broadcast operands).  Every branch performs the
+        same IEEE-754 operations in the same order as the fallback, so
+        trajectories stay bit-identical — only the allocation strategy
+        differs.
+        """
+        pool = scratch_pool()
+        if not (_ALLOC_FREE and pool.enabled):
+            self._accumulate(fallback(), owned=True)
+            return
+        shape = tuple(int(s) for s in shape)
+        if shape != self.data.shape:
+            scratch = pool.acquire(shape)
+            fill(scratch)
+            self._accumulate(_unbroadcast(scratch, self.data.shape), owned=True)
+            pool.release(scratch)
+            return
+        buffer = self.grad
+        if buffer is None:
+            out = pool.acquire(shape)
+            fill(out)
+            self.grad = out
+        else:
+            scratch = pool.acquire(shape)
+            fill(scratch)
+            buffer += scratch
+            pool.release(scratch)
+
+    def _accumulate_ufunc(self, ufunc: Callable, *operands) -> None:
+        """Accumulate ``ufunc(*operands)`` without a throwaway temporary.
+
+        The elementwise backward fast path: products like ``out.grad *
+        mask`` are written straight into pooled scratch (or a pooled buffer
+        adopted as ``.grad``) via the ufunc's ``out=`` form, which runs the
+        identical kernel as the allocating expression.
+        """
+        shape = np.broadcast_shapes(*(np.shape(operand) for operand in operands))
+        self._accumulate_pooled(
+            shape,
+            lambda out: ufunc(*operands, out=out),
+            lambda: ufunc(*operands),
+        )
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -224,12 +370,14 @@ class Tensor:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
             grad = np.ones_like(self.data, dtype=np.float64)
+            seed_owned = True
         else:
             grad = np.asarray(grad, dtype=np.float64)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
                 )
+            seed_owned = False  # may alias the caller's array
 
         # Iterative topological sort (avoids recursion limits on deep nets).
         topo: list[Tensor] = []
@@ -248,14 +396,24 @@ class Tensor:
                 if id(parent) not in visited and parent.requires_grad:
                     stack.append((parent, False))
 
-        self._accumulate(grad)
+        self._accumulate(grad, owned=seed_owned)
         for node in reversed(topo):
             if node._backward is not None:
                 node._backward()
         # Release intermediate graph references so memory is reclaimed and the
-        # same leaves can participate in a fresh graph next step.
+        # same leaves can participate in a fresh graph next step.  On the
+        # allocation-free path, intermediate gradient buffers also return to
+        # the thread's scratch pool: once a node's closure has propagated its
+        # gradient, nothing reads it again (leaves — parameters and probed
+        # inputs — keep theirs; so does the seed tensor backward ran from,
+        # and any node marked with :meth:`retain_grad`).
+        pool = scratch_pool()
+        reclaim = _ALLOC_FREE and pool.enabled
         for node in topo:
             if node is not self and node._backward is not None:
+                if reclaim and node.grad is not None and not node._retain_grad:
+                    pool.release(node.grad)
+                    node.grad = None
                 node._parents = ()
                 node._backward = None
 
@@ -285,7 +443,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(-out.grad)
+                    a._accumulate_ufunc(np.negative, out.grad)
 
             return backward
 
@@ -300,7 +458,7 @@ class Tensor:
                 if a.requires_grad:
                     a._accumulate(out.grad)
                 if b.requires_grad:
-                    b._accumulate(-out.grad)
+                    b._accumulate_ufunc(np.negative, out.grad)
 
             return backward
 
@@ -316,9 +474,9 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * b.data)
+                    a._accumulate_ufunc(np.multiply, out.grad, b.data)
                 if b.requires_grad:
-                    b._accumulate(out.grad * a.data)
+                    b._accumulate_ufunc(np.multiply, out.grad, a.data)
 
             return backward
 
@@ -333,9 +491,21 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad / b.data)
+                    a._accumulate_ufunc(np.divide, out.grad, b.data)
                 if b.requires_grad:
-                    b._accumulate(-out.grad * a.data / (b.data ** 2))
+                    def fill(buffer: np.ndarray) -> None:
+                        # ((-g) * a) / b**2 — the literal op sequence of the
+                        # fallback expression, written into pooled scratch.
+                        square = scratch_pool().acquire(b.data.shape)
+                        np.power(b.data, 2, out=square)
+                        np.negative(out.grad, out=buffer)
+                        buffer *= a.data
+                        buffer /= square
+                        scratch_pool().release(square)
+
+                    b._accumulate_pooled(
+                        out.grad.shape, fill,
+                        lambda: -out.grad * a.data / (b.data ** 2))
 
             return backward
 
@@ -352,7 +522,16 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * exponent * a.data ** (exponent - 1))
+                    def fill(buffer: np.ndarray) -> None:
+                        # ``a.data ** (exponent - 1)`` stays a plain power
+                        # expression so numpy's scalar-exponent fast paths
+                        # (e.g. ``** 0.5`` -> sqrt) match the fallback.
+                        np.multiply(out.grad, exponent, out=buffer)
+                        buffer *= a.data ** (exponent - 1)
+
+                    a._accumulate_pooled(
+                        out.grad.shape, fill,
+                        lambda: out.grad * exponent * a.data ** (exponent - 1))
 
             return backward
 
@@ -365,7 +544,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * value)
+                    a._accumulate_ufunc(np.multiply, out.grad, value)
 
             return backward
 
@@ -377,7 +556,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad / a.data)
+                    a._accumulate_ufunc(np.divide, out.grad, a.data)
 
             return backward
 
@@ -393,7 +572,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * sign)
+                    a._accumulate_ufunc(np.multiply, out.grad, sign)
 
             return backward
 
@@ -407,7 +586,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * mask)
+                    a._accumulate_ufunc(np.multiply, out.grad, mask)
 
             return backward
 
@@ -467,7 +646,7 @@ class Tensor:
                     g = np.expand_dims(g, axis=axes)
                 elif axis is None:
                     g = np.broadcast_to(g, a.data.shape)
-                a._accumulate(mask * g)
+                a._accumulate_ufunc(np.multiply, mask, g)
 
             return backward
 
@@ -521,7 +700,7 @@ class Tensor:
                 if a.requires_grad:
                     full = np.zeros(a.data.shape, dtype=np.float64)
                     np.add.at(full, index, out.grad)
-                    a._accumulate(full)
+                    a._accumulate(full, owned=True)
 
             return backward
 
@@ -558,9 +737,9 @@ class Tensor:
             def backward() -> None:
                 grad = np.asarray(out.grad, dtype=np.float64)
                 if a.requires_grad:
-                    a._accumulate(grad @ np.swapaxes(b.data, -1, -2))
+                    _matmul_accumulate(a, grad, np.swapaxes(b.data, -1, -2))
                 if b.requires_grad:
-                    b._accumulate(np.swapaxes(a.data, -1, -2) @ grad)
+                    _matmul_accumulate(b, np.swapaxes(a.data, -1, -2), grad)
 
             return backward
 
@@ -578,7 +757,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * mask)
+                    a._accumulate_ufunc(np.multiply, out.grad, mask)
 
             return backward
 
@@ -591,7 +770,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * mask)
+                    a._accumulate_ufunc(np.multiply, out.grad, mask)
 
             return backward
 
@@ -604,7 +783,16 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * value * (1.0 - value))
+                    def fill(buffer: np.ndarray) -> None:
+                        np.multiply(out.grad, value, out=buffer)
+                        complement = scratch_pool().acquire(value.shape)
+                        np.subtract(1.0, value, out=complement)
+                        buffer *= complement
+                        scratch_pool().release(complement)
+
+                    a._accumulate_pooled(
+                        out.grad.shape, fill,
+                        lambda: out.grad * value * (1.0 - value))
 
             return backward
 
@@ -617,7 +805,16 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    a._accumulate(out.grad * (1.0 - value ** 2))
+                    def fill(buffer: np.ndarray) -> None:
+                        complement = scratch_pool().acquire(value.shape)
+                        np.power(value, 2, out=complement)
+                        np.subtract(1.0, complement, out=complement)
+                        np.multiply(out.grad, complement, out=buffer)
+                        scratch_pool().release(complement)
+
+                    a._accumulate_pooled(
+                        out.grad.shape, fill,
+                        lambda: out.grad * (1.0 - value ** 2))
 
             return backward
 
@@ -634,8 +831,18 @@ class Tensor:
             def backward() -> None:
                 if a.requires_grad:
                     grad = np.asarray(out.grad, dtype=np.float64)
-                    dot = (grad * value).sum(axis=axis, keepdims=True)
-                    a._accumulate(value * (grad - dot))
+
+                    def fill(buffer: np.ndarray) -> None:
+                        np.multiply(grad, value, out=buffer)
+                        dot = buffer.sum(axis=axis, keepdims=True)
+                        np.subtract(grad, dot, out=buffer)
+                        buffer *= value
+
+                    def fallback() -> np.ndarray:
+                        dot = (grad * value).sum(axis=axis, keepdims=True)
+                        return value * (grad - dot)
+
+                    a._accumulate_pooled(grad.shape, fill, fallback)
 
             return backward
 
@@ -653,11 +860,44 @@ class Tensor:
             def backward() -> None:
                 if a.requires_grad:
                     grad = np.asarray(out.grad, dtype=np.float64)
-                    a._accumulate(grad - softmax_value * grad.sum(axis=axis, keepdims=True))
+
+                    def fill(buffer: np.ndarray) -> None:
+                        total = grad.sum(axis=axis, keepdims=True)
+                        np.multiply(softmax_value, total, out=buffer)
+                        np.subtract(grad, buffer, out=buffer)
+
+                    a._accumulate_pooled(
+                        grad.shape, fill,
+                        lambda: grad - softmax_value * grad.sum(axis=axis, keepdims=True))
 
             return backward
 
         return Tensor._make(value, (a,), factory)
+
+
+def _matmul_accumulate(target: "Tensor", left: np.ndarray, right: np.ndarray) -> None:
+    """Accumulate ``left @ right`` into ``target.grad`` via pooled scratch.
+
+    The matmul products of the linear-layer backward are the largest
+    per-step temporaries of FC models; computing them into a pooled buffer
+    (``np.matmul(..., out=...)`` runs the identical gufunc/BLAS kernel, so
+    values are bit-identical) makes the steady-state backward
+    allocation-free.  First accumulations adopt the pooled buffer as
+    ``.grad`` outright — ``backward()`` reclaims intermediate gradient
+    buffers into the pool once their closures have run, so adopted buffers
+    cycle instead of leaking.  Operand combinations the ``out=`` form
+    cannot take (1-D operands, non-float64 payloads) use the allocating
+    fallback.
+    """
+    if _ALLOC_FREE and left.ndim >= 2 and right.ndim >= 2 \
+            and left.dtype == np.float64 and right.dtype == np.float64:
+        shape = np.broadcast_shapes(left.shape[:-2], right.shape[:-2]) \
+            + (left.shape[-2], right.shape[-1])
+        target._accumulate_pooled(shape,
+                                  lambda out: np.matmul(left, right, out=out),
+                                  lambda: left @ right)
+    else:
+        target._accumulate(left @ right, owned=True)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

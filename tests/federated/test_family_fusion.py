@@ -1,0 +1,158 @@
+"""Family-level cohort fusion: unequal shard sizes fuse via masked padding.
+
+``cohort_fusion="family"`` relaxes the exact grouping key: pad-safe
+same-architecture devices fuse even when their shard sizes differ, through
+:meth:`FusedLocalTrainTask._train_padded` (masked cross-entropy, inactive
+slices frozen by optimizer snapshot/restore).  The documented numeric
+policy: family-padded runs match the per-device path to ~1e-9 relative
+(the masked sum reduces over the padded width), while cohorts that happen
+to have equal shard sizes keep the exact bitwise path.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_fedavg, build_fedprox
+from repro.datasets import SyntheticImageConfig, SyntheticImageGenerator
+from repro.federated import FederatedConfig, SchedulerConfig, ServerConfig
+from repro.models import FullyConnected, LeNet, ModelSpec, SimpleCNN
+from repro.nn import layers
+from repro.nn.batched import supports_padded_fusion
+
+SHAPE = (3, 8, 8)
+CLASSES = 4
+
+
+class TestPadSafety:
+    def test_per_sample_models_are_pad_safe(self):
+        assert supports_padded_fusion(
+            FullyConnected(SHAPE, CLASSES, hidden_sizes=(16,), seed=0))
+        assert supports_padded_fusion(
+            LeNet(SHAPE, CLASSES, conv_channels=(4,), fc_sizes=(16,), seed=0))
+
+    def test_batch_norm_vetoes_padding(self):
+        # SimpleCNN's BatchNorm2d mixes padded rows into the batch statistics.
+        model = SimpleCNN(SHAPE, CLASSES, channels=(4,), hidden_size=8, seed=0)
+        assert not supports_padded_fusion(model)
+
+    def test_active_dropout_vetoes_padding(self):
+        model = FullyConnected(SHAPE, CLASSES, hidden_sizes=(8,), seed=0)
+        model.network.append(layers.Dropout(0.5))
+        assert not supports_padded_fusion(model)
+        plain = FullyConnected(SHAPE, CLASSES, hidden_sizes=(8,), seed=0)
+        plain.network.append(layers.Dropout(0.0))
+        assert supports_padded_fusion(plain)
+
+
+class TestConfigValidation:
+    def test_family_is_accepted(self):
+        config = FederatedConfig(num_devices=2, rounds=1, cohort_fusion="family")
+        assert config.describe()["cohort_fusion"] == "family"
+
+    def test_other_strings_are_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(num_devices=2, rounds=1, cohort_fusion="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end parity
+# --------------------------------------------------------------------------- #
+_FC_SPEC = ModelSpec("fc", {"hidden_sizes": (24,)})
+
+
+def _data(train_size):
+    config = SyntheticImageConfig(name="family-rgb", num_classes=4, channels=3,
+                                  height=8, width=8, family_seed=37, noise_level=0.2,
+                                  max_shift=1, modes_per_class=1,
+                                  background_strength=0.2)
+    generator = SyntheticImageGenerator(config)
+    return generator.sample(train_size, seed=1), generator.sample(48, seed=2)
+
+
+def _config(fusion, num_devices, prox_mu=0.0):
+    return FederatedConfig(
+        num_devices=num_devices, rounds=2, local_epochs=1, batch_size=16,
+        device_lr=0.05, seed=9, prox_mu=prox_mu,
+        server=ServerConfig(distillation_iterations=2, batch_size=8, noise_dim=16,
+                            device_distill_lr=0.02),
+        scheduler=SchedulerConfig(),
+        cohort_fusion=fusion,
+    )
+
+
+def _canonical(history):
+    payload = history.to_dict()
+    payload["config"].pop("cohort_fusion", None)
+    return json.dumps(payload, default=float, sort_keys=True)
+
+
+def _run(fusion, train_size=130, num_devices=4, prox=False):
+    # 130 samples over 4 devices -> shard sizes {33, 33, 32, 32}: a family
+    # cohort with genuinely unequal shards (the padded loop must engage).
+    train, test = _data(train_size)
+    config = _config(fusion, num_devices, prox_mu=0.05 if prox else 0.0)
+    builder = build_fedprox if prox else build_fedavg
+    kwargs = {"prox_mu": 0.05} if prox else {}
+    with builder(train, test, config, model_spec=_FC_SPEC, **kwargs) as simulation:
+        return simulation.run()
+
+
+def _assert_close(a, b, path="$"):
+    assert type(a) is type(b), f"{path}: {type(a)} vs {type(b)}"
+    if isinstance(a, dict):
+        assert set(a) == set(b), f"{path}: keys differ"
+        for key in a:
+            _assert_close(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, list):
+        assert len(a) == len(b), f"{path}: lengths differ"
+        for index, (left, right) in enumerate(zip(a, b)):
+            _assert_close(left, right, f"{path}[{index}]")
+    elif isinstance(a, float):
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12, err_msg=path)
+    else:
+        assert a == b, f"{path}: {a!r} vs {b!r}"
+
+
+def test_family_key_groups_unequal_shards():
+    # Non-vacuousness guard: under "family" the group key drops shard size,
+    # so the 33- and 32-sample devices land in one cohort.
+    train, test = _data(130)
+    with build_fedavg(train, test, _config("family", 4),
+                      model_spec=_FC_SPEC) as simulation:
+        sizes = {len(device.dataset) for device in simulation.devices}
+        assert len(sizes) > 1
+        keys = {simulation._fusion_group_key(
+                    SimpleNamespace(device_id=device.device_id, digest=None))
+                for device in simulation.devices}
+        assert len(keys) == 1
+
+    with build_fedavg(*_data(130), _config(True, 4),
+                      model_spec=_FC_SPEC) as simulation:
+        keys = {simulation._fusion_group_key(
+                    SimpleNamespace(device_id=device.device_id, digest=None))
+                for device in simulation.devices}
+        assert len(keys) == 2  # exact mode still splits on shard size
+
+
+def test_family_history_matches_per_device_within_policy():
+    baseline = json.loads(_canonical(_run(False)))
+    family = json.loads(_canonical(_run("family")))
+    _assert_close(baseline, family)
+
+
+def test_family_with_prox_anchors_matches_within_policy():
+    baseline = json.loads(_canonical(_run(False, prox=True)))
+    family = json.loads(_canonical(_run("family", prox=True)))
+    _assert_close(baseline, family)
+
+
+def test_family_with_equal_shards_stays_bitwise():
+    # 128 over 4 devices -> equal shards: the family key still groups them
+    # but the run takes the exact (bitwise) loop.
+    assert (_canonical(_run(False, train_size=128))
+            == _canonical(_run("family", train_size=128)))

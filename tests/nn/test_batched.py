@@ -151,12 +151,19 @@ class TestFusionSignature:
     def test_model_without_fusion_layers_is_unfusable(self):
         assert fusion_signature(layers.Linear(4, 2)) is None
 
-    def test_dropout_makes_model_unfusable(self):
+    def test_dropout_is_fusable_but_training_requires_members(self):
+        # Dropout has an adapter (ISSUE 7): the model fuses, but *training*
+        # through the stacked dropout needs per-member models so each slice
+        # draws masks from its own device's RNG stream.
         model = FullyConnected(INPUT_SHAPE, NUM_CLASSES, hidden_sizes=(8,), seed=0)
         model.network.append(layers.Dropout(0.5))
-        assert fusion_signature(model) is None
+        assert fusion_signature(model) is not None
+        module = BatchedModule(model, [model.state_dict()])
+        x = np.zeros((1, 2) + INPUT_SHAPE)
         with pytest.raises(UnfusableModelError):
-            BatchedModule(model, [model.state_dict()])
+            module(Tensor(x))
+        module.eval()
+        assert module(Tensor(x)).data.shape == (1, 2, NUM_CLASSES)
 
 
 _DTYPES = st.sampled_from([np.float64, np.float32, np.int64])

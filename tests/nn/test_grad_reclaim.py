@@ -1,0 +1,63 @@
+"""Gradient-buffer reclaim semantics on the allocation-free path.
+
+After ``backward()``, intermediate gradients are released into the scratch
+pool (their ``.grad`` reads ``None``); leaves, the backward seed, and any
+node marked with ``retain_grad()`` keep theirs.  These tests pin that
+contract, and that the legacy allocate-per-op path computes bit-identical
+gradients — the toggle exists for measurement, not because values differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor, set_allocation_free, set_pooling
+
+
+def _small_graph(rng):
+    """A leaf -> two intermediates -> scalar loss chain."""
+    x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    hidden = (x * 2.0).relu()
+    scaled = hidden + 1.0
+    loss = scaled.sum()
+    return x, hidden, scaled, loss
+
+
+class TestReclaim:
+    def test_intermediate_grads_reclaimed_leaves_kept(self, rng):
+        x, hidden, scaled, loss = _small_graph(rng)
+        loss.backward()
+        assert x.grad is not None
+        assert hidden.grad is None
+        assert scaled.grad is None
+        # The seed tensor backward ran from keeps its gradient too.
+        assert loss.grad is not None
+
+    def test_retain_grad_keeps_intermediate(self, rng):
+        x, hidden, scaled, loss = _small_graph(rng)
+        hidden.retain_grad()
+        loss.backward()
+        assert hidden.grad is not None
+        assert scaled.grad is None
+        # d(loss)/d(hidden) = 1 everywhere (sum of hidden + 1.0).
+        np.testing.assert_array_equal(hidden.grad, np.ones_like(hidden.data))
+
+    def test_legacy_path_bit_identical(self, rng):
+        x0 = rng.normal(size=(5, 4))
+        x_fast = Tensor(x0.copy(), requires_grad=True)
+        loss_fast = ((x_fast * 2.0).relu() + 1.0).sum()
+        loss_fast.backward()
+        fast_grad = x_fast.grad.copy()
+
+        previous_alloc = set_allocation_free(False)
+        previous_pool = set_pooling(False)
+        try:
+            x_legacy = Tensor(x0.copy(), requires_grad=True)
+            loss_legacy = ((x_legacy * 2.0).relu() + 1.0).sum()
+            loss_legacy.backward()
+            legacy_grad = x_legacy.grad.copy()
+        finally:
+            set_allocation_free(previous_alloc)
+            set_pooling(previous_pool)
+
+        np.testing.assert_array_equal(fast_grad, legacy_grad)
