@@ -15,13 +15,22 @@ Subcommands
 ``repro experiment``
     Run one of the paper's table/figure experiments, printing the
     formatted rendering and optionally emitting per-variant JSON.
+``repro worker``
+    Run a remote worker daemon for the multi-node ``tcp://`` backend:
+    ``repro worker --connect HOST:PORT`` on any machine that can reach the
+    driver's blob server.
 ``repro list``
     List available strategies (with their capability declarations),
-    experiments, scales, backends, and schedulers.
+    experiments, scales, registered backends, and schedulers.
 
-Every subcommand accepts ``--backend serial|thread[:N]|process[:N]`` to select the
-execution engine; ``process`` fans device training (for ``run``) or whole
+Every subcommand accepts ``--backend`` with any registered backend spec
+(``serial``, ``thread[:N]``, ``process[:N]``, ``tcp://HOST:PORT[?workers=N]``,
+plus plugins registered via :func:`repro.federated.backend.register_backend`);
+``process`` and ``tcp`` fan device training (for ``run``) or whole
 experiment variants (for ``experiment``) out across worker processes.
+``repro run --transport-stats`` prints the backend's state-transport
+counters (bytes published/fetched/shipped, cache hit rates, per-label
+breakdown) after the run.
 ``repro run`` additionally accepts ``--scheduler sync|deadline|async``
 plus ``--deadline``, ``--buffer-size``, the device-heterogeneity knobs
 ``--speed-skew`` / ``--latency-mean`` / ``--dropout-rate``, and
@@ -43,7 +52,7 @@ from typing import List, Optional
 from . import __version__
 from .experiments.configs import SCALES
 from .experiments.runner import EXPERIMENTS, run_algorithm, run_experiment
-from .federated.backend import make_backend
+from .federated.backend import backend_descriptions, make_backend
 from .federated.strategies import get_strategy_class, strategy_capabilities, strategy_names
 from .utils.serialization import save_history_json
 
@@ -78,7 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--public-choice", default=None,
                             help="FedMD public dataset override (e.g. cifar100, svhn)")
     run_parser.add_argument("--backend", default="serial",
-                            help="execution backend: serial, thread[:N], or process[:N]")
+                            help="execution backend: serial, thread[:N], process[:N], "
+                                 "tcp://HOST:PORT[?workers=N], or any registered scheme")
+    run_parser.add_argument("--transport-stats", action="store_true",
+                            help="print the backend's state-transport counters "
+                                 "(bytes published/fetched/shipped, cache hit "
+                                 "rates, per-label breakdown) after the run")
     run_parser.add_argument("--cohort-fusion", nargs="?", const=True, default=False,
                             metavar="family",
                             help="fuse each round's same-architecture device cohort "
@@ -125,10 +139,60 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--output-dir", default=None,
                             help="emit per-variant JSON results into this directory")
 
+    # ------------------------------------------------------------- worker
+    worker_parser = subparsers.add_parser(
+        "worker", help="run a remote worker daemon for the tcp:// backend")
+    worker_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                               help="driver blob-server address to connect to")
+    worker_parser.add_argument("--cache-bytes", type=int, default=None,
+                               help="byte budget of the worker state/tensor caches")
+    worker_parser.add_argument("--patience", type=float, default=30.0,
+                               help="seconds to wait for the driver to start listening")
+    worker_parser.add_argument("--quiet", action="store_true",
+                               help="suppress status lines")
+
     # --------------------------------------------------------------- list
     subparsers.add_parser("list", help="list strategies, experiments, scales, and backends")
 
     return parser
+
+
+def _print_transport_stats(stats: dict) -> None:
+    """Render ``backend.transport_stats()`` the way ``--transport-stats`` shows it."""
+    print(f"\ntransport stats [{stats.get('backend', '?')}]:")
+    scalar_keys = [
+        "publishes", "published_bytes", "fetches", "fetched_bytes",
+        "task_bytes", "tasks_shipped", "context_published_bytes", "context_bytes",
+        "uploaded_bytes", "result_bytes", "result_refs_resolved",
+        "shipped_bytes", "inline_equivalent_bytes",
+        "refs_resolved", "hits", "misses", "hit_rate",
+        "pool_restarts", "server_starts", "workers_connected",
+        "worker_disconnects", "worker_restarts", "tasks_requeued",
+    ]
+    for key in scalar_keys:
+        if key not in stats:
+            continue
+        value = stats[key]
+        if key == "hit_rate":
+            rendered = "n/a" if value is None else f"{value:.3f}"
+        elif key.endswith("_bytes"):
+            rendered = f"{int(value):,}"
+        else:
+            rendered = str(value)
+        print(f"  {key:25s} {rendered}")
+    by_label = stats.get("by_label") or {}
+    if by_label:
+        print("  by label:")
+        for label in sorted(by_label):
+            bucket = by_label[label]
+            hit_rate = bucket.get("hit_rate")
+            rendered_rate = "n/a" if hit_rate is None else f"{hit_rate:.3f}"
+            print(f"    {label or '(unlabeled)':12s} "
+                  f"resolved={bucket.get('resolved', 0)} "
+                  f"publishes={bucket.get('publishes', 0)} "
+                  f"published_bytes={int(bucket.get('published_bytes', 0)):,} "
+                  f"fetched_bytes={int(bucket.get('fetched_bytes', 0)):,} "
+                  f"hit_rate={rendered_rate}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -167,6 +231,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     summary = history.summary()
     if not args.quiet:
         print(json.dumps(summary, indent=2, default=float))
+    if args.transport_stats:
+        # Safe after shutdown: backends snapshot their channel counters.
+        _print_transport_stats(backend.transport_stats())
     if args.output:
         path = save_history_json(history, args.output)
         if not args.quiet:
@@ -203,14 +270,31 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
         print(f"  {name:15s} {doc[0] if doc else ''}")
     print("\nscales: " + ", ".join(sorted(SCALES)))
-    print("backends: serial, thread, thread:N, process, process:N")
-    print("schedulers: sync, deadline, async")
+    print("\nbackends:")
+    for name, description in backend_descriptions().items():
+        print(f"  {name:15s} {description}")
+    print("\nschedulers: sync, deadline, async")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .net.worker import run_worker
+    from .net.wire import parse_hostport
+
+    try:
+        host, port = parse_hostport(args.connect)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    kwargs = {}
+    if args.cache_bytes is not None:
+        kwargs["cache_bytes"] = args.cache_bytes
+    return run_worker(host, port, patience=args.patience, quiet=args.quiet, **kwargs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "experiment": _cmd_experiment, "list": _cmd_list}
+    handlers = {"run": _cmd_run, "experiment": _cmd_experiment,
+                "list": _cmd_list, "worker": _cmd_worker}
     return handlers[args.command](args)
 
 

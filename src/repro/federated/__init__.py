@@ -13,7 +13,11 @@ from .backend import (
     SerialBackend,
     ThreadBackend,
     WorkerContext,
+    backend_descriptions,
+    backend_names,
+    get_backend_factory,
     make_backend,
+    register_backend,
 )
 from .config import (
     FederatedConfig,
@@ -60,6 +64,10 @@ __all__ = [
     "ProcessPoolBackend",
     "WorkerContext",
     "make_backend",
+    "register_backend",
+    "get_backend_factory",
+    "backend_names",
+    "backend_descriptions",
     "SchedulerConfig",
     "HeterogeneityConfig",
     "HeterogeneityModel",

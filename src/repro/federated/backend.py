@@ -65,8 +65,6 @@ from ..utils.serialization import (
     as_state_dict,
     pack_array_list,
     pack_state_dict,
-    unpack_array_list,
-    unpack_state_dict,
 )
 from .trainer import (
     DeviceTrainingConfig,
@@ -90,6 +88,10 @@ __all__ = [
     "ThreadBackend",
     "ProcessPoolBackend",
     "make_backend",
+    "register_backend",
+    "get_backend_factory",
+    "backend_names",
+    "backend_descriptions",
     "resolve_state",
     "resolve_arrays",
     "iter_state_refs",
@@ -216,9 +218,12 @@ class WorkerRuntime:
             self.cache.hits += 1
             return cached
         self.cache.misses += 1
-        blob = self.channel.fetch(ref.key, True)
-        value = (unpack_state_dict(blob) if ref.kind == "state"
-                 else unpack_array_list(blob))
+        payload = self.channel.fetch(ref.key, True)
+        # Channels return packed npz blobs (manager-served table) or live
+        # dicts/lists (the tcp:// channel assembles delta-encoded states
+        # worker-side); the coercions below accept both.
+        value = (as_state_dict(payload) if ref.kind == "state"
+                 else as_array_list(payload))
         self.cache.put(ref.key, value, ref.nbytes)
         return value
 
@@ -948,27 +953,75 @@ class ProcessPoolBackend(ExecutionBackend):
         return stats
 
 
-_BACKEND_KINDS = ("serial", "thread", "process")
+# --------------------------------------------------------------------------- #
+# Backend registry (mirrors the strategy registry in federated.strategies)
+# --------------------------------------------------------------------------- #
+#: name -> (factory(spec, max_workers) -> backend, one-line description).
+_BACKEND_REGISTRY: Dict[str, Tuple[Callable[[str, Optional[int]], ExecutionBackend], str]] = {}
+
+#: Backends that live in modules we do not want to import eagerly
+#: (``repro.net`` pulls in sockets/subprocess machinery): name ->
+#: ("module:factory", description), resolved on first use.
+_BUILTIN_BACKENDS: Dict[str, Tuple[str, str]] = {
+    "tcp": ("repro.net.backend:make_tcp_backend",
+            "multi-node over TCP: tcp://HOST:PORT (external workers) or "
+            "tcp://:PORT?workers=N (spawned localhost daemons)"),
+}
 
 
-def make_backend(spec: Optional[str] = None, max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend from a string spec, with uniform validation.
+def register_backend(name: str,
+                     factory: Callable[[str, Optional[int]], ExecutionBackend],
+                     *, description: str = "", replace: bool = False) -> None:
+    """Register a backend scheme with :func:`make_backend`.
 
-    ``None`` / ``"serial"`` → :class:`SerialBackend`;
-    ``"thread"`` / ``"thread:N"`` → :class:`ThreadBackend` with N threads;
-    ``"process"`` / ``"process:N"`` → :class:`ProcessPoolBackend` with N workers.
+    ``factory`` receives the *full* spec string (so schemes define their own
+    grammar after the name) and the ``max_workers`` override.  Third-party
+    schemes register exactly like the built-ins; ``repro list`` picks up
+    the description.
     """
-    if spec is None:
-        return SerialBackend()
-    kind, sep, argument = str(spec).partition(":")
-    if kind not in _BACKEND_KINDS:
-        raise ValueError(f"unknown backend spec {spec!r}; "
-                         "use 'serial', 'thread[:N]', or 'process[:N]'")
+    name = str(name)
+    if not replace and (name in _BACKEND_REGISTRY or name in _BUILTIN_BACKENDS):
+        raise ValueError(f"backend {name!r} is already registered; "
+                         "pass replace=True to override it")
+    _BUILTIN_BACKENDS.pop(name, None)
+    _BACKEND_REGISTRY[name] = (factory, description)
+
+
+def get_backend_factory(name: str) -> Callable[[str, Optional[int]], ExecutionBackend]:
+    """Resolve a registered backend factory (imports lazy built-ins)."""
+    entry = _BACKEND_REGISTRY.get(name)
+    if entry is not None:
+        return entry[0]
+    builtin = _BUILTIN_BACKENDS.get(name)
+    if builtin is not None:
+        import importlib
+
+        target, description = builtin
+        module_name, _, attribute = target.partition(":")
+        factory = getattr(importlib.import_module(module_name), attribute)
+        _BACKEND_REGISTRY[name] = (factory, description)
+        return factory
+    raise ValueError(f"unknown backend spec {name!r}; "
+                     f"registered backends: {', '.join(backend_names())}")
+
+
+def backend_names() -> List[str]:
+    """Sorted names of every registered backend scheme."""
+    return sorted(set(_BACKEND_REGISTRY) | set(_BUILTIN_BACKENDS))
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """name -> one-line description for every registered backend."""
+    merged = {name: description for name, (_, description) in _BUILTIN_BACKENDS.items()}
+    merged.update({name: description
+                   for name, (_, description) in _BACKEND_REGISTRY.items()})
+    return dict(sorted(merged.items()))
+
+
+def _parse_worker_count(spec: str, argument: str, has_argument: bool,
+                        max_workers: Optional[int]) -> Optional[int]:
     workers = max_workers
-    if sep:
-        if kind == "serial":
-            raise ValueError(f"invalid backend spec {spec!r}: "
-                             "'serial' does not take a worker count")
+    if has_argument:
         try:
             workers = int(argument)
         except ValueError:
@@ -977,8 +1030,47 @@ def make_backend(spec: Optional[str] = None, max_workers: Optional[int] = None) 
     if workers is not None and int(workers) < 1:
         raise ValueError(f"invalid backend spec {spec!r}: worker count must be a "
                          f"positive integer, got {workers}")
-    if kind == "serial":
+    return workers
+
+
+def _make_serial(spec: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+    _, sep, _ = str(spec).partition(":")
+    if sep:
+        raise ValueError(f"invalid backend spec {spec!r}: "
+                         "'serial' does not take a worker count")
+    return SerialBackend()
+
+
+def _make_thread(spec: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+    _, sep, argument = str(spec).partition(":")
+    return ThreadBackend(max_workers=_parse_worker_count(spec, argument, bool(sep), max_workers))
+
+
+def _make_process(spec: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+    _, sep, argument = str(spec).partition(":")
+    return ProcessPoolBackend(max_workers=_parse_worker_count(spec, argument, bool(sep), max_workers))
+
+
+register_backend("serial", _make_serial,
+                 description="in-process, zero-serialization (default)")
+register_backend("thread", _make_thread,
+                 description="thread pool sharing the in-process state table (thread[:N])")
+register_backend("process", _make_process,
+                 description="persistent process pool + manager-served blob table (process[:N])")
+
+
+def make_backend(spec: Optional[str] = None, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend from a string spec, with uniform validation.
+
+    ``None`` / ``"serial"`` → :class:`SerialBackend`;
+    ``"thread"`` / ``"thread:N"`` → :class:`ThreadBackend` with N threads;
+    ``"process"`` / ``"process:N"`` → :class:`ProcessPoolBackend` with N workers;
+    ``"tcp://HOST:PORT[?workers=N]"`` → the multi-node
+    :class:`~repro.net.backend.RemoteBackend`.  Additional schemes plug in
+    via :func:`register_backend`.
+    """
+    if spec is None:
         return SerialBackend()
-    if kind == "thread":
-        return ThreadBackend(max_workers=workers)
-    return ProcessPoolBackend(max_workers=workers)
+    spec = str(spec)
+    kind = spec.split("://", 1)[0] if "://" in spec else spec.partition(":")[0]
+    return get_backend_factory(kind)(spec, max_workers)

@@ -1,0 +1,34 @@
+"""``repro.net`` — multi-node execution over the ``StateChannel`` seam.
+
+A digest-keyed blob server hosted by the driver (:mod:`repro.net.server`),
+a remote worker daemon (:mod:`repro.net.worker`, ``repro worker --connect``)
+running the existing worker runtime against a network channel, and the
+``tcp://`` :class:`~repro.net.backend.RemoteBackend` tying them into the
+execution-backend seam — same tasks, same content-addressed transport,
+bit-identical histories.
+"""
+
+from .backend import RemoteBackend, make_tcp_backend
+from .server import BlobServer, DriverChannel
+from .service import BlobService, DispatchBatch, Dispatcher, RemoteTaskError
+from .wire import Connection, pack_tensor, parse_hostport, tensor_digest, unpack_tensor
+
+# NOTE: repro.net.worker is intentionally NOT imported here — the worker
+# daemon is launched as ``python -m repro.net.worker`` and importing it from
+# the package __init__ would shadow that runpy entry point.
+
+__all__ = [
+    "RemoteBackend",
+    "make_tcp_backend",
+    "BlobServer",
+    "DriverChannel",
+    "BlobService",
+    "Dispatcher",
+    "DispatchBatch",
+    "RemoteTaskError",
+    "Connection",
+    "pack_tensor",
+    "unpack_tensor",
+    "tensor_digest",
+    "parse_hostport",
+]

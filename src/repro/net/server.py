@@ -1,0 +1,264 @@
+"""The driver's TCP endpoint: blob server + task feed, and its local channel.
+
+:class:`BlobServer` is a threaded stdlib ``socketserver`` speaking the
+length-prefixed message protocol of :mod:`repro.net.wire`.  Each worker
+connection is one handler thread running a request/reply loop against the
+shared :class:`~repro.net.service.BlobService` (manifests + tensor blobs +
+worker context) and :class:`~repro.net.service.Dispatcher` (task leases).
+A connection that drops — worker crash, network partition — releases its
+leases on the way out, so its in-flight tasks are re-dispatched to the
+surviving workers instead of hanging the round.
+
+:class:`DriverChannel` is the driver-side
+:class:`~repro.utils.serialization.StateChannel` over the *same* service
+object, no sockets involved.  In delta mode it advertises
+``accepts_objects`` so the :class:`~repro.utils.serialization.StateStore`
+hands it live state dicts, which it decomposes into per-tensor blobs keyed
+by content digest: publishing a state whose tensors mostly kept their
+digests stores (and later ships) only the changed tensors plus a small
+manifest.  ``publish`` returns the wire-equivalent byte count so the
+store's ``published_bytes`` reflects delta savings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import socketserver
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.serialization import pack_array_list, pack_state_dict
+from .service import BlobService, Dispatcher
+from .wire import pack_tensor, recv_msg, send_msg, tensor_digest, unpack_tensor
+
+__all__ = ["BlobServer", "DriverChannel", "serve_in_thread"]
+
+#: Results whose state payload is at least this large come back as refs
+#: (the worker publishes the state into the blob table and ships a
+#: :class:`StateRef` instead of inline bytes).
+DEFAULT_RESULT_REF_THRESHOLD = 1 * 1024 * 1024
+
+
+# --------------------------------------------------------------------------- #
+# Driver-side channel (in-process; serves the StateStore seam)
+# --------------------------------------------------------------------------- #
+class DriverChannel:
+    """The RemoteBackend's :class:`StateChannel` over the shared service.
+
+    Delta mode (the default) sets ``accepts_objects`` so the store skips
+    npz packing and ``publish`` receives live dicts/lists; non-delta mode
+    receives packed blobs and stores them whole — the benchmark baseline.
+    """
+
+    def __init__(self, service: BlobService, delta: bool = True) -> None:
+        self._service = service
+        self.delta = bool(delta)
+        #: Consulted by :class:`StateStore`: live objects wanted, not npz.
+        self.accepts_objects = self.delta
+
+    # ------------------------------------------------------------------ #
+    def publish(self, key: str, payload, label: str = "") -> int:
+        """Store ``payload`` under ``key``; returns wire-equivalent bytes
+        (new tensor blobs + manifest for delta publishes, blob size
+        otherwise) for the store's ``published_bytes`` accounting."""
+        if isinstance(payload, bytes):
+            return self._service.put_manifest(key, "blob", payload, label)
+        if isinstance(payload, dict):
+            container = "dict"
+            named = list(payload.items())
+        else:
+            container = "list"
+            named = [(str(index), array) for index, array in enumerate(payload)]
+        entries = [(name, tensor_digest(array)) for name, array in named]
+        new_bytes = 0
+        by_digest = {digest: array for (_, array), (_, digest) in zip(named, entries)}
+        for digest in self._service.missing_tensors(list(by_digest)):
+            blob = pack_tensor(by_digest[digest])
+            if self._service.put_tensor(digest, blob):
+                new_bytes += len(blob)
+        manifest_bytes = self._service.put_manifest(key, container, entries, label)
+        return new_bytes + manifest_bytes
+
+    def fetch(self, key: str, count: bool = True):
+        """Materialize ``key`` driver-side: packed bytes for blob entries,
+        an assembled live dict/list for delta entries."""
+        container, entries = self._service.get_manifest(key, count=count)
+        if container == "blob":
+            return entries
+        arrays = [(name, unpack_tensor(self._service.get_tensor(digest, count=count)))
+                  for name, digest in entries]
+        if container == "dict":
+            return {name: array for name, array in arrays}
+        return [array for _, array in arrays]
+
+    def drop(self, keys: Sequence[str]) -> None:
+        self._service.drop(list(keys))
+
+    def stats(self) -> Dict[str, object]:
+        return self._service.stats()
+
+    def close(self) -> None:  # the service lives in-process; nothing to release
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# The TCP server
+# --------------------------------------------------------------------------- #
+class _WorkerHandler(socketserver.BaseRequestHandler):
+    """One worker connection: a sequential request/reply loop."""
+
+    def handle(self) -> None:
+        server: "BlobServer" = self.server  # type: ignore[assignment]
+        connection_id = next(server.connection_ids)
+        registered = False
+        try:
+            while not server.closing:
+                try:
+                    message = recv_msg(self.request)
+                except (ConnectionError, OSError):
+                    break
+                try:
+                    reply = self._dispatch(server, connection_id, message)
+                except KeyError as exc:
+                    reply = ("error", "KeyError", str(exc))
+                except Exception as exc:  # noqa: BLE001 — reply, don't kill the loop
+                    reply = ("error", type(exc).__name__, str(exc))
+                if message[0] == "hello" and not registered:
+                    registered = True
+                    with server.lock:
+                        server.counters["connections_total"] += 1
+                        server.counters["workers_connected"] += 1
+                try:
+                    send_msg(self.request, reply)
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            requeued = server.dispatcher.release_connection(connection_id)
+            with server.lock:
+                if registered:
+                    server.counters["workers_connected"] -= 1
+                    server.counters["disconnects"] += 1
+                if requeued:
+                    server.counters["tasks_requeued"] += requeued
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, server: "BlobServer", connection_id: int, message):
+        service = server.service
+        dispatcher = server.dispatcher
+        op = message[0]
+        if op == "task":
+            leased = dispatcher.next_task(connection_id, timeout=server.task_poll_seconds)
+            if leased == Dispatcher.SHUTDOWN or leased == Dispatcher.EMPTY:
+                return leased
+            lease_id, payload = leased
+            return ("task", lease_id, payload)
+        if op == "result":
+            _, lease_id, blob = message
+            with server.lock:
+                server.counters["results_received"] += 1
+                server.counters["result_bytes"] += len(blob)
+            dispatcher.complete(lease_id, True, pickle.loads(blob))
+            return ("ok",)
+        if op == "task_error":
+            _, lease_id, text = message
+            dispatcher.complete(lease_id, False, text)
+            return ("ok",)
+        if op == "manifest":
+            _, key, count = message
+            container, entries = service.get_manifest(key, count=count)
+            label = server.manifest_label(key)
+            return ("manifest", container, entries, label)
+        if op == "tensor":
+            _, digest, count, label = message
+            return ("tensor", service.get_tensor(digest, count=count, label=label))
+        if op == "missing":
+            return ("missing", service.missing_tensors(message[1]))
+        if op == "put_tensor":
+            _, digest, blob = message
+            service.put_tensor(digest, blob, count_upload=True)
+            return ("ok",)
+        if op == "put_manifest":
+            _, key, container, entries, label = message
+            service.put_manifest(key, container, entries, label, count_upload=True)
+            return ("ok",)
+        if op == "drop":
+            service.drop(message[1])
+            return ("ok",)
+        if op == "context":
+            version, blob = service.get_context(message[1])
+            return ("context", version, blob)
+        if op == "hello":
+            return ("welcome", dict(server.settings))
+        if op == "stats":
+            return ("stats", service.stats())
+        if op == "ping":
+            return ("ok",)
+        raise ValueError(f"unknown wire op {op!r}")
+
+
+class BlobServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server wiring worker connections to the shared state."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: BlobService,
+                 dispatcher: Dispatcher, *, delta: bool = True,
+                 result_ref_threshold: int = DEFAULT_RESULT_REF_THRESHOLD,
+                 task_poll_seconds: float = 1.0) -> None:
+        super().__init__(address, _WorkerHandler)
+        self.service = service
+        self.dispatcher = dispatcher
+        self.task_poll_seconds = float(task_poll_seconds)
+        self.settings = {"delta": bool(delta),
+                         "result_ref_threshold": int(result_ref_threshold)}
+        self.connection_ids = itertools.count(1)
+        self.lock = threading.Lock()
+        self.closing = False
+        self.counters: Dict[str, int] = {
+            "connections_total": 0, "workers_connected": 0, "disconnects": 0,
+            "tasks_requeued": 0, "results_received": 0, "result_bytes": 0,
+        }
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def manifest_label(self, key: str) -> str:
+        """The label a manifest was published under (for tensor accounting)."""
+        with self.service._lock:
+            manifest = self.service._manifests.get(key)
+            return manifest[2] if manifest is not None else ""
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        with self.lock:
+            return dict(self.counters)
+
+    def close(self) -> None:
+        self.closing = True
+        self.shutdown()
+        self.server_close()
+
+
+def serve_in_thread(server: BlobServer) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread; returns the thread."""
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.1},
+                              name="repro-blob-server", daemon=True)
+    thread.start()
+    return thread
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side publish helper (shared with repro.net.worker)
+# --------------------------------------------------------------------------- #
+def pack_whole_payload(payload) -> bytes:
+    """Pack a live dict/list to the npz wire format (non-delta publishes)."""
+    if isinstance(payload, bytes):
+        return payload
+    if isinstance(payload, dict):
+        return pack_state_dict(payload)
+    return pack_array_list([np.asarray(array) for array in payload])

@@ -159,16 +159,21 @@ class StateChannel:
     """Transport seam between the driver's store and worker-side caches.
 
     The driver publishes each payload once; a worker that misses its local
-    cache fetches the blob once.  Two implementations ship —
+    cache fetches the blob once.  Three implementations ship —
     :class:`InProcessStateTable` (serial/thread backends: the table *is*
-    the cache, nothing is ever packed) and the process-pool backend's
-    manager-served blob table (:mod:`repro.federated.backend`).  A future
-    multi-node backend implements this same interface over the network
-    (e.g. publish → object store / broadcast, fetch → HTTP GET by digest).
+    the cache, nothing is ever packed), the process-pool backend's
+    manager-served blob table (:mod:`repro.federated.backend`), and the
+    multi-node ``tcp://`` channel pair (:mod:`repro.net`: the driver's
+    delta-encoding blob table plus the workers' socket client).
     """
 
-    def publish(self, key: str, payload, label: str = "") -> None:
-        """Make ``payload`` fetchable under ``key`` (idempotent per key)."""
+    def publish(self, key: str, payload, label: str = "") -> Optional[int]:
+        """Make ``payload`` fetchable under ``key`` (idempotent per key).
+
+        May return the wire-equivalent byte count of the publish (channels
+        that encode payloads themselves, e.g. delta publishers); ``None``
+        means the store falls back to the packed blob size.
+        """
         raise NotImplementedError
 
     def fetch(self, key: str, count: bool = True):
@@ -259,6 +264,10 @@ class StateStore:
     def __init__(self, channel: StateChannel, ships: bool = False) -> None:
         self.channel = channel
         self.ships = bool(ships)
+        # Channels that advertise ``accepts_objects`` want live dicts/lists
+        # even when payloads will cross a boundary — they do their own wire
+        # encoding (e.g. the tcp:// channel's per-tensor delta packing).
+        self.packs = self.ships and not getattr(channel, "accepts_objects", False)
         self.round_version = 0
         # key -> [round_version, nbytes, label] for everything currently
         # published (the driver's view of the channel contents).
@@ -289,9 +298,15 @@ class StateStore:
             return StateRef(key=key, round_version=self.round_version,
                             kind=kind, nbytes=entry[1], label=label)
         payload = make_payload()
-        self.channel.publish(key, payload, label)
+        shipped = self.channel.publish(key, payload, label)
         self._published[key] = [self.round_version, nbytes, label]
-        published = len(payload) if isinstance(payload, bytes) else 0
+        # Channels may return the wire-equivalent byte count of the publish
+        # (delta-encoding channels ship less than the payload size); the
+        # fallback is the packed blob size, zero for live in-process objects.
+        if isinstance(shipped, int) and not isinstance(shipped, bool):
+            published = shipped
+        else:
+            published = len(payload) if isinstance(payload, bytes) else 0
         self._counters["publishes"] += 1
         self._counters["published_bytes"] += published
         bucket = self._label_bucket(label)
@@ -305,7 +320,7 @@ class StateStore:
         key = state_digest(state)
         nbytes = int(sum(np.asarray(value).nbytes for value in state.values()))
         return self._put(key, "state", nbytes, label,
-                         lambda: pack_state_dict(state) if self.ships else state)
+                         lambda: pack_state_dict(state) if self.packs else state)
 
     def put_arrays(self, arrays: Sequence[np.ndarray], label: str = "") -> StateRef:
         """Publish an ordered array list (anchor, consensus, batches, ...)."""
@@ -314,7 +329,7 @@ class StateStore:
         key = state_digest(canonical, kind="arrays")
         nbytes = int(sum(array.nbytes for array in canonical.values()))
         return self._put(key, "arrays", nbytes, label,
-                         lambda: pack_array_list(arrays) if self.ships else arrays)
+                         lambda: pack_array_list(arrays) if self.packs else arrays)
 
     # ------------------------------------------------------------------ #
     def get(self, ref: StateRef):

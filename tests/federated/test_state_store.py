@@ -190,6 +190,86 @@ class TestLRUStateCache:
         cache.put("big", "payload", 10_000)
         assert cache.get("big") == "payload"
 
+    def test_oversize_entry_displaces_everything_but_is_served(self):
+        """An entry larger than the whole byte budget evicts the rest but is
+        itself retained and served (refusing it would force a re-fetch on
+        every resolve of the largest state in the run)."""
+        cache = LRUStateCache(max_bytes=100)
+        cache.put("a", "payload-a", 40)
+        cache.put("b", "payload-b", 40)
+        cache.put("huge", "payload-huge", 400)
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.get("huge") == "payload-huge"
+        assert len(cache) == 1 and cache.nbytes == 400
+        # The next put pushes the oversize entry out and restores the bound.
+        cache.put("c", "payload-c", 40)
+        assert cache.get("huge") is None
+        assert cache.get("c") == "payload-c"
+        assert cache.nbytes <= 100
+
+    def test_eviction_order_tracks_interleaved_hits(self):
+        """Eviction follows true recency (hits refresh), not insertion order."""
+        cache = LRUStateCache(max_bytes=120)
+        cache.put("a", "A", 40)
+        cache.put("b", "B", 40)
+        cache.put("c", "C", 40)       # oldest-first recency: a, b, c
+        assert cache.get("a") == "A"  # recency: b, c, a
+        assert cache.get("b") == "B"  # recency: c, a, b
+        cache.put("d", "D", 40)       # evicts c — insertion-order would evict a
+        assert cache.get("c") is None
+        assert cache.get("a") == "A"  # recency: b, d, a
+        cache.put("e", "E", 40)       # evicts b
+        assert cache.get("b") is None
+        assert cache.get("d") == "D"
+        assert cache.get("a") == "A"
+        assert cache.get("e") == "E"
+        assert cache.nbytes <= 120
+
+    def test_reput_of_same_key_replaces_bytes_in_place(self):
+        cache = LRUStateCache(max_bytes=100)
+        cache.put("k", "small", 10)
+        cache.put("k", "bigger", 90)
+        assert cache.get("k") == "bigger"
+        assert cache.nbytes == 90 and len(cache) == 1
+
+
+def test_refetch_after_grace_window_drop_is_clean():
+    """A worker that evicted a payload from its LRU cache re-fetches by key.
+    If the round lifecycle has meanwhile dropped that key (published two or
+    more rounds ago, i.e. past the one-round grace window), the next round's
+    re-put of the same content — same digest, hence the same key — must make
+    the re-fetch succeed cleanly rather than KeyError."""
+    from repro.federated.backend import WorkerRuntime
+
+    table = InProcessStateTable()
+    store = StateStore(table)
+    runtime = WorkerRuntime(channel=table, cache_bytes=64)
+
+    store.advance_round(1)
+    state = _state(0)
+    ref = store.put_state(state, label="device")
+    np.testing.assert_array_equal(runtime.resolve(ref)["w"], state["w"])
+    assert runtime.cache.misses == 1
+
+    # Two rounds later the channel entry is gone (past the grace window) ...
+    store.advance_round(2)
+    store.advance_round(3)
+    with pytest.raises(KeyError):
+        table.fetch(ref.key)
+    # ... but the worker's cached copy still resolves without a fetch.
+    assert runtime.resolve(ref) is not None
+    assert runtime.cache.hits == 1
+
+    # Now the cache evicts it too (a bigger payload displaces it), and the
+    # new round re-publishes identical content under the identical key.
+    runtime.cache.put("filler", "x", 10_000)
+    assert runtime.cache.get(ref.key) is None
+    fresh = store.put_state(_state(0), label="device")
+    assert fresh.key == ref.key  # content-addressed: the digest is the key
+    restored = runtime.resolve(ref)
+    np.testing.assert_array_equal(restored["w"], state["w"])
+    assert runtime.cache.misses == 2  # cold fetch + post-eviction re-fetch
+
 
 # --------------------------------------------------------------------------- #
 # Backend integration
@@ -343,6 +423,58 @@ class TestMakeBackendValidation:
     def test_serial_with_count_rejected(self):
         with pytest.raises(ValueError, match="does not take a worker count"):
             make_backend("serial:2")
+
+
+class TestBackendRegistry:
+    def test_builtin_schemes_are_registered(self):
+        from repro.federated import backend_names
+
+        names = backend_names()
+        for expected in ("serial", "thread", "process", "tcp"):
+            assert expected in names
+
+    def test_descriptions_cover_every_registered_name(self):
+        from repro.federated import backend_descriptions, backend_names
+
+        descriptions = backend_descriptions()
+        assert sorted(descriptions) == backend_names()
+        assert all(descriptions.values())  # every backend documents itself
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        from repro.federated import register_backend
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", lambda spec, max_workers: SerialBackend())
+        # The lazily-imported builtins are protected too.
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("tcp", lambda spec, max_workers: SerialBackend())
+
+    def test_registered_scheme_is_reachable_through_make_backend(self):
+        from repro.federated import register_backend
+        from repro.federated.backend import _BACKEND_REGISTRY
+
+        calls = {}
+
+        def factory(spec, max_workers):
+            calls["spec"] = spec
+            calls["max_workers"] = max_workers
+            return SerialBackend()
+
+        register_backend("loopback", factory, description="test-only scheme")
+        try:
+            # Factories receive the *full* spec: both the bare-name form and
+            # the scheme://... form route on the part before '://' or ':'.
+            assert isinstance(make_backend("loopback"), SerialBackend)
+            assert calls["spec"] == "loopback"
+            make_backend("loopback://somewhere:9?x=1", max_workers=4)
+            assert calls["spec"] == "loopback://somewhere:9?x=1"
+            assert calls["max_workers"] == 4
+        finally:
+            _BACKEND_REGISTRY.pop("loopback", None)
+
+    def test_unknown_scheme_error_lists_registered_backends(self):
+        with pytest.raises(ValueError, match="registered backends.*serial"):
+            make_backend("udp://:0")
 
 
 def test_process_map_requires_explicit_start():

@@ -1,0 +1,108 @@
+"""Wire-protocol primitives: framing, tensor codec, address parsing."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net.wire import (
+    Connection,
+    pack_tensor,
+    parse_hostport,
+    recv_frame,
+    recv_msg,
+    send_frame,
+    send_msg,
+    tensor_digest,
+    unpack_tensor,
+)
+
+pytestmark = pytest.mark.net
+
+
+def test_frame_round_trip():
+    left, right = socket.socketpair()
+    try:
+        send_frame(left, b"hello blobs")
+        assert recv_frame(right) == b"hello blobs"
+        send_msg(right, ("task", 7, {"nested": [1, 2]}))
+        assert recv_msg(left) == ("task", 7, {"nested": [1, 2]})
+    finally:
+        left.close()
+        right.close()
+
+
+def test_recv_frame_raises_on_peer_close():
+    left, right = socket.socketpair()
+    left.close()
+    try:
+        with pytest.raises(ConnectionError):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+@pytest.mark.parametrize("array", [
+    np.arange(12, dtype=np.float64).reshape(3, 4),
+    np.asfortranarray(np.arange(12, dtype=np.float32).reshape(3, 4)),
+    np.array([], dtype=np.int64),
+    np.array(3.5),
+])
+def test_tensor_codec_is_lossless(array):
+    restored = unpack_tensor(pack_tensor(array))
+    np.testing.assert_array_equal(restored, array)
+    assert restored.dtype == array.dtype
+    assert restored.shape == array.shape
+
+
+def test_tensor_digest_is_name_free_and_content_sensitive():
+    a = np.arange(6, dtype=np.float64)
+    b = np.arange(6, dtype=np.float64)
+    assert tensor_digest(a) == tensor_digest(b)
+    assert tensor_digest(a) != tensor_digest(a + 1)
+    assert tensor_digest(a) != tensor_digest(a.astype(np.float32))
+    assert tensor_digest(a) != tensor_digest(a.reshape(2, 3))
+
+
+def test_parse_hostport():
+    assert parse_hostport("example.org:5000") == ("example.org", 5000)
+    assert parse_hostport(":5000") == ("127.0.0.1", 5000)
+    with pytest.raises(ValueError):
+        parse_hostport("no-port")
+    with pytest.raises(ValueError):
+        parse_hostport("host:not-a-port")
+    with pytest.raises(ValueError):
+        parse_hostport("host:99999")
+
+
+def test_connection_retries_until_server_listens():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()  # free the port; the server thread rebinds it shortly
+
+    def serve_one():
+        server = socket.socket()
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", port))
+        server.listen(1)
+        conn, _ = server.accept()
+        send_msg(conn, ("pong",))
+        conn.close()
+        server.close()
+
+    thread = threading.Thread(target=serve_one, daemon=True)
+    connection = Connection("127.0.0.1", port, backoff=0.01)
+    # Start connecting before the listener exists: connect() must wait.
+    thread.start()
+    connection.connect(patience=5.0)
+    try:
+        assert connection.is_connected
+        send_msg(connection._sock, ("ping",))
+        assert recv_msg(connection._sock) == ("pong",)
+    finally:
+        connection.close()
+        thread.join(timeout=5.0)

@@ -48,6 +48,42 @@ def test_parser_scheduler_flags():
         parser.parse_args(["run", "mnist", "--scheduler", "bogus"])
 
 
+def test_parser_worker_subcommand():
+    parser = cli.build_parser()
+    args = parser.parse_args(["worker", "--connect", "10.0.0.5:7000"])
+    assert args.command == "worker"
+    assert args.connect == "10.0.0.5:7000"
+    assert args.cache_bytes is None and args.patience == 30.0 and not args.quiet
+    args = parser.parse_args(["worker", "--connect", ":7000",
+                              "--cache-bytes", "1048576", "--patience", "5",
+                              "--quiet"])
+    assert args.cache_bytes == 1048576 and args.patience == 5.0 and args.quiet
+    with pytest.raises(SystemExit):  # --connect is mandatory
+        parser.parse_args(["worker"])
+
+
+def test_worker_command_rejects_malformed_address():
+    with pytest.raises(SystemExit, match="HOST:PORT"):
+        cli.main(["worker", "--connect", "no-port-here"])
+
+
+def test_parser_transport_stats_flag():
+    parser = cli.build_parser()
+    assert parser.parse_args(["run", "mnist"]).transport_stats is False
+    assert parser.parse_args(["run", "mnist", "--transport-stats"]).transport_stats
+
+
+def test_run_command_prints_transport_stats(monkeypatch, tmp_path, capsys):
+    monkeypatch.setitem(cli.SCALES, "tiny", MICRO_SCALE)
+    code = cli.main(["run", "mnist", "--scale", "tiny", "--rounds", "1",
+                     "--backend", "thread:2", "--transport-stats", "--quiet"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "transport stats [thread]" in out
+    assert "refs_resolved" in out
+    assert "by label:" in out
+
+
 def test_version_flag(capsys):
     import repro
 
@@ -123,7 +159,18 @@ def test_list_command(capsys):
     out = capsys.readouterr().out
     assert "table1" in out
     assert "fig7" in out
-    assert "serial, thread, thread:N, process, process:N" in out
+
+
+def test_list_command_enumerates_backend_registry(capsys):
+    from repro.federated import backend_descriptions
+
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "backends:" in out
+    for name, description in backend_descriptions().items():
+        assert name in out
+        assert description in out
+    assert "tcp" in out  # the multi-node scheme is registered out of the box
 
 
 def test_list_command_enumerates_strategy_registry(capsys):
