@@ -148,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="byte budget of the worker state/tensor caches")
     worker_parser.add_argument("--patience", type=float, default=30.0,
                                help="seconds to wait for the driver to start listening")
+    worker_parser.add_argument("--secret", default=None,
+                               help="shared secret for the driver handshake "
+                                    "(default: the REPRO_NET_SECRET env var)")
     worker_parser.add_argument("--quiet", action="store_true",
                                help="suppress status lines")
 
@@ -288,7 +291,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.cache_bytes is not None:
         kwargs["cache_bytes"] = args.cache_bytes
-    return run_worker(host, port, patience=args.patience, quiet=args.quiet, **kwargs)
+    return run_worker(host, port, patience=args.patience, quiet=args.quiet,
+                      secret=args.secret, **kwargs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

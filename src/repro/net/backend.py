@@ -25,6 +25,8 @@ Spec grammar (``make_tcp_backend``)::
     ...&delta=0                  disable delta-encoded publishes (benchmark baseline)
     ...&refs=BYTES               result-ref threshold (default 1 MiB)
     ...&cache=BYTES              worker cache budget
+    ...&secret=TOKEN             shared handshake secret workers must present
+                                 (default: the REPRO_NET_SECRET env var)
 """
 
 from __future__ import annotations
@@ -96,9 +98,11 @@ class RemoteBackend(ExecutionBackend):
                  cache_bytes: int = DEFAULT_WORKER_CACHE_BYTES,
                  result_ref_threshold: int = DEFAULT_RESULT_REF_THRESHOLD,
                  max_worker_restarts: int = 3,
-                 worker_patience: float = 30.0) -> None:
+                 worker_patience: float = 30.0,
+                 secret: Optional[str] = None) -> None:
         if int(workers) < 0:
             raise ValueError("workers must be >= 0")
+        self.secret = secret
         self.host = host
         self.bind_port = int(port)
         self.workers = int(workers)
@@ -143,7 +147,8 @@ class RemoteBackend(ExecutionBackend):
         self._dispatcher = Dispatcher()
         self._server = BlobServer(
             (self.host, self.bind_port), self._service, self._dispatcher,
-            delta=self.delta, result_ref_threshold=self.result_ref_threshold)
+            delta=self.delta, result_ref_threshold=self.result_ref_threshold,
+            secret=self.secret)
         self._server_thread = serve_in_thread(self._server)
         self._channel = DriverChannel(self._service, delta=self.delta)
         self.state_store = StateStore(self._channel, ships=True)
@@ -158,6 +163,9 @@ class RemoteBackend(ExecutionBackend):
         env = dict(os.environ)
         existing = env.get("PYTHONPATH", "")
         env["PYTHONPATH"] = (src_dir + os.pathsep + existing) if existing else src_dir
+        if self.secret is not None:
+            # Via the environment, not argv: command lines are world-readable.
+            env["REPRO_NET_SECRET"] = self.secret
         command = [sys.executable, "-m", "repro.net.worker",
                    "--connect", f"127.0.0.1:{self._server.port}",
                    "--cache-bytes", str(self.cache_bytes),
@@ -371,7 +379,7 @@ def make_tcp_backend(spec: str, max_workers: Optional[int] = None) -> RemoteBack
                          "(use tcp://:0 for an ephemeral port)")
     host = parsed.hostname or "127.0.0.1"
     query = parse_qs(parsed.query, keep_blank_values=True)
-    unknown = set(query) - {"workers", "delta", "refs", "cache"}
+    unknown = set(query) - {"workers", "delta", "refs", "cache", "secret"}
     if unknown:
         raise ValueError(f"invalid backend spec {spec!r}: unknown option(s) "
                          f"{', '.join(sorted(unknown))}")
@@ -384,5 +392,8 @@ def make_tcp_backend(spec: str, max_workers: Optional[int] = None) -> RemoteBack
                  if "refs" in query else DEFAULT_RESULT_REF_THRESHOLD)
     cache = (_parse_int(spec, "cache", query["cache"][-1], minimum=1)
              if "cache" in query else DEFAULT_WORKER_CACHE_BYTES)
+    secret = (query["secret"][-1] if "secret" in query
+              else os.environ.get("REPRO_NET_SECRET")) or None
     return RemoteBackend(host=host, port=port, workers=workers, delta=delta,
-                         cache_bytes=cache, result_ref_threshold=threshold)
+                         cache_bytes=cache, result_ref_threshold=threshold,
+                         secret=secret)

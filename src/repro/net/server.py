@@ -26,6 +26,7 @@ import itertools
 import pickle
 import socketserver
 import threading
+import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,10 @@ __all__ = ["BlobServer", "DriverChannel", "serve_in_thread"]
 #: (the worker publishes the state into the blob table and ships a
 #: :class:`StateRef` instead of inline bytes).
 DEFAULT_RESULT_REF_THRESHOLD = 1 * 1024 * 1024
+
+
+def _is_loopback(host: str) -> bool:
+    return host in ("127.0.0.1", "localhost", "::1") or host.startswith("127.")
 
 
 # --------------------------------------------------------------------------- #
@@ -58,6 +63,7 @@ class DriverChannel:
         self.delta = bool(delta)
         #: Consulted by :class:`StateStore`: live objects wanted, not npz.
         self.accepts_objects = self.delta
+        self._publish_tokens = itertools.count()
 
     # ------------------------------------------------------------------ #
     def publish(self, key: str, payload, label: str = "") -> int:
@@ -75,11 +81,20 @@ class DriverChannel:
         entries = [(name, tensor_digest(array)) for name, array in named]
         new_bytes = 0
         by_digest = {digest: array for (_, array), (_, digest) in zip(named, entries)}
-        for digest in self._service.missing_tensors(list(by_digest)):
-            blob = pack_tensor(by_digest[digest])
-            if self._service.put_tensor(digest, blob):
-                new_bytes += len(blob)
-        manifest_bytes = self._service.put_manifest(key, container, entries, label)
+        # Pin across the check → upload → bind sequence so a concurrent drop
+        # (another handler thread serving a worker's "drop") cannot GC a
+        # tensor this publish verified present.  put_manifest releases.
+        token = ("driver-publish", next(self._publish_tokens))
+        try:
+            for digest in self._service.missing_tensors(list(by_digest), pin_for=token):
+                blob = pack_tensor(by_digest[digest])
+                if self._service.put_tensor(digest, blob, pin_for=token):
+                    new_bytes += len(blob)
+            manifest_bytes = self._service.put_manifest(key, container, entries, label,
+                                                        pin_for=token)
+        except BaseException:
+            self._service.release_pins(token)
+            raise
         return new_bytes + manifest_bytes
 
     def fetch(self, key: str, count: bool = True):
@@ -114,12 +129,24 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
         server: "BlobServer" = self.server  # type: ignore[assignment]
         connection_id = next(server.connection_ids)
         registered = False
+        authenticated = server.secret is None
         try:
             while not server.closing:
                 try:
                     message = recv_msg(self.request)
                 except (ConnectionError, OSError):
                     break
+                if not authenticated and message[0] != "hello":
+                    self._refuse("unauthenticated connection; send hello with "
+                                 "the shared secret first")
+                    break
+                if message[0] == "hello" and server.secret is not None:
+                    info = message[1] if len(message) > 1 and isinstance(message[1], dict) else {}
+                    if info.get("token") != server.secret:
+                        self._refuse("hello token does not match the server's "
+                                     "shared secret")
+                        break
+                    authenticated = True
                 try:
                     reply = self._dispatch(server, connection_id, message)
                 except KeyError as exc:
@@ -136,6 +163,10 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                 except (ConnectionError, OSError):
                     break
         finally:
+            # Reclaim blobs this connection uploaded but never bound to a
+            # manifest (death between put_tensor and put_manifest), then
+            # requeue its unfinished task leases.
+            server.service.release_pins(connection_id)
             requeued = server.dispatcher.release_connection(connection_id)
             with server.lock:
                 if registered:
@@ -143,6 +174,13 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                     server.counters["disconnects"] += 1
                 if requeued:
                     server.counters["tasks_requeued"] += requeued
+
+    # ------------------------------------------------------------------ #
+    def _refuse(self, reason: str) -> None:
+        try:
+            send_msg(self.request, ("error", "AuthError", reason))
+        except (ConnectionError, OSError):
+            pass
 
     # ------------------------------------------------------------------ #
     def _dispatch(self, server: "BlobServer", connection_id: int, message):
@@ -175,14 +213,19 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
             _, digest, count, label = message
             return ("tensor", service.get_tensor(digest, count=count, label=label))
         if op == "missing":
-            return ("missing", service.missing_tensors(message[1]))
+            # Pin present digests for this connection: its follow-up
+            # put_manifest (or its disconnect) releases them, so a driver
+            # drop between the check and the bind cannot GC them.
+            return ("missing", service.missing_tensors(message[1],
+                                                       pin_for=connection_id))
         if op == "put_tensor":
             _, digest, blob = message
-            service.put_tensor(digest, blob, count_upload=True)
+            service.put_tensor(digest, blob, count_upload=True, pin_for=connection_id)
             return ("ok",)
         if op == "put_manifest":
             _, key, container, entries, label = message
-            service.put_manifest(key, container, entries, label, count_upload=True)
+            service.put_manifest(key, container, entries, label, count_upload=True,
+                                 pin_for=connection_id)
             return ("ok",)
         if op == "drop":
             service.drop(message[1])
@@ -208,10 +251,20 @@ class BlobServer(socketserver.ThreadingTCPServer):
     def __init__(self, address: Tuple[str, int], service: BlobService,
                  dispatcher: Dispatcher, *, delta: bool = True,
                  result_ref_threshold: int = DEFAULT_RESULT_REF_THRESHOLD,
-                 task_poll_seconds: float = 1.0) -> None:
+                 task_poll_seconds: float = 1.0,
+                 secret: Optional[str] = None) -> None:
         super().__init__(address, _WorkerHandler)
         self.service = service
         self.dispatcher = dispatcher
+        self.secret = secret
+        if secret is None and not _is_loopback(address[0]):
+            warnings.warn(
+                f"repro.net blob server binding non-loopback interface "
+                f"{address[0]!r} without a shared secret: the wire protocol "
+                "deserializes pickles, so anything that can reach the port can "
+                "execute code in the driver.  Pass a secret (tcp://...?secret=... "
+                "or REPRO_NET_SECRET) or bind a private interface.",
+                RuntimeWarning, stacklevel=2)
         self.task_poll_seconds = float(task_poll_seconds)
         self.settings = {"delta": bool(delta),
                          "result_ref_threshold": int(result_ref_threshold)}

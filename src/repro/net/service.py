@@ -13,6 +13,18 @@ threads serving remote workers:
   kept their digests therefore ships (and stores) only the changed tensors
   plus the tiny manifest.  A non-delta mode stores whole packed blobs
   under the state key — same interface, used as the benchmark baseline.
+
+  A delta publish is three steps (``missing_tensors`` → ``put_tensor``
+  per gap → ``put_manifest``) that are **not atomic**, so the table layers
+  a *pin* lease over the refcounts: a publisher passes a ``pin_for`` token
+  and every digest it checked or uploaded stays alive — immune to
+  concurrent ``drop`` GC — until its ``put_manifest`` lands (which
+  releases the pins) or the publisher dies (:meth:`release_pins`, called
+  by the server when a connection closes, reclaims orphaned refcount-0
+  uploads).  ``put_manifest`` increfs the new entries *before* decrefing
+  the manifest it replaces, so a replayed identical publish (the blind
+  retry a lost reply produces) or an update sharing tensors with its
+  predecessor never GCs the shared blobs in between.
 * :class:`Dispatcher` — the driver-side task queue.  Workers *lease* tasks
   (``next_task``) and deliver results (``complete``); a lease whose
   connection dies before delivering is re-queued (``release_connection``),
@@ -55,8 +67,13 @@ class BlobService:
         #               manifest_nbytes) for delta entries; container "blob"
         # stores the packed payload inline in ``entries``.
         self._manifests: Dict[str, Tuple[str, object, str, int]] = {}
-        # tensor digest -> (blob, refcount)
+        # tensor digest -> [blob, refcount, pins].  ``refcount`` counts
+        # referencing manifests; ``pins`` counts in-flight publishes that
+        # checked or uploaded the digest and have not landed their manifest
+        # yet.  A tensor is GCed only when both reach zero.
         self._tensors: Dict[str, List] = {}
+        # pin token (connection id or driver publish token) -> pinned digests
+        self._pins: Dict[object, List[str]] = {}
         self._context_blob: Optional[bytes] = None
         self._context_version = -1
         self._fetches = 0
@@ -71,49 +88,97 @@ class BlobService:
     # ------------------------------------------------------------------ #
     # Publishing (driver-side direct, or worker result uploads via ops)
     # ------------------------------------------------------------------ #
-    def missing_tensors(self, digests: Sequence[str]) -> List[str]:
-        """The subset of ``digests`` the table does not hold yet."""
-        with self._lock:
-            return [digest for digest in digests if digest not in self._tensors]
+    def missing_tensors(self, digests: Sequence[str],
+                        pin_for: Optional[object] = None) -> List[str]:
+        """The subset of ``digests`` the table does not hold yet.
 
-    def put_tensor(self, digest: str, blob: bytes, *, count_upload: bool = False) -> bool:
-        """Store one tensor blob; returns whether it was new."""
+        With ``pin_for``, every digest that *is* present gets pinned for
+        that token: a concurrent manifest drop cannot GC it out from under
+        the caller between this check and the caller's ``put_manifest``.
+        """
+        with self._lock:
+            missing = []
+            for digest in digests:
+                entry = self._tensors.get(digest)
+                if entry is None:
+                    missing.append(digest)
+                elif pin_for is not None:
+                    entry[2] += 1
+                    self._pins.setdefault(pin_for, []).append(digest)
+            return missing
+
+    def put_tensor(self, digest: str, blob: bytes, *, count_upload: bool = False,
+                   pin_for: Optional[object] = None) -> bool:
+        """Store one tensor blob; returns whether it was new.  With
+        ``pin_for``, the blob is pinned until the owning ``put_manifest``
+        lands (or the publisher's pins are released on disconnect)."""
         with self._lock:
             if count_upload:
                 self._uploaded_bytes += len(blob)
             entry = self._tensors.get(digest)
-            if entry is not None:
-                return False
-            # Refcount starts at 0; manifests referencing the digest bump it.
-            self._tensors[digest] = [blob, 0]
-            return True
+            new = entry is None
+            if new:
+                # Refcount starts at 0; manifests referencing it bump it.
+                entry = self._tensors[digest] = [blob, 0, 0]
+            if pin_for is not None:
+                entry[2] += 1
+                self._pins.setdefault(pin_for, []).append(digest)
+            return new
 
     def put_manifest(self, key: str, container: str, entries, label: str = "",
-                     *, count_upload: bool = False) -> int:
+                     *, count_upload: bool = False,
+                     pin_for: Optional[object] = None) -> int:
         """Bind ``key`` to a manifest (``container`` ``"dict"``/``"list"``:
         entries are ``(name, tensor_digest)`` pairs over stored tensors;
         ``"blob"``: entries is the whole packed payload).  Returns the
         manifest's wire size.  Idempotent per key (re-publishing an
-        identical content key replaces an identical manifest)."""
+        identical content key replaces an identical manifest).  Releases
+        ``pin_for``'s pins whether or not the bind succeeds."""
         manifest_nbytes = (len(entries) if container == "blob" else
                            len(pickle.dumps((container, entries),
                                             protocol=pickle.HIGHEST_PROTOCOL)))
         with self._lock:
-            if count_upload:
-                self._uploads += 1
-                self._uploaded_bytes += manifest_nbytes
-            previous = self._manifests.get(key)
-            if previous is not None:
-                self._decref_locked(previous)
-            if container != "blob":
-                missing = [digest for _, digest in entries if digest not in self._tensors]
-                if missing:
-                    raise KeyError(f"manifest {key!r} references unknown tensor blobs "
-                                   f"({len(missing)} missing); publish tensors first")
-                for _, digest in entries:
-                    self._tensors[digest][1] += 1
-            self._manifests[key] = (container, entries, label, manifest_nbytes)
+            try:
+                if count_upload:
+                    self._uploads += 1
+                    self._uploaded_bytes += manifest_nbytes
+                if container != "blob":
+                    missing = [digest for _, digest in entries
+                               if digest not in self._tensors]
+                    if missing:
+                        raise KeyError(f"manifest {key!r} references unknown tensor "
+                                       f"blobs ({len(missing)} missing); publish "
+                                       "tensors first")
+                    # Incref the new entries BEFORE decrefing the previous
+                    # manifest: a replayed identical publish, or an update
+                    # sharing tensors with its predecessor, must not GC the
+                    # shared blobs in between.
+                    for _, digest in entries:
+                        self._tensors[digest][1] += 1
+                previous = self._manifests.get(key)
+                if previous is not None:
+                    self._decref_locked(previous)
+                self._manifests[key] = (container, entries, label, manifest_nbytes)
+            finally:
+                if pin_for is not None:
+                    self._release_pins_locked(pin_for)
         return manifest_nbytes
+
+    def release_pins(self, pin_for: object) -> None:
+        """Drop every pin held by ``pin_for``, GCing tensors nothing else
+        references — the disconnect path for publishers that died between
+        uploading blobs and landing their manifest."""
+        with self._lock:
+            self._release_pins_locked(pin_for)
+
+    def _release_pins_locked(self, pin_for: object) -> None:
+        for digest in self._pins.pop(pin_for, ()):
+            entry = self._tensors.get(digest)
+            if entry is None:
+                continue
+            entry[2] -= 1
+            if entry[1] <= 0 and entry[2] <= 0:
+                del self._tensors[digest]
 
     def _decref_locked(self, manifest: Tuple[str, object, str, int]) -> None:
         container, entries, _, _ = manifest
@@ -124,7 +189,7 @@ class BlobService:
             if entry is None:
                 continue
             entry[1] -= 1
-            if entry[1] <= 0:
+            if entry[1] <= 0 and entry[2] <= 0:
                 del self._tensors[digest]
 
     # ------------------------------------------------------------------ #

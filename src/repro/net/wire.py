@@ -5,8 +5,13 @@ frame** holding one pickled message tuple — ``(op, *operands)`` requests and
 ``(status, *operands)`` replies.  Pickle keeps the protocol aligned with the
 rest of the execution-backend stack (tasks and contexts are already pickle
 payloads for the process pool); the obvious corollary is spelled out in the
-docs: the blob server trusts its peers, so bind it to localhost or a
-private cluster network, never the open internet.
+docs: unpickling input is code execution, so the blob server must only talk
+to trusted peers.  Bind it to localhost or a private cluster network, never
+the open internet, and set a shared handshake secret
+(``tcp://...?secret=TOKEN`` / ``repro worker --secret TOKEN`` /
+``REPRO_NET_SECRET``) — the server then refuses every op until the
+connection's ``hello`` presents the matching token, and it warns at bind
+time when a non-loopback interface is served without one.
 
 Parameter tensors do **not** travel as pickles.  They are packed one tensor
 at a time with :func:`pack_tensor` (the ``.npy`` format — dtype, shape, and

@@ -110,7 +110,16 @@ class WorkerChannel:
                       label: str, delta: bool) -> None:
         """Upload a state under ``key`` — delta-encoded when the server runs
         in delta mode (only tensors the table lacks travel), whole-blob
-        otherwise."""
+        otherwise.
+
+        The server pins every digest the ``missing`` check sees (and every
+        uploaded blob) for this connection until the ``put_manifest`` lands,
+        so the three-step sequence is atomic against concurrent GC.  The one
+        hole left is a mid-publish reconnect: the new connection's pins start
+        empty, so a tensor verified present before the drop of the socket may
+        be GCed before the manifest arrives.  The server rejects that with
+        KeyError, and we simply restart the publish from the missing check.
+        """
         if not delta:
             _unwrap(self.connection.request(
                 ("put_manifest", key, "blob", pack_whole_payload(state), label)))
@@ -118,11 +127,18 @@ class WorkerChannel:
         named = list(state.items())
         entries = [(name, tensor_digest(array)) for name, array in named]
         by_digest = {digest: array for (_, array), (_, digest) in zip(named, entries)}
-        missing = _unwrap(self.connection.request(("missing", list(by_digest))))[1]
-        for digest in missing:
-            _unwrap(self.connection.request(
-                ("put_tensor", digest, pack_tensor(by_digest[digest]))))
-        _unwrap(self.connection.request(("put_manifest", key, "dict", entries, label)))
+        for attempt in range(3):
+            missing = _unwrap(self.connection.request(("missing", list(by_digest))))[1]
+            for digest in missing:
+                _unwrap(self.connection.request(
+                    ("put_tensor", digest, pack_tensor(by_digest[digest]))))
+            try:
+                _unwrap(self.connection.request(
+                    ("put_manifest", key, "dict", entries, label)))
+                return
+            except KeyError:
+                if attempt == 2:
+                    raise
 
 
 # --------------------------------------------------------------------------- #
@@ -156,17 +172,25 @@ def _ship_result(result, channel: WorkerChannel, settings: Dict, counter) -> obj
 def run_worker(host: str, port: int, *,
                cache_bytes: int = DEFAULT_WORKER_CACHE_BYTES,
                patience: float = 30.0, quiet: bool = False,
-               max_tasks: Optional[int] = None) -> int:
+               max_tasks: Optional[int] = None,
+               secret: Optional[str] = None) -> int:
     """Connect to the driver at ``host:port`` and execute tasks until the
     driver shuts down (or the connection is lost past the retry budget).
 
     ``patience`` bounds the initial wait for the driver to start listening
-    (workers may legitimately come up first).  ``max_tasks`` exists for
+    (workers may legitimately come up first).  ``secret`` (default: the
+    ``REPRO_NET_SECRET`` environment variable) must match the driver's
+    shared secret when the driver runs with one.  ``max_tasks`` exists for
     tests: exit after N completed tasks.
     """
+    if secret is None:
+        secret = os.environ.get("REPRO_NET_SECRET") or None
     connection = Connection(host, port)
     connection.connect(patience=patience)
-    welcome = _unwrap(connection.request(("hello", {"pid": os.getpid()})))
+    hello = {"pid": os.getpid()}
+    if secret is not None:
+        hello["token"] = secret
+    welcome = _unwrap(connection.request(("hello", hello)))
     settings = welcome[1]
     channel = WorkerChannel(connection, tensor_cache_bytes=cache_bytes)
     runtime = WorkerRuntime(channel=channel, cache_bytes=cache_bytes)
@@ -230,13 +254,16 @@ def main(argv=None) -> int:
                         help="byte budget of the worker state/tensor caches")
     parser.add_argument("--patience", type=float, default=30.0,
                         help="seconds to wait for the driver to start listening")
+    parser.add_argument("--secret", default=None,
+                        help="shared secret for the driver handshake "
+                             "(default: the REPRO_NET_SECRET environment variable)")
     parser.add_argument("--max-tasks", type=int, default=None, help=argparse.SUPPRESS)
     parser.add_argument("--quiet", action="store_true", help="suppress status lines")
     args = parser.parse_args(argv)
     host, port = parse_hostport(args.connect)
     return run_worker(host, port, cache_bytes=args.cache_bytes,
                       patience=args.patience, quiet=args.quiet,
-                      max_tasks=args.max_tasks)
+                      max_tasks=args.max_tasks, secret=args.secret)
 
 
 if __name__ == "__main__":

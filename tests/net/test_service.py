@@ -43,6 +43,115 @@ def test_manifest_refcounts_tensors_across_drops():
         service.get_tensor(digest, count=False)
 
 
+def test_replayed_identical_manifest_keeps_shared_tensors():
+    # Regression: a lost put_manifest reply makes the client blindly replay
+    # the byte-identical request.  Decref-before-incref used to GC the
+    # tensors and then fail the missing check, corrupting the table.
+    service = BlobService()
+    array = np.arange(6, dtype=np.float64)
+    digest = tensor_digest(array)
+    service.put_tensor(digest, pack_tensor(array))
+    service.put_manifest("k", "dict", [("w", digest)])
+    service.put_manifest("k", "dict", [("w", digest)])  # replay, must not raise
+
+    assert service.get_tensor(digest, count=False)
+    service.drop(["k"])
+    assert service.missing_tensors([digest]) == [digest]
+
+
+def test_manifest_update_keeps_tensors_shared_with_predecessor():
+    service = BlobService()
+    kept = np.arange(4, dtype=np.float64)
+    old = np.ones(3, dtype=np.float64)
+    new = np.zeros(3, dtype=np.float64)
+    kept_digest, old_digest, new_digest = map(tensor_digest, (kept, old, new))
+    for digest, array in [(kept_digest, kept), (old_digest, old)]:
+        service.put_tensor(digest, pack_tensor(array))
+    service.put_manifest("k", "dict", [("a", kept_digest), ("b", old_digest)])
+
+    # Re-publish: one tensor unchanged, one replaced.
+    service.put_tensor(new_digest, pack_tensor(new))
+    service.put_manifest("k", "dict", [("a", kept_digest), ("b", new_digest)])
+
+    assert service.get_tensor(kept_digest, count=False)
+    assert service.missing_tensors([old_digest]) == [old_digest]  # GCed
+
+
+def test_failed_manifest_leaves_previous_binding_intact():
+    service = BlobService()
+    array = np.arange(4, dtype=np.float64)
+    digest = tensor_digest(array)
+    service.put_tensor(digest, pack_tensor(array))
+    service.put_manifest("k", "dict", [("w", digest)])
+
+    with pytest.raises(KeyError, match="unknown tensor blobs"):
+        service.put_manifest("k", "dict", [("w", "missing-digest")])
+
+    # The old manifest still resolves and its tensor survived.
+    assert service.get_manifest("k", count=False) == ("dict", [("w", digest)])
+    assert service.get_tensor(digest, count=False)
+
+
+# --------------------------------------------------------------------------- #
+# Pins: atomic publishes against concurrent GC, orphan reclamation
+# --------------------------------------------------------------------------- #
+def test_pinned_missing_check_survives_concurrent_drop():
+    # A worker publish is missing -> put_tensor -> put_manifest across three
+    # requests.  A driver-side drop landing in between must not GC a tensor
+    # the missing check reported present.
+    service = BlobService()
+    shared = np.arange(5, dtype=np.float64)
+    digest = tensor_digest(shared)
+    service.put_tensor(digest, pack_tensor(shared))
+    service.put_manifest("driver-key", "dict", [("w", digest)])
+
+    assert service.missing_tensors([digest], pin_for=7) == []
+    service.drop(["driver-key"])  # the race: last manifest reference gone
+    assert service.get_tensor(digest, count=False)  # pin keeps it alive
+    service.put_manifest("worker-key", "dict", [("w", digest)], pin_for=7)
+
+    # The manifest's refcount now owns the tensor; pins are released.
+    service.drop(["worker-key"])
+    assert service.missing_tensors([digest]) == [digest]
+
+
+def test_release_pins_reclaims_orphaned_uploads():
+    # A worker that dies between put_tensor and put_manifest must not leak
+    # its uploaded blobs: the server releases its pins on disconnect.
+    service = BlobService()
+    array = np.arange(3, dtype=np.float64)
+    digest = tensor_digest(array)
+    service.put_tensor(digest, pack_tensor(array), pin_for=3)
+    assert service.stats()["tensor_entries"] == 1
+
+    service.release_pins(3)
+    assert service.stats()["tensor_entries"] == 0
+    assert service.missing_tensors([digest]) == [digest]
+
+
+def test_release_pins_keeps_manifest_referenced_tensors():
+    service = BlobService()
+    array = np.arange(3, dtype=np.float64)
+    digest = tensor_digest(array)
+    service.put_tensor(digest, pack_tensor(array), pin_for=3)
+    service.put_manifest("k", "dict", [("w", digest)], pin_for=3)
+    service.release_pins(3)  # disconnect after a completed publish: no-op
+    assert service.get_tensor(digest, count=False)
+
+
+def test_failed_pinned_manifest_still_releases_pins():
+    service = BlobService()
+    array = np.arange(3, dtype=np.float64)
+    digest = tensor_digest(array)
+    service.put_tensor(digest, pack_tensor(array), pin_for=9)
+    with pytest.raises(KeyError):
+        service.put_manifest("k", "dict", [("w", digest), ("x", "absent")],
+                             pin_for=9)
+    # The pin was consumed by the failed put_manifest; nothing references
+    # the upload any more, so it was reclaimed.
+    assert service.missing_tensors([digest]) == [digest]
+
+
 def test_get_manifest_raises_for_unknown_key():
     with pytest.raises(KeyError, match="never published"):
         BlobService().get_manifest("nope")
