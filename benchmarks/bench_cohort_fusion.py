@@ -45,6 +45,7 @@ from repro.nn.batched import (  # noqa: E402
     batched_cross_entropy,
 )
 from repro.nn.losses import cross_entropy  # noqa: E402
+from repro.nn.policy import using_numeric_policy  # noqa: E402
 
 TARGET_SPEEDUP = 2.0
 COHORT = 8
@@ -101,13 +102,18 @@ def _time_fused(factory, images, labels):
 
 
 def _measure(factory, steps, repeats):
-    """Best-of-``repeats`` per-device step times (seconds), both paths."""
+    """Best-of-``repeats`` per-device step times (seconds): the serial loop,
+    the fused float64 path, and the fused path under the float32 policy."""
     rng = np.random.default_rng(17)
     images, labels = _cohort_data(rng, steps)
     device_steps = steps * COHORT
     serial = min(_time_serial(factory, images, labels) for _ in range(repeats))
     fused = min(_time_fused(factory, images, labels) for _ in range(repeats))
-    return serial / device_steps, fused / device_steps
+    with using_numeric_policy("float32"):
+        images32 = images.astype(np.float32)
+        fused32 = min(_time_fused(factory, images32, labels)
+                      for _ in range(repeats))
+    return serial / device_steps, fused / device_steps, fused32 / device_steps
 
 
 def main(argv=None) -> int:
@@ -133,17 +139,21 @@ def main(argv=None) -> int:
     results = []
     failures = []
     for name, factory in sorted(WORKLOADS.items()):
-        serial_step, fused_step = _measure(factory, steps, repeats)
+        serial_step, fused_step, fused32_step = _measure(factory, steps, repeats)
         speedup = serial_step / fused_step
+        f32_speedup = fused_step / fused32_step
         results.append({
             "workload": name,
             "serial_per_device_step_ms": serial_step * 1e3,
             "fused_per_device_step_ms": fused_step * 1e3,
+            "fused_float32_per_device_step_ms": fused32_step * 1e3,
             "speedup": speedup,
+            "float32_speedup_vs_float64": f32_speedup,
         })
         print(f"  {name:16s} serial {serial_step * 1e3:6.3f} ms/device-step  "
               f"fused {fused_step * 1e3:6.3f} ms/device-step  "
-              f"speedup {speedup:4.2f}x")
+              f"f32 {fused32_step * 1e3:6.3f} ms/device-step  "
+              f"speedup {speedup:4.2f}x  f32/f64 {f32_speedup:4.2f}x")
         if speedup < TARGET_SPEEDUP:
             failures.append(f"{name}: speedup {speedup:.2f}x < target "
                             f"{TARGET_SPEEDUP}x")

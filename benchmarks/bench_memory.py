@@ -18,10 +18,19 @@ is peak-traced-bytes minus steady-state baseline across the step loop —
 i.e. the transient working set the allocator must service per step —
 normalized per fused device-step.
 
-The benchmark **asserts** its regression guard (exit code 1 on violation,
+A second section A/B's the **pooled forward pass**: the same training step
+loop on a single (serial) model with forward activations fed from the
+per-thread :class:`~repro.nn.BufferPool` (``set_forward_pooling(True)``,
+the default) versus freshly allocated every step
+(``set_forward_pooling(False)``).  Pooled forward buffers are released at
+backward reclaim, so in steady state the forward pass recycles one step's
+activations instead of re-allocating them.
+
+The benchmark **asserts** its regression guards (exit code 1 on violation,
 so CI fails loudly): the optimized path must allocate at least
 {TARGET_REDUCTION:.0%} less transient memory per fused device-step than
-the legacy path.
+the legacy path, and pooled forwards must cut the serial step's transient
+bytes by at least {FORWARD_TARGET_REDUCTION:.0%}.
 
 Not a pytest file on purpose (no ``test_`` prefix): run it directly with
 
@@ -47,14 +56,22 @@ if str(REPO_ROOT / "src") not in sys.path:
 from conftest import bench_environment  # noqa: E402
 
 from repro.models.simple import FullyConnected, LeNet, SimpleCNN  # noqa: E402
-from repro.nn import Tensor, set_allocation_free, set_pooling  # noqa: E402
+from repro.nn import (  # noqa: E402
+    SGD,
+    Tensor,
+    set_allocation_free,
+    set_forward_pooling,
+    set_pooling,
+)
 from repro.nn.batched import (  # noqa: E402
     BatchedModule,
     BatchedSGD,
     batched_cross_entropy,
 )
+from repro.nn.losses import cross_entropy  # noqa: E402
 
 TARGET_REDUCTION = 0.5
+FORWARD_TARGET_REDUCTION = 0.3
 COHORT = 8
 INPUT_SHAPE = (3, 8, 8)
 NUM_CLASSES = 4
@@ -62,7 +79,8 @@ BATCH_SIZE = 8
 LR, MOMENTUM = 0.05, 0.9
 WARMUP_STEPS = 3
 
-__doc__ = __doc__.format(TARGET_REDUCTION=TARGET_REDUCTION, COHORT=COHORT)
+__doc__ = __doc__.format(TARGET_REDUCTION=TARGET_REDUCTION, COHORT=COHORT,
+                         FORWARD_TARGET_REDUCTION=FORWARD_TARGET_REDUCTION)
 
 WORKLOADS = {
     "fully_connected": lambda seed: FullyConnected(
@@ -125,6 +143,49 @@ def _measure_mode(factory, steps, optimized):
         set_pooling(previous_pool)
 
 
+def _measure_forward_mode(factory, steps, pooled):
+    """Transient traced bytes of the *forward pass* in a serial train loop.
+
+    Only the ``model(...)`` call is inside the measurement window; the
+    loss, backward, and optimizer step run between windows so backward
+    reclaim can recycle pooled activations for the next forward.
+    Allocation-free accumulation and scratch pooling stay at their
+    defaults in both modes — the delta isolates what feeding forward
+    activations from the :class:`~repro.nn.BufferPool` saves.
+    """
+    previous = set_forward_pooling(pooled)
+    try:
+        rng = np.random.default_rng(29)
+        images, labels = _cohort_data(rng, WARMUP_STEPS + steps)
+        model = factory(seed=0)
+        model.train()
+        optimizer = SGD(model.parameters(), lr=LR, momentum=MOMENTUM)
+
+        def rest_of_step(index, out):
+            loss = cross_entropy(out, labels[index, 0])
+            loss.backward()
+            optimizer.step()
+
+        tracemalloc.start()
+        for index in range(WARMUP_STEPS):
+            optimizer.zero_grad(set_to_none=False)
+            rest_of_step(index, model(Tensor(images[index, 0])))
+        gc.collect()
+        worst = 0
+        for index in range(WARMUP_STEPS, WARMUP_STEPS + steps):
+            optimizer.zero_grad(set_to_none=False)
+            tracemalloc.reset_peak()
+            baseline = tracemalloc.get_traced_memory()[0]
+            out = model(Tensor(images[index, 0]))
+            peak = tracemalloc.get_traced_memory()[1]
+            worst = max(worst, peak - baseline)
+            rest_of_step(index, out)
+        tracemalloc.stop()
+        return max(worst, 0)
+    finally:
+        set_forward_pooling(previous)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -160,6 +221,26 @@ def main(argv=None) -> int:
             failures.append(f"{name}: reduction {reduction:.1%} < target "
                             f"{TARGET_REDUCTION:.0%}")
 
+    print(f"\nforward-pass pooling (serial model, target >= "
+          f"{FORWARD_TARGET_REDUCTION:.0%} fewer transient bytes per forward)")
+    forward_results = []
+    for name, factory in sorted(WORKLOADS.items()):
+        unpooled = _measure_forward_mode(factory, steps, pooled=False)
+        pooled = _measure_forward_mode(factory, steps, pooled=True)
+        reduction = 1.0 - pooled / unpooled if unpooled else 0.0
+        forward_results.append({
+            "workload": name,
+            "unpooled_bytes_per_forward": unpooled,
+            "pooled_bytes_per_forward": pooled,
+            "reduction": reduction,
+        })
+        print(f"  {name:16s} unpooled {unpooled / 1024:8.1f} KiB/forward  "
+              f"pooled {pooled / 1024:8.1f} KiB/forward  "
+              f"reduction {reduction:6.1%}")
+        if reduction < FORWARD_TARGET_REDUCTION:
+            failures.append(f"forward/{name}: reduction {reduction:.1%} < "
+                            f"target {FORWARD_TARGET_REDUCTION:.0%}")
+
     payload = {
         "benchmark": "memory",
         "cohort_size": COHORT,
@@ -170,7 +251,9 @@ def main(argv=None) -> int:
         "measured_steps": steps,
         "metric": "tracemalloc peak minus steady-state baseline, per fused device-step",
         "workloads": results,
-        "targets": {"reduction": TARGET_REDUCTION},
+        "forward_pooling": forward_results,
+        "targets": {"reduction": TARGET_REDUCTION,
+                    "forward_reduction": FORWARD_TARGET_REDUCTION},
         "failures": failures,
         **bench_environment(),
         "numpy": np.__version__,

@@ -167,7 +167,10 @@ class FedMDStrategy(Strategy):
             PublicLogitsTask(device_id=device_id, state=states[device_id])
             for device_id in device_ids
         ]
-        uploaded = simulation.backend.run_tasks(logit_tasks)
+        # Routed through the fusion seam: with cohort_fusion on, each
+        # same-architecture cohort's public sweep runs as one stacked
+        # no-grad forward (bit-identical per slice).
+        uploaded = simulation.run_device_tasks(logit_tasks)
         consensus = np.mean(np.stack(uploaded, axis=0), axis=0)
         # The cohort shares one consensus matrix: publish it once and let
         # every digest spec carry the same ref instead of N inline copies.

@@ -31,6 +31,10 @@ experiment variants (for ``experiment``) out across worker processes.
 ``repro run --transport-stats`` prints the backend's state-transport
 counters (bytes published/fetched/shipped, cache hit rates, per-label
 breakdown) after the run.
+``repro run`` accepts ``--dtype float32`` to run the whole session under
+the float32 numeric policy (see ``repro.nn.policy``) and ``--cohort-fusion``
+to fuse each round's same-architecture training *and* evaluation cohorts
+into stacked vectorized tasks.
 ``repro run`` additionally accepts ``--scheduler sync|deadline|async``
 plus ``--deadline``, ``--buffer-size``, the device-heterogeneity knobs
 ``--speed-skew`` / ``--latency-mean`` / ``--dropout-rate``, and
@@ -103,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "pad-safe same-architecture devices with unequal "
                                  "shard sizes (masked padding; ~1e-9-relative to "
                                  "the per-device path rather than bitwise)")
+    run_parser.add_argument("--dtype", default="float64",
+                            choices=["float64", "float32"],
+                            help="numeric policy for the whole run: float64 "
+                                 "(default, the bit-identity tier the golden "
+                                 "fixtures are recorded at) or float32 "
+                                 "(~half the memory traffic; deterministic "
+                                 "for a fixed BLAS but outside the bitwise "
+                                 "reproducibility contract)")
     run_parser.add_argument("--server-shards", type=int, default=None,
                             help="shard the strategy's server update through the backend "
                                  "into this many shards (requires a strategy declaring "
@@ -218,6 +230,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         buffer_size=args.buffer_size, speed_skew=args.speed_skew,
         latency_mean=args.latency_mean, dropout_rate=args.dropout_rate,
         server_shards=args.server_shards, cohort_fusion=args.cohort_fusion,
+        numeric_policy=args.dtype,
         verbose=not args.quiet,
     )
     if args.public_choice is not None:

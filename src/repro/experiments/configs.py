@@ -143,13 +143,17 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
                          server_shards: int = 1,
                          scheduler: SchedulerConfig = None,
                          heterogeneity: HeterogeneityConfig = None,
-                         cohort_fusion: "bool | str" = False) -> FederatedConfig:
+                         cohort_fusion: "bool | str" = False,
+                         numeric_policy: str = "float64") -> FederatedConfig:
     """Build a :class:`FederatedConfig` for a dataset family at a given scale.
 
     ``scheduler`` / ``heterogeneity`` select the round-scheduling policy and
     the device timing model (both default to the synchronous, homogeneous
     historical behaviour); ``server_shards > 1`` dispatches the FedZKT
     server update through the execution backend in that many shards.
+    ``numeric_policy`` picks the floating dtype every model in the run is
+    built and trained with (``"float64"``, the bit-identity tier, or the
+    faster ``"float32"``).
     """
     server = ServerConfig(
         distillation_iterations=(distillation_iterations
@@ -176,4 +180,5 @@ def federated_config_for(scale: ExperimentScale, family: str, *, num_devices: in
         scheduler=scheduler if scheduler is not None else SchedulerConfig(),
         heterogeneity=heterogeneity if heterogeneity is not None else HeterogeneityConfig(),
         cohort_fusion=cohort_fusion,
+        numeric_policy=numeric_policy,
     )

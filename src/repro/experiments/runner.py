@@ -33,6 +33,7 @@ from ..federated.config import HeterogeneityConfig, SchedulerConfig
 from ..federated.history import TrainingHistory
 from ..federated.metrics import resource_split_summary
 from ..models.registry import device_specs_for_family, device_suite_for_family
+from ..nn.policy import using_numeric_policy
 from ..partition import make_partitioner
 from .configs import ExperimentScale, federated_config_for, get_scale
 from .reporting import format_percent, format_series, format_table, format_timeline
@@ -107,7 +108,8 @@ def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
                 num_devices, participation_fraction, prox_mu, rounds, verbose,
                 scheduler, deadline, buffer_size, speed_skew, latency_mean,
                 dropout_rate, server_shards, cohort_fusion=False,
-                distillation_loss: str = "sl") -> TrainingHistory:
+                distillation_loss: str = "sl",
+                numeric_policy: str = "float64") -> TrainingHistory:
     """Shared scaffold of every per-algorithm runner.
 
     Resolves the scale, assembles the scheduling/heterogeneity/config
@@ -117,6 +119,11 @@ def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
     for the algorithm-specific simulation, runs it, and annotates the
     history.  Keeping this in one place means a new knob lands in every
     algorithm at once instead of drifting per runner.
+
+    The whole run — model construction through training — executes under
+    ``numeric_policy`` so every parameter, activation, and optimizer slot
+    carries the requested floating dtype; process-pool workers pick the
+    policy up from the worker context.
     """
     scale = _resolve_scale(scale)
     family = dataset_family(dataset_name)
@@ -129,12 +136,15 @@ def _single_run(dataset_name: str, make_simulation, *, scale, partition, seed,
                                   server_shards=server_shards if server_shards is not None else 1,
                                   scheduler=scheduler_config,
                                   heterogeneity=heterogeneity_config,
-                                  cohort_fusion=cohort_fusion)
-    train, test = load_dataset(dataset_name, train_size=scale.train_size,
-                               test_size=scale.test_size, image_size=scale.image_size, seed=seed)
-    partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
-    simulation = make_simulation(train, test, config, family, partitioner, scale)
-    history = simulation.run(verbose=verbose)
+                                  cohort_fusion=cohort_fusion,
+                                  numeric_policy=numeric_policy)
+    with using_numeric_policy(config.numeric_policy):
+        train, test = load_dataset(dataset_name, train_size=scale.train_size,
+                                   test_size=scale.test_size, image_size=scale.image_size,
+                                   seed=seed)
+        partitioner = _partitioner_from_spec(partition, config.num_devices, seed)
+        simulation = make_simulation(train, test, config, family, partitioner, scale)
+        history = simulation.run(verbose=verbose)
     history.config["dataset"] = dataset_name
     history.config["partition"] = f"{partition[0]}{partition[1] or ''}"
     return history
@@ -151,7 +161,8 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                latency_mean: Optional[float] = None,
                dropout_rate: Optional[float] = None,
                server_shards: Optional[int] = None,
-               cohort_fusion: "bool | str" = False) -> TrainingHistory:
+               cohort_fusion: "bool | str" = False,
+               numeric_policy: str = "float64") -> TrainingHistory:
     """Run FedZKT on a named dataset and return its training history."""
     def make(train, test, config, family, partitioner, scale):
         simulation = build_fedzkt(train, test, config, family=family,
@@ -173,7 +184,8 @@ def run_fedzkt(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                        deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
                        latency_mean=latency_mean, dropout_rate=dropout_rate,
                        server_shards=server_shards, cohort_fusion=cohort_fusion,
-                       distillation_loss=distillation_loss)
+                       distillation_loss=distillation_loss,
+                       numeric_policy=numeric_policy)
 
 
 def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tiny",
@@ -189,7 +201,8 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
               latency_mean: Optional[float] = None,
               dropout_rate: Optional[float] = None,
               server_shards: Optional[int] = None,
-              cohort_fusion: "bool | str" = False) -> TrainingHistory:
+              cohort_fusion: "bool | str" = False,
+              numeric_policy: str = "float64") -> TrainingHistory:
     """Run the FedMD baseline with the paper's public-dataset pairing.
 
     Under ``deadline``/``async`` schedulers FedMD runs its partial-consensus
@@ -215,7 +228,8 @@ def run_fedmd(dataset_name: str, public_choice: Optional[str] = None, scale="tin
                           scheduler=scheduler, deadline=deadline,
                           buffer_size=buffer_size, speed_skew=speed_skew,
                           latency_mean=latency_mean, dropout_rate=dropout_rate,
-                          server_shards=server_shards, cohort_fusion=cohort_fusion)
+                          server_shards=server_shards, cohort_fusion=cohort_fusion,
+                          numeric_policy=numeric_policy)
     history.config["public_dataset"] = public_name[0]
     return history
 
@@ -230,7 +244,8 @@ def run_fedavg(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                latency_mean: Optional[float] = None,
                dropout_rate: Optional[float] = None,
                server_shards: Optional[int] = None,
-               cohort_fusion: "bool | str" = False) -> TrainingHistory:
+               cohort_fusion: "bool | str" = False,
+               numeric_policy: str = "float64") -> TrainingHistory:
     """Run the FedAvg baseline (homogeneous devices, parameter averaging).
 
     ``prox_mu > 0`` runs FedProx (FedAvg plus the on-device ℓ2 proximal
@@ -249,7 +264,8 @@ def run_fedavg(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("
                        rounds=rounds, verbose=verbose, scheduler=scheduler,
                        deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
                        latency_mean=latency_mean, dropout_rate=dropout_rate,
-                       server_shards=server_shards, cohort_fusion=cohort_fusion)
+                       server_shards=server_shards, cohort_fusion=cohort_fusion,
+                       numeric_policy=numeric_policy)
 
 
 def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] = ("iid", {}),
@@ -263,7 +279,8 @@ def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] 
                    latency_mean: Optional[float] = None,
                    dropout_rate: Optional[float] = None,
                    server_shards: Optional[int] = None,
-                   cohort_fusion: "bool | str" = False) -> TrainingHistory:
+                   cohort_fusion: "bool | str" = False,
+                   numeric_policy: str = "float64") -> TrainingHistory:
     """Run the standalone (no-collaboration) lower-bound trajectory.
 
     Same heterogeneous device suite and partitioning as FedZKT, but devices
@@ -281,7 +298,8 @@ def run_standalone(dataset_name: str, scale="tiny", partition: Tuple[str, Dict] 
                        rounds=rounds, verbose=verbose, scheduler=scheduler,
                        deadline=deadline, buffer_size=buffer_size, speed_skew=speed_skew,
                        latency_mean=latency_mean, dropout_rate=dropout_rate,
-                       server_shards=server_shards, cohort_fusion=cohort_fusion)
+                       server_shards=server_shards, cohort_fusion=cohort_fusion,
+                       numeric_policy=numeric_policy)
 
 
 #: Strategy-registry-name → single-run entry point; the CLI's

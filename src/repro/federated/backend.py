@@ -56,6 +56,7 @@ import numpy as np
 
 from ..datasets.base import ImageDataset
 from ..models.base import ClassificationModel
+from ..nn.policy import numeric_policy, set_numeric_policy
 from ..utils.serialization import (
     InProcessStateTable,
     StateLike,
@@ -125,6 +126,10 @@ class WorkerContext:
     train_configs: Dict[int, DeviceTrainingConfig] = field(default_factory=dict)
     eval_dataset: Optional[ImageDataset] = None
     public_dataset: Optional[ImageDataset] = None
+    #: Numeric-policy name the driver ran under when the context was built;
+    #: workers in fresh processes apply it on context installation so both
+    #: sides of a process boundary compute in the same precision.
+    numeric_policy: str = "float64"
 
     def model_for(self, device_id: int) -> ClassificationModel:
         try:
@@ -138,7 +143,9 @@ def build_worker_context(devices, eval_dataset: Optional[ImageDataset] = None,
     """Assemble a :class:`WorkerContext` from a sequence of devices.
 
     Shared by every simulation loop so the context layout stays consistent
-    across algorithm families.
+    across algorithm families.  The context is stamped with the driver's
+    active numeric policy, which process-pool (and remote) workers install
+    alongside the context.
     """
     return WorkerContext(
         models={device.device_id: device.model for device in devices},
@@ -146,6 +153,7 @@ def build_worker_context(devices, eval_dataset: Optional[ImageDataset] = None,
         train_configs={device.device_id: device.training_config for device in devices},
         eval_dataset=eval_dataset,
         public_dataset=public_dataset,
+        numeric_policy=numeric_policy().name,
     )
 
 
@@ -229,12 +237,16 @@ class WorkerRuntime:
 
     def ensure_context(self, version: int) -> None:
         """Install the context version the driver stamped on a task batch,
-        fetching the (re)published context from the channel if stale."""
+        fetching the (re)published context from the channel if stale.
+        Installing a context also applies its numeric policy, so worker
+        processes spawned with the float64 default match a float32 driver."""
         if self.channel is None or version == self.context_version:
             return
         current, blob = self.channel.get_context(self.context_version)
         if blob is not None:
             self.context = pickle.loads(blob)
+            if self.context is not None:
+                set_numeric_policy(getattr(self.context, "numeric_policy", "float64"))
         self.context_version = current
 
 

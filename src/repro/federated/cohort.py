@@ -27,6 +27,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.batched import (
+    BatchedEvaluator,
     BatchedModule,
     BatchedSGD,
     batched_cross_entropy,
@@ -34,19 +35,28 @@ from ..nn.batched import (
     batched_l2_proximal,
     batched_mse_loss,
 )
+from ..nn.functional import accuracy
 from ..nn.tensor import Tensor
 from ..utils.serialization import StateRef, pack_array_list, pack_state_dict
 from .backend import (
     DigestSpec,
+    EvaluateTask,
     LocalTrainResult,
     LocalTrainTask,
+    PublicLogitsTask,
     WorkerContext,
     resolve_arrays,
     resolve_state,
 )
 from .trainer import LocalTrainingReport
 
-__all__ = ["FusedLocalTrainTask", "CohortPlan", "plan_cohorts"]
+__all__ = [
+    "FusedEvaluateTask",
+    "FusedLocalTrainTask",
+    "FusedPublicLogitsTask",
+    "CohortPlan",
+    "plan_cohorts",
+]
 
 
 def _restored_rng(state: dict) -> np.random.Generator:
@@ -118,6 +128,9 @@ class FusedLocalTrainTask:
                 optimizer.zero_grad(set_to_none=False)
                 prediction = module(Tensor(images))
                 loss_vec = batched_mse_loss(prediction, Tensor(targets))
+                # Read after backward below, so pin the (B,) vector against
+                # pooled-forward reclaim.
+                loss_vec.retain_data()
                 loss_vec.sum().backward()
                 optimizer.step()
                 for b in range(batch):
@@ -211,6 +224,9 @@ class FusedLocalTrainTask:
                         module.parameters(), anchors, mu=config.prox_mu)
                 # Summing the (B,) loss vector seeds each device's slice of
                 # the backward pass with exactly the serial upstream of 1.
+                # The per-device losses are read back after backward, so the
+                # vector is pinned against pooled-forward reclaim.
+                loss_vec.retain_data()
                 loss_vec.sum().backward()
                 optimizer.step()
                 for b in range(batch):
@@ -263,6 +279,7 @@ class FusedLocalTrainTask:
                     prox = batched_l2_proximal(module.parameters(), anchors,
                                                mu=config.prox_mu)
                     loss_vec = loss_vec + prox * Tensor(active.astype(np.float64))
+                loss_vec.retain_data()
                 loss_vec.sum().backward()
                 inactive = np.nonzero(~active)[0]
                 snapshot = (optimizer.snapshot_slices(inactive)
@@ -275,6 +292,85 @@ class FusedLocalTrainTask:
                         losses[b].append(float(loss_vec.data[b]))
                         batch_counts[b] += 1
                         sample_counts[b] += int(counts[b])
+
+
+# --------------------------------------------------------------------------- #
+# Fused no-grad forward tasks (evaluation and public-logit sweeps)
+# --------------------------------------------------------------------------- #
+@dataclass
+class _FusedForwardTask:
+    """Shared plumbing of the fused no-grad tasks: per-device state payloads
+    plus the chunked dataset sweep through a :class:`BatchedEvaluator`
+    (which applies the opt-in ``REPRO_SLICE_THREADS`` cohort-axis split)."""
+
+    device_ids: List[int]
+    states: List[object]  # StateRef | state dict | packed bytes, per device
+    batch_size: int = 256
+
+    def __getstate__(self):
+        payload = dict(self.__dict__)
+        payload["states"] = [pack_state_dict(value) if isinstance(value, dict) else value
+                             for value in payload["states"]]
+        return payload
+
+    def __setstate__(self, payload):
+        self.__dict__.update(payload)
+
+    def _evaluator(self, context: WorkerContext) -> BatchedEvaluator:
+        template = context.model_for(self.device_ids[0])
+        states = [resolve_state(value) for value in self.states]
+        return BatchedEvaluator(template, states)
+
+
+class FusedEvaluateTask(_FusedForwardTask):
+    """Evaluate a same-architecture cohort on the held-out test set at once.
+
+    One stacked eval forward per test batch replaces B sequential model
+    sweeps; the per-device accuracies are read off the cohort axis with the
+    exact chunked float reduction of
+    :func:`~repro.federated.trainer.evaluate_accuracy` (per-batch mean, ×
+    batch length, summed, / total), so each slice's accuracy is bitwise
+    equal to the per-device :class:`~repro.federated.backend.EvaluateTask`.
+    """
+
+    def run(self, context: WorkerContext) -> List[float]:
+        if context.eval_dataset is None:
+            raise RuntimeError("evaluate task requires an eval dataset in the worker context")
+        dataset = context.eval_dataset
+        batch = len(self.device_ids)
+        correct = [0.0] * batch
+        total = 0
+        with self._evaluator(context) as evaluator:
+            for start in range(0, len(dataset), self.batch_size):
+                labels = dataset.labels[start:start + self.batch_size]
+                logits = evaluator.predict(dataset.images[start:start + self.batch_size])
+                for b in range(batch):
+                    correct[b] += accuracy(logits[b], labels) * len(labels)
+                total += len(labels)
+        return [float(value / total) if total else 0.0 for value in correct]
+
+
+class FusedPublicLogitsTask(_FusedForwardTask):
+    """Compute a cohort's class scores on the public dataset in one sweep
+    (FedMD communicate phase); slice ``b`` is bitwise equal to the serial
+    :class:`~repro.federated.backend.PublicLogitsTask` output."""
+
+    def run(self, context: WorkerContext) -> List[np.ndarray]:
+        if context.public_dataset is None:
+            raise RuntimeError("public-logits task requires a public dataset in the worker context")
+        dataset = context.public_dataset
+        batch = len(self.device_ids)
+        chunks: List[np.ndarray] = []
+        with self._evaluator(context) as evaluator:
+            for start in range(0, len(dataset), self.batch_size):
+                chunks.append(
+                    evaluator.predict(dataset.images[start:start + self.batch_size]))
+        return [np.concatenate([chunk[b] for chunk in chunks], axis=0)
+                for b in range(batch)]
+
+
+#: Task types the planner may emit in place of a fused group.
+_FUSED_TASK_TYPES = (FusedLocalTrainTask, FusedEvaluateTask, FusedPublicLogitsTask)
 
 
 # --------------------------------------------------------------------------- #
@@ -296,7 +392,7 @@ class CohortPlan:
 
     @property
     def fused_group_count(self) -> int:
-        return sum(1 for task in self.tasks if isinstance(task, FusedLocalTrainTask))
+        return sum(1 for task in self.tasks if isinstance(task, _FUSED_TASK_TYPES))
 
     def gather(self, raw_results: Sequence) -> List:
         """Re-assemble planned results into original task order."""
@@ -304,7 +400,7 @@ class CohortPlan:
         results: List = [None] * total
         for planned_index, result in enumerate(raw_results):
             indices = self.scatter[planned_index]
-            if isinstance(self.tasks[planned_index], FusedLocalTrainTask):
+            if isinstance(self.tasks[planned_index], _FUSED_TASK_TYPES):
                 for slot, original_index in enumerate(indices):
                     results[original_index] = result[slot]
             else:
@@ -318,6 +414,50 @@ def _digest_group_key(digest: Optional[DigestSpec]) -> Optional[Tuple]:
     return (digest.epochs, digest.lr, digest.batch_size)
 
 
+def _task_fusion_key(task, group_key) -> Optional[Hashable]:
+    """The full fusion key of one task, or ``None`` for the per-device path.
+
+    ``group_key`` covers the model/config dimensions; the task-level
+    dimensions folded in here depend on the task kind — training tasks add
+    epochs, anchor presence, and the digest hyperparameters, the no-grad
+    forward tasks only their eval batch size.  The task type itself leads
+    the key, so an evaluate task can never fuse with a logits task.
+    """
+    task_type = type(task)
+    if task_type not in (LocalTrainTask, EvaluateTask, PublicLogitsTask):
+        return None
+    key = group_key(task)
+    if key is None:
+        return None
+    if task_type is LocalTrainTask:
+        return (task_type.__name__, key, task.epochs, task.anchor is not None,
+                _digest_group_key(task.digest))
+    return (task_type.__name__, key, task.batch_size)
+
+
+def _fuse_group(cohort: List) -> object:
+    """Build the fused task replacing a planned group (same-type members)."""
+    first = cohort[0]
+    if type(first) is LocalTrainTask:
+        return FusedLocalTrainTask(
+            device_ids=[t.device_id for t in cohort],
+            states=[t.state for t in cohort],
+            epochs=first.epochs,
+            rng_states=[t.rng_state for t in cohort],
+            anchors=([t.anchor for t in cohort]
+                     if any(t.anchor is not None for t in cohort) else None),
+            digests=([t.digest for t in cohort]
+                     if any(t.digest is not None for t in cohort) else None),
+        )
+    fused_type = (FusedEvaluateTask if type(first) is EvaluateTask
+                  else FusedPublicLogitsTask)
+    return fused_type(
+        device_ids=[t.device_id for t in cohort],
+        states=[t.state for t in cohort],
+        batch_size=first.batch_size,
+    )
+
+
 def plan_cohorts(tasks: Sequence, group_key: Callable[[object], Optional[Hashable]],
                  min_group: int = 2) -> CohortPlan:
     """Group a round's tasks into fused cohorts.
@@ -326,19 +466,17 @@ def plan_cohorts(tasks: Sequence, group_key: Callable[[object], Optional[Hashabl
     and training-config dimensions, or ``None`` when the task must stay on
     the per-device path (unfusable model, mismatched shard size...).  The
     planner itself folds in the task-level dimensions — epochs, anchor
-    presence, digest presence and digest hyperparameters — so two tasks
-    fuse only when every knob that shapes the training loop agrees.  Tasks
-    sharing a key are fused when the group reaches ``min_group``; each fused
-    task is emitted at its first member's position, so single-group rounds
-    keep their dispatch order stable.
+    presence, digest presence and digest hyperparameters for training
+    tasks; eval batch size for the no-grad forward tasks (evaluate /
+    public-logits sweeps) — so two tasks fuse only when every knob that
+    shapes the work agrees.  Tasks sharing a key are fused when the group
+    reaches ``min_group``; each fused task is emitted at its first member's
+    position, so single-group rounds keep their dispatch order stable.
     """
     keys: List[Optional[Hashable]] = []
     groups: Dict[Hashable, List[int]] = {}
     for index, task in enumerate(tasks):
-        key = group_key(task) if type(task) is LocalTrainTask else None
-        if key is not None:
-            key = (key, task.epochs, task.anchor is not None,
-                   _digest_group_key(task.digest))
+        key = _task_fusion_key(task, group_key)
         keys.append(key)
         if key is not None:
             groups.setdefault(key, []).append(index)
@@ -355,18 +493,7 @@ def plan_cohorts(tasks: Sequence, group_key: Callable[[object], Optional[Hashabl
             plan.scatter.append([index])
             emitted.add(index)
             continue
-        cohort = [tasks[i] for i in members]
-        fused = FusedLocalTrainTask(
-            device_ids=[t.device_id for t in cohort],
-            states=[t.state for t in cohort],
-            epochs=task.epochs,
-            rng_states=[t.rng_state for t in cohort],
-            anchors=([t.anchor for t in cohort]
-                     if any(t.anchor is not None for t in cohort) else None),
-            digests=([t.digest for t in cohort]
-                     if any(t.digest is not None for t in cohort) else None),
-        )
-        plan.tasks.append(fused)
+        plan.tasks.append(_fuse_group([tasks[i] for i in members]))
         plan.scatter.append(list(members))
         emitted.update(members)
     return plan

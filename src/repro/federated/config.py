@@ -260,7 +260,17 @@ class FederatedConfig:
         sizes; ``"family"`` additionally fuses pad-safe same-architecture
         devices with *unequal* shard sizes by masked padding on the sample
         axis — numerically ~1e-9-relative to the per-device path rather
-        than bitwise (the one documented fusion deviation).
+        than bitwise (the one documented fusion deviation).  With fusion
+        on, per-round device evaluation and FedMD's public-logit sweeps
+        also run as stacked no-grad forwards (bit-identical per slice).
+    numeric_policy:
+        Floating dtype tier the run computes in: ``"float64"`` (default —
+        the dtype the bit-identity contract and golden fixtures are defined
+        over) or ``"float32"`` (half the bytes, roughly double the GEMM
+        throughput; deterministic across repeats and backends but outside
+        the bit-identity contract).  The experiment runner activates the
+        policy for the run's duration and workers apply it with the
+        published context (CLI: ``--dtype float32``).
     """
 
     num_devices: int = 10
@@ -278,6 +288,7 @@ class FederatedConfig:
     heterogeneity: HeterogeneityConfig = field(default_factory=HeterogeneityConfig)
     strategy: StrategyConfig = field(default_factory=StrategyConfig)
     cohort_fusion: Union[bool, str] = False
+    numeric_policy: str = "float64"
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -286,6 +297,10 @@ class FederatedConfig:
             raise ValueError(
                 f"cohort_fusion must be True, False, or 'family', "
                 f"got {self.cohort_fusion!r}")
+        if self.numeric_policy not in ("float64", "float32"):
+            raise ValueError(
+                f"numeric_policy must be 'float64' or 'float32', "
+                f"got {self.numeric_policy!r}")
         if not 0.0 < self.participation_fraction <= 1.0:
             raise ValueError("participation_fraction must be in (0, 1]")
         if self.rounds < 1:
@@ -349,4 +364,6 @@ class FederatedConfig:
             summary["device_distill_optimizer"] = self.server.device_distill_optimizer
         if self.cohort_fusion:
             summary["cohort_fusion"] = self.cohort_fusion
+        if self.numeric_policy != "float64":
+            summary["numeric_policy"] = self.numeric_policy
         return summary

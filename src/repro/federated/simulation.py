@@ -52,7 +52,14 @@ from ..datasets.base import ImageDataset
 from ..nn.batched import fusion_signature, supports_padded_fusion
 from ..nn.buffers import scratch_pool
 from ..utils.serialization import StateRef
-from .backend import ExecutionBackend, SerialBackend, WorkerContext, build_worker_context
+from .backend import (
+    EvaluateTask,
+    ExecutionBackend,
+    PublicLogitsTask,
+    SerialBackend,
+    WorkerContext,
+    build_worker_context,
+)
 from .cohort import plan_cohorts
 from .config import FederatedConfig
 from .device import Device
@@ -257,6 +264,11 @@ class Simulation:
         (batch norm, active dropout) and digest-phase tasks keep the exact
         key — padding would perturb their numerics beyond the documented
         ~1e-9 loss-reduction deviation.
+
+        No-grad forward tasks (evaluate / public-logits sweeps) share every
+        batch with every cohort member, so their key is the architecture
+        signature alone: shard sizes and training configs never shape the
+        fused eval forward.
         """
         device = self.devices[task.device_id]
         if task.device_id not in self._fusion_signatures:
@@ -266,6 +278,8 @@ class Simulation:
         signature, pad_safe = self._fusion_signatures[task.device_id]
         if signature is None:
             return None
+        if isinstance(task, (EvaluateTask, PublicLogitsTask)):
+            return signature
         if (self.config.cohort_fusion == "family" and pad_safe
                 and getattr(task, "digest", None) is None):
             return (signature, device.training_config)
@@ -350,7 +364,10 @@ class Simulation:
         if self.evaluate_devices:
             store = self.state_store
             eval_tasks = [device.evaluate_task(store=store) for device in self.devices]
-            accuracies = self.backend.run_tasks(eval_tasks)
+            # Same fusion seam as the dispatch phase: with cohort_fusion on,
+            # each same-architecture cohort evaluates in one stacked no-grad
+            # forward instead of one sequential sweep per device.
+            accuracies = self.run_device_tasks(eval_tasks)
             for device, accuracy in zip(self.devices, accuracies):
                 record.device_accuracies[device.device_id] = accuracy
         record.server_metrics = dict(self.strategy.round_metrics())

@@ -41,7 +41,9 @@ serial path would.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
@@ -50,12 +52,13 @@ from . import conv as conv_ops
 from . import layers as layer_types
 from .buffers import scratch_pool
 from .conv import col2im, im2col
-from .module import Module
+from .module import Module, _as_floating
 from .optim import SGD, Adam
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = [
     "BatchedAdam",
+    "BatchedEvaluator",
     "BatchedModule",
     "BatchedSGD",
     "UnfusableModelError",
@@ -67,6 +70,7 @@ __all__ = [
     "batched_mse_loss",
     "fusion_signature",
     "register_batched_adapter",
+    "slice_thread_count",
     "stack_states",
     "supports_padded_fusion",
     "unstack_states",
@@ -139,7 +143,7 @@ def batched_conv2d(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None
 
     def factory(out: Tensor) -> Callable[[], None]:
         def backward() -> None:
-            grad = np.asarray(out.grad, dtype=np.float64).reshape(
+            grad = np.asarray(out.grad).reshape(
                 batch, samples, out_channels, -1)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad.sum(axis=(1, 3)), owned=True)
@@ -151,10 +155,12 @@ def batched_conv2d(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None
                     # einsum copies both operands contiguous and runs one
                     # batched GEMM, so identical copies in pooled scratch
                     # keep the bits while dropping the allocations.
-                    lhs = pool.acquire((batch, features, samples * length))
+                    lhs = pool.acquire((batch, features, samples * length),
+                                       cols.dtype)
                     np.copyto(lhs.reshape(batch, features, samples, length),
                               cols.transpose(0, 2, 1, 3))
-                    rhs = pool.acquire((batch, samples * length, out_channels))
+                    rhs = pool.acquire((batch, samples * length, out_channels),
+                                       grad.dtype)
                     np.copyto(rhs.reshape(batch, samples, length, out_channels),
                               grad.transpose(0, 1, 3, 2))
                     grad_w = np.matmul(lhs, rhs).transpose(0, 2, 1)
@@ -170,7 +176,8 @@ def batched_conv2d(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None
                     # Same lowering as the per-device conv backward: einsum's
                     # optimized path is this exact batched GEMM, so pooled
                     # ``out=`` keeps bits and drops the allocation.
-                    grad_cols = pool.acquire((batch, samples, features, length))
+                    grad_cols = pool.acquire((batch, samples, features, length),
+                                             np.result_type(w_mat, grad))
                     np.matmul(w_mat.transpose(0, 2, 1)[:, None], grad,
                               out=grad_cols)
                     grad_x = col2im(
@@ -465,7 +472,7 @@ def _build_dropout(layer, params, buffers, module, member_layers):
         # in the same order as per-device training — masks, outputs, and the
         # post-round RNG states are all bitwise identical to the fallback.
         mask = np.stack([
-            (member._rng.random(x.shape[1:]) >= p).astype(np.float64) / (1.0 - p)
+            (member._rng.random(x.shape[1:]) >= p).astype(x.data.dtype) / (1.0 - p)
             for member in member_layers])
         return x * Tensor(mask)
 
@@ -581,16 +588,24 @@ class BatchedModule:
         self.training = True
         self._params: "OrderedDict[str, Tensor]" = OrderedDict()
         for name, param in template.named_parameters():
+            # _as_floating mirrors Module.load_state_dict: floating payloads
+            # keep their dtype (float32 cohorts stay float32) and non-float
+            # payloads are promoted to the active numeric policy's dtype.
             stacked = np.stack(
-                [np.asarray(state[name], dtype=np.float64) for state in states], axis=0)
+                [_as_floating(state[name]) for state in states], axis=0)
             if stacked.shape[1:] != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{stacked.shape[1:]} vs {param.data.shape}")
-            self._params[name] = Tensor(stacked, requires_grad=requires_grad)
+            tensor = Tensor(stacked, requires_grad=requires_grad)
+            # Keep the stacked dtype (Tensor.__init__ coerces to the policy
+            # dtype); Module.load_state_dict preserves floating state the
+            # same way.
+            tensor.data = stacked
+            self._params[name] = tensor
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         for name, _ in template.named_buffers():
             self._buffers[name] = np.stack(
-                [np.asarray(state[f"buffer::{name}"], dtype=np.float64)
+                [_as_floating(state[f"buffer::{name}"])
                  for state in states], axis=0)
 
         member_sequences: Optional[List[List[Module]]] = None
@@ -652,6 +667,100 @@ class BatchedModule:
                 state[f"buffer::{name}"] = buf[index].copy()
             states.append(state)
         return states
+
+    def predict(self, inputs) -> np.ndarray:
+        """No-grad stacked inference: ``(B, N, ...)`` in, ``(B, N, C)`` out.
+
+        Runs the fused forward in eval mode with gradient recording off, so
+        no graph is built and no backward buffers are retained; the previous
+        train/eval mode is restored afterwards.  Slice ``b`` of the result
+        is bitwise equal to the serial model's eval forward on slice ``b``.
+        """
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            out = self.forward(Tensor(inputs))
+        if was_training:
+            self.train()
+        return out.data
+
+
+def slice_thread_count(batch_size: int) -> int:
+    """Worker-thread count for splitting a fused forward across cohort slices.
+
+    Opt-in via ``REPRO_SLICE_THREADS`` (unset, empty, or ``<= 1`` keeps the
+    single-threaded fused path); capped at the cohort size, since a slice is
+    the smallest independent unit of work.
+    """
+    raw = os.environ.get("REPRO_SLICE_THREADS", "").strip()
+    if not raw:
+        return 1
+    try:
+        threads = int(raw)
+    except ValueError:
+        return 1
+    return max(1, min(threads, int(batch_size)))
+
+
+class BatchedEvaluator:
+    """No-grad fused inference over a cohort, optionally split across threads.
+
+    Builds one eval-mode :class:`BatchedModule` over the cohort's states —
+    or, when ``REPRO_SLICE_THREADS`` requests more than one worker, one
+    module per contiguous chunk of the leading cohort axis, driven through a
+    :class:`~concurrent.futures.ThreadPoolExecutor`.  Cohort slices are
+    fully independent (every batched op is bitwise equal per slice
+    regardless of the cohort size, and numpy releases the GIL inside the
+    BLAS kernels), so the split changes wall-clock only, never bits.
+
+    The shared input batch is broadcast — not copied — onto each chunk's
+    leading axis; downstream reshapes materialize per-chunk copies exactly
+    where the fused ops need contiguous layouts.
+    """
+
+    def __init__(self, template: Module, states: Sequence[Dict[str, np.ndarray]]) -> None:
+        total = len(states)
+        threads = slice_thread_count(total)
+        bounds: List[Tuple[int, int]] = []
+        base, extra = divmod(total, threads)
+        start = 0
+        for index in range(threads):
+            stop = start + base + (1 if index < extra else 0)
+            if stop > start:
+                bounds.append((start, stop))
+            start = stop
+        self.batch_size = total
+        self._bounds = bounds
+        self._modules = [
+            BatchedModule(template, list(states[lo:hi]), requires_grad=False).eval()
+            for lo, hi in bounds
+        ]
+        self._executor = (ThreadPoolExecutor(max_workers=len(bounds))
+                          if len(bounds) > 1 else None)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Stacked logits ``(B, N, C)`` for one input batch shared by all slices."""
+        images = np.asarray(images)
+
+        def chunk(module: BatchedModule, width: int) -> np.ndarray:
+            return module.predict(np.broadcast_to(images, (width,) + images.shape))
+
+        if self._executor is None:
+            return chunk(self._modules[0], self.batch_size)
+        futures = [self._executor.submit(chunk, module, hi - lo)
+                   for module, (lo, hi) in zip(self._modules, self._bounds)]
+        return np.concatenate([future.result() for future in futures], axis=0)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchedEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
 
 class BatchedSGD(SGD):

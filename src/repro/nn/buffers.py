@@ -37,7 +37,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["BufferPool", "scratch_pool", "set_pooling", "pooling_enabled"]
+__all__ = ["BufferPool", "scratch_pool", "set_pooling", "pooling_enabled",
+           "set_forward_pooling", "forward_pooling_enabled"]
 
 
 class BufferPool:
@@ -117,3 +118,32 @@ def set_pooling(enabled: bool) -> bool:
 def pooling_enabled() -> bool:
     """Whether this thread's pool currently reuses buffers."""
     return scratch_pool().enabled
+
+
+# Forward-pass pooling rides on top of the pool switch above: training
+# forwards write matmul/conv/activation outputs into pooled buffers that
+# ``Tensor.backward`` reclaims with the intermediate gradients.  This
+# per-thread sub-switch exists so ``benchmarks/bench_memory.py`` can isolate
+# the forward-pooling delta from the (older) backward pooling; users get
+# the single ``set_pooling`` knob, which gates both.
+class _ForwardLocal(threading.local):
+    enabled = True
+
+
+_FORWARD = _ForwardLocal()
+
+
+def set_forward_pooling(enabled: bool) -> bool:
+    """Toggle forward-output pooling on this thread; returns the old value.
+
+    Only effective while :func:`pooling_enabled` is True — ``set_pooling(False)``
+    restores the legacy allocate-per-op forward regardless of this switch.
+    """
+    previous = _FORWARD.enabled
+    _FORWARD.enabled = bool(enabled)
+    return previous
+
+
+def forward_pooling_enabled() -> bool:
+    """Whether training forwards feed their outputs from the pool (this thread)."""
+    return _FORWARD.enabled and scratch_pool().enabled

@@ -15,7 +15,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from .buffers import BufferPool, scratch_pool
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, _forward_buffer
 
 __all__ = [
     "im2col",
@@ -185,16 +185,53 @@ def conv2d(
     pool = scratch_pool()
     columns, out_h, out_w = im2col(x.data, kernel, stride, padding, pool=pool)
     w_mat = w.data.reshape(out_channels, -1)
-    out_data = np.einsum("of,nfl->nol", w_mat, columns, optimize=True)
-    if bias is not None:
-        out_data = out_data + bias.data.reshape(1, -1, 1)
-    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
-
     parents = (x, w) if bias is None else (x, w, bias)
+
+    # Training forwards write the contraction into a pooled buffer shaped
+    # like einsum's own result: the optimized "of,nfl->nol" path runs one
+    # GEMM into an (n, l, o)-contiguous array and hands back its transposed
+    # view, and downstream reductions (batch-norm statistics) iterate in
+    # that layout's order — so the pooled buffer must reproduce the layout,
+    # not just the values, to keep trajectories bit-identical.  ``out=``
+    # runs the identical kernel, and the in-place bias add performs the
+    # same IEEE-754 additions as the allocating form.  ``backward()``
+    # reclaims the base array behind the view.
+    length = out_h * out_w
+    out_data = None
+    pooled = False
+    if (w.data.dtype == columns.dtype
+            and any(p.requires_grad for p in parents)
+            and batch >= 2 and out_channels >= 2
+            and w_mat.shape[1] >= 2 and length >= 2):
+        base = _forward_buffer((batch, length, out_channels), columns.dtype)
+        if base is not None:
+            nol = base.transpose(0, 2, 1)
+            # einsum's optimized path lowers "nfl,of->nol" to one tensordot:
+            # stage ``columns`` contiguously as (n*l, f), run one GEMM with
+            # ``w_mat.T`` into an (n*l, o) result — exactly the (n, l, o)
+            # base layout — then transpose-copy into ``out``.  Making the
+            # same staging copy in pooled scratch and pointing the GEMM
+            # straight at the base runs the identical dot on the identical
+            # bytes while the largest forward transient becomes pool reuse.
+            features = w_mat.shape[1]
+            staged = pool.acquire((batch * length, features), columns.dtype)
+            np.copyto(staged.reshape(batch, length, features),
+                      columns.transpose(0, 2, 1))
+            np.dot(staged, w_mat.T, out=base.reshape(batch * length, out_channels))
+            pool.release(staged)
+            if bias is not None:
+                nol += bias.data.reshape(1, -1, 1)
+            out_data = nol.reshape(batch, out_channels, out_h, out_w)
+            pooled = True
+    if out_data is None:
+        out_data = np.einsum("of,nfl->nol", w_mat, columns, optimize=True)
+        if bias is not None:
+            out_data = out_data + bias.data.reshape(1, -1, 1)
+        out_data = out_data.reshape(batch, out_channels, out_h, out_w)
 
     def factory(out: Tensor) -> Callable[[], None]:
         def backward() -> None:
-            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, out_channels, -1)
+            grad = np.asarray(out.grad).reshape(batch, out_channels, -1)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad.sum(axis=(0, 2)), owned=True)
             if w.requires_grad:
@@ -206,10 +243,11 @@ def conv2d(
                     # copies in pooled scratch keeps the bits while dropping
                     # the two large allocations.  Degenerate widths take
                     # einsum's special cases, so those fall through.
-                    lhs = pool.acquire((features, batch * length))
+                    lhs = pool.acquire((features, batch * length),
+                                       columns.dtype)
                     np.copyto(lhs.reshape(features, batch, length),
                               columns.transpose(1, 0, 2))
-                    rhs = pool.acquire((batch * length, out_channels))
+                    rhs = pool.acquire((batch * length, out_channels), grad.dtype)
                     np.copyto(rhs.reshape(batch, length, out_channels),
                               grad.transpose(0, 2, 1))
                     grad_w = np.matmul(lhs, rhs).transpose(1, 0)
@@ -227,7 +265,8 @@ def conv2d(
                     # scratch keeps the bits while dropping the allocation.
                     # Degenerate widths (f or l of 1) take einsum's special
                     # cases instead, so those fall through unchanged.
-                    grad_cols = pool.acquire((batch, features, length))
+                    grad_cols = pool.acquire((batch, features, length),
+                                             np.result_type(w_mat, grad))
                     np.matmul(w_mat.T, grad, out=grad_cols)
                     x._accumulate(
                         col2im(grad_cols, x.data.shape, kernel, stride, padding),
@@ -245,6 +284,7 @@ def conv2d(
         return backward
 
     out = Tensor._make(out_data, parents, factory)
+    out._pooled_data = pooled and out._backward is not None
     if out._backward is None:
         pool.release(columns)  # inference path: nothing will read them again
     return out
@@ -273,16 +313,36 @@ def depthwise_conv2d(
     # columns: (N, C*k*k, L) -> (N, C, k*k, L)
     cols = columns.reshape(batch, channels, kernel * kernel, -1)
     w_mat = w.data.reshape(channels, kernel * kernel)
-    out_data = np.einsum("cf,ncfl->ncl", w_mat, cols, optimize=True)
-    if bias is not None:
-        out_data = out_data + bias.data.reshape(1, -1, 1)
-    out_data = out_data.reshape(batch, channels, out_h, out_w)
-
     parents = (x, w) if bias is None else (x, w, bias)
+
+    # Same pooled training forward as conv2d, in the layout einsum's own
+    # optimized "cf,ncfl->ncl" path produces: a (c, n, l)-contiguous base
+    # viewed as (n, c, l).  Downstream reductions iterate in that order,
+    # so reproducing the layout keeps trajectories bit-identical.
+    length = out_h * out_w
+    out_data = None
+    pooled = False
+    if (w.data.dtype == columns.dtype
+            and any(p.requires_grad for p in parents)
+            and batch >= 2 and channels >= 2
+            and kernel * kernel >= 2 and length >= 2):
+        base = _forward_buffer((channels, batch, length), columns.dtype)
+        if base is not None:
+            ncl = base.transpose(1, 0, 2)
+            np.einsum("cf,ncfl->ncl", w_mat, cols, out=ncl, optimize=True)
+            if bias is not None:
+                ncl += bias.data.reshape(1, -1, 1)
+            out_data = ncl.reshape(batch, channels, out_h, out_w)
+            pooled = True
+    if out_data is None:
+        out_data = np.einsum("cf,ncfl->ncl", w_mat, cols, optimize=True)
+        if bias is not None:
+            out_data = out_data + bias.data.reshape(1, -1, 1)
+        out_data = out_data.reshape(batch, channels, out_h, out_w)
 
     def factory(out: Tensor) -> Callable[[], None]:
         def backward() -> None:
-            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, -1)
+            grad = np.asarray(out.grad).reshape(batch, channels, -1)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad.sum(axis=(0, 2)), owned=True)
             if w.requires_grad:
@@ -292,10 +352,11 @@ def depthwise_conv2d(
                     # Same pooled staging as the dense conv grad_w (einsum
                     # lowers this to one per-channel GEMV after contiguous
                     # copies of both operands).
-                    lhs = pool.acquire((channels, taps, batch * length))
+                    lhs = pool.acquire((channels, taps, batch * length),
+                                       cols.dtype)
                     np.copyto(lhs.reshape(channels, taps, batch, length),
                               cols.transpose(1, 2, 0, 3))
-                    rhs = pool.acquire((channels, batch * length, 1))
+                    rhs = pool.acquire((channels, batch * length, 1), grad.dtype)
                     np.copyto(rhs.reshape(channels, batch, length),
                               grad.transpose(1, 0, 2))
                     grad_w = np.matmul(lhs, rhs).reshape(channels, taps)
@@ -310,7 +371,8 @@ def depthwise_conv2d(
                 # length-1 inner axis computes the same single multiply per
                 # element, bitwise, for every shape.
                 grad_cols = pool.acquire(
-                    (batch, channels, kernel * kernel, grad.shape[-1]))
+                    (batch, channels, kernel * kernel, grad.shape[-1]),
+                    np.result_type(w_mat, grad))
                 np.matmul(w_mat[:, :, None], grad[:, :, None, :], out=grad_cols)
                 x._accumulate(
                     col2im(grad_cols.reshape(batch, channels * kernel * kernel, -1),
@@ -322,6 +384,7 @@ def depthwise_conv2d(
         return backward
 
     out = Tensor._make(out_data, parents, factory)
+    out._pooled_data = pooled and out._backward is not None
     if out._backward is None:
         pool.release(columns)
     return out
@@ -346,8 +409,9 @@ def max_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
         def backward() -> None:
             if not x.requires_grad:
                 return
-            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, 1, -1)
-            grad_cols = pool.acquire((batch, channels * kernel * kernel, cols_shape[-1]))
+            grad = np.asarray(out.grad).reshape(batch, channels, 1, -1)
+            grad_cols = pool.acquire(
+                (batch, channels * kernel * kernel, cols_shape[-1]), grad.dtype)
             grad_cols.fill(0.0)
             np.put_along_axis(
                 grad_cols.reshape(cols_shape), arg[:, :, None, :], grad, axis=2)
@@ -377,8 +441,9 @@ def avg_pool2d(inputs: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
         def backward() -> None:
             if not x.requires_grad:
                 return
-            grad = np.asarray(out.grad, dtype=np.float64).reshape(batch, channels, 1, -1)
-            grad_cols = pool.acquire((batch, channels * kernel * kernel, cols_shape[-1]))
+            grad = np.asarray(out.grad).reshape(batch, channels, 1, -1)
+            grad_cols = pool.acquire(
+                (batch, channels * kernel * kernel, cols_shape[-1]), grad.dtype)
             np.copyto(grad_cols.reshape(cols_shape), grad / (kernel * kernel))
             x._accumulate(col2im(grad_cols, x.data.shape, kernel, stride, 0),
                           owned=True)
@@ -408,7 +473,7 @@ def upsample_nearest2d(inputs: Tensor, scale: int = 2) -> Tensor:
         def backward() -> None:
             if not x.requires_grad:
                 return
-            grad = np.asarray(out.grad, dtype=np.float64)
+            grad = np.asarray(out.grad)
             batch, channels, height, width = x.data.shape
             grad = grad.reshape(batch, channels, height, scale, width, scale)
             x._accumulate(grad.sum(axis=(3, 5)))

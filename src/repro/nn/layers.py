@@ -16,6 +16,7 @@ import numpy as np
 from . import conv as conv_ops
 from . import init
 from .module import Module, Parameter
+from .policy import policy_dtype
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -123,8 +124,8 @@ class _BatchNorm(Module):
         self.eps = eps
         self.weight = Parameter(init.ones((num_features,)), name="weight")
         self.bias = Parameter(init.zeros((num_features,)), name="bias")
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=policy_dtype()))
+        self.register_buffer("running_var", np.ones(num_features, dtype=policy_dtype()))
 
     def _normalize(self, x: Tensor, axes, shape) -> Tensor:
         if self.training:
@@ -180,7 +181,7 @@ class Dropout(Module):
         x = as_tensor(x)
         if not self.training or self.p == 0.0:
             return x
-        mask = (self._rng.random(x.shape) >= self.p).astype(np.float64) / (1.0 - self.p)
+        mask = (self._rng.random(x.shape) >= self.p).astype(x.data.dtype) / (1.0 - self.p)
         return x * Tensor(mask)
 
 

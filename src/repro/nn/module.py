@@ -14,9 +14,25 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from .policy import policy_dtype
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+def _as_floating(value) -> np.ndarray:
+    """Coerce ``value`` for storage as module state.
+
+    Floating arrays keep their dtype — a float32 state dict must survive a
+    save/load round-trip under any policy — while non-float payloads (e.g.
+    integer counters handed to ``register_buffer``) are promoted to the
+    active numeric policy's dtype, preserving the historical behaviour of
+    the unconditional ``float64`` coercion under the default policy.
+    """
+    array = np.asarray(value)
+    if array.dtype.kind != "f":
+        array = array.astype(policy_dtype())
+    return array
 
 
 class Parameter(Tensor):
@@ -51,15 +67,20 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register a non-learnable persistent array (e.g. batch-norm running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register a non-learnable persistent array (e.g. batch-norm running stats).
+
+        Floating buffers keep their dtype (the numeric policy applies at
+        creation time, in the layer constructors); non-float values are
+        promoted to the policy dtype.
+        """
+        self._buffers[name] = _as_floating(value)
         object.__setattr__(self, name, self._buffers[name])
 
     def _set_buffer(self, name: str, value: np.ndarray) -> None:
         """Update a registered buffer in place (keeps the registry consistent)."""
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} is not registered")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = _as_floating(value)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------ #
@@ -150,13 +171,18 @@ class Module:
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
-        """Load parameters and buffers previously produced by :meth:`state_dict`."""
+        """Load parameters and buffers previously produced by :meth:`state_dict`.
+
+        Floating state keeps its dtype (a float32 checkpoint loads as
+        float32 and round-trips through :meth:`state_dict` unchanged);
+        non-float payloads are promoted to the numeric policy's dtype.
+        """
         params = dict(self.named_parameters())
         buffer_owners = self._buffer_owners()
         missing: List[str] = []
         for name, param in params.items():
             if name in state:
-                value = np.asarray(state[name], dtype=np.float64)
+                value = _as_floating(state[name])
                 if value.shape != param.data.shape:
                     raise ValueError(
                         f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"

@@ -1,0 +1,108 @@
+"""Global numeric policy: the floating dtype the ``nn`` substrate runs in.
+
+The library's bit-identity contract (golden fixtures, fused-vs-unfused and
+cross-backend parity) is defined over ``float64``, which therefore stays
+the default.  Experiments that accept leaving that contract can opt into
+``float32`` — half the bytes and roughly double the GEMM throughput — via
+``set_numeric_policy("float32")`` (CLI: ``repro run --dtype float32``).
+
+The policy is consulted at tensor-construction and state-loading time:
+floating payloads are coerced to the policy dtype, while the autograd
+engine itself is dtype-*following* (gradients, masks, and pooled scratch
+take their dtype from the arrays they derive from), so a graph built under
+one policy keeps computing in that dtype regardless of later policy
+changes.  Float32 runs are deterministic across repeats and across
+execution backends — every worker applies the run's policy before touching
+model state — but their trajectories are not comparable bit-for-bit with
+float64 ones, and the golden fixtures are float64-only.
+
+The switch is process-global rather than per-thread: a run commits to one
+dtype for all of its models, workers included (the policy name rides along
+in the :class:`~repro.federated.backend.WorkerContext`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "NumericPolicy",
+    "NUMERIC_POLICIES",
+    "numeric_policy",
+    "set_numeric_policy",
+    "using_numeric_policy",
+    "policy_dtype",
+]
+
+
+@dataclass(frozen=True)
+class NumericPolicy:
+    """A named floating dtype tier.
+
+    Attributes
+    ----------
+    name:
+        ``"float64"`` (the bit-identity default) or ``"float32"``.
+    dtype:
+        The numpy dtype floating payloads are coerced to.
+    """
+
+    name: str
+    dtype: np.dtype
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+NUMERIC_POLICIES = {
+    "float64": NumericPolicy("float64", np.dtype(np.float64)),
+    "float32": NumericPolicy("float32", np.dtype(np.float32)),
+}
+
+_ACTIVE = NUMERIC_POLICIES["float64"]
+
+
+def numeric_policy() -> NumericPolicy:
+    """The active numeric policy."""
+    return _ACTIVE
+
+
+def policy_dtype() -> np.dtype:
+    """The active policy's floating dtype (the hot-path accessor)."""
+    return _ACTIVE.dtype
+
+
+def set_numeric_policy(policy: "str | NumericPolicy") -> NumericPolicy:
+    """Activate a numeric policy; returns the previously active one.
+
+    Accepts a policy name (``"float64"`` / ``"float32"``) or a
+    :class:`NumericPolicy`.  Changing the policy affects tensors and module
+    state created *afterwards*; existing arrays keep their dtype.
+    """
+    global _ACTIVE
+    if isinstance(policy, str):
+        try:
+            policy = NUMERIC_POLICIES[policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown numeric policy {policy!r}; "
+                f"choose from {sorted(NUMERIC_POLICIES)}") from None
+    elif not isinstance(policy, NumericPolicy):
+        raise TypeError(f"expected a policy name or NumericPolicy, got {policy!r}")
+    previous = _ACTIVE
+    _ACTIVE = policy
+    return previous
+
+
+@contextmanager
+def using_numeric_policy(policy: "str | NumericPolicy") -> Iterator[NumericPolicy]:
+    """Context manager that activates ``policy`` for the block's duration."""
+    previous = set_numeric_policy(policy)
+    try:
+        yield _ACTIVE
+    finally:
+        set_numeric_policy(previous)

@@ -30,7 +30,8 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .buffers import scratch_pool
+from .buffers import forward_pooling_enabled, scratch_pool
+from .policy import policy_dtype
 
 __all__ = [
     "Tensor",
@@ -124,14 +125,99 @@ def as_tensor(value: ArrayLike) -> "Tensor":
     return Tensor(value)
 
 
+def _forward_buffer(shape: Tuple[int, ...], dtype) -> Optional[np.ndarray]:
+    """A pooled buffer for a *training-forward* output, or None.
+
+    Forward outputs are only pooled when the graph will be recorded (the
+    backward cleanup is what returns the buffer) and the buffer's dtype
+    matches the numeric policy (so ``Tensor.__init__`` adopts the array
+    without a coercing copy).  No-grad forwards keep plain allocation —
+    op-level callers that know their buffer lifetimes (the fused inference
+    path, conv's im2col staging) manage the pool directly instead.
+    """
+    if not (_ALLOC_FREE and _GRAD_MODE.enabled and forward_pooling_enabled()):
+        return None
+    if np.dtype(dtype) != policy_dtype():
+        return None
+    return scratch_pool().acquire(shape, dtype)
+
+
+def _forward_buffer_like(arr: np.ndarray) -> Optional[np.ndarray]:
+    """A pooled buffer matching ``arr``'s shape, dtype, AND memory layout.
+
+    Downstream reductions (batch-norm statistics in particular) are
+    layout-sensitive at ulp level, so a pooled result may only replace an
+    allocating ufunc result if its strides are exactly what ``order='K'``
+    would have produced — ``arr``'s own strides, for the dense inputs the
+    models generate.  Strided inputs (transposed-view conv outputs) get a
+    base acquired in stride-descending order and viewed back; anything
+    whose layout cannot be reproduced exactly returns None and the caller
+    falls back to the allocating path.
+    """
+    if arr.flags.c_contiguous:
+        return _forward_buffer(arr.shape, arr.dtype)
+    if not (_ALLOC_FREE and _GRAD_MODE.enabled and forward_pooling_enabled()):
+        return None
+    if np.dtype(arr.dtype) != policy_dtype():
+        return None
+    order = sorted(range(arr.ndim), key=lambda axis: (-arr.strides[axis], axis))
+    base = scratch_pool().acquire(tuple(arr.shape[axis] for axis in order),
+                                  arr.dtype)
+    inverse = [0] * arr.ndim
+    for position, axis in enumerate(order):
+        inverse[axis] = position
+    view = base.transpose(inverse)
+    if view.shape != arr.shape or view.strides != arr.strides:
+        scratch_pool().release(base)
+        return None
+    return view
+
+
+def _broadcasts_onto(small: Tuple[int, ...], big: Tuple[int, ...]) -> bool:
+    """True when broadcasting ``small`` against ``big`` yields ``big``."""
+    if len(small) > len(big):
+        return False
+    return all(s == 1 or s == g for s, g in zip(reversed(small), reversed(big)))
+
+
+def _binary_forward(ufunc, a: "Tensor", b: "Tensor"):
+    """``ufunc(a.data, b.data)`` into a pooled buffer when safe.
+
+    Returns ``(data, pooled)``.  Pooling only happens in the cases whose
+    ``order='K'`` output layout is predictable without allocating the
+    reference result: a full-result-shape operand against a broadcast
+    operand (the output copies the full operand's stride order — exactly
+    what :func:`_forward_buffer_like` reconstructs, with its strides check
+    rejecting anything it cannot reproduce), or two same-shape C-contiguous
+    operands (C-contiguous output).  Elementwise values are bit-identical
+    in any layout; the layout gate is for downstream reductions, which
+    iterate in memory order.
+    """
+    av, bv = a.data, b.data
+    buffer = None
+    if av.dtype == bv.dtype and (a.requires_grad or b.requires_grad):
+        if av.shape == bv.shape:
+            if av.flags.c_contiguous and bv.flags.c_contiguous:
+                buffer = _forward_buffer(av.shape, av.dtype)
+        elif _broadcasts_onto(bv.shape, av.shape):
+            buffer = _forward_buffer_like(av)
+        elif _broadcasts_onto(av.shape, bv.shape):
+            buffer = _forward_buffer_like(bv)
+    if buffer is None:
+        return ufunc(av, bv), False
+    ufunc(av, bv, out=buffer)
+    return buffer, True
+
+
 class Tensor:
     """A numpy-backed array that records operations for backpropagation.
 
     Parameters
     ----------
     data:
-        Array-like payload.  Floating payloads are stored as ``float64``;
-        integer payloads (e.g. label arrays) keep their dtype.
+        Array-like payload.  Floating payloads are stored in the active
+        :mod:`numeric policy <repro.nn.policy>` dtype (``float64`` by
+        default); integer payloads (e.g. label arrays) keep their dtype.
     requires_grad:
         Whether gradients should be accumulated for this tensor.  Leaf
         tensors created by the user (parameters, probed inputs) set this;
@@ -140,7 +226,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "_retain_grad", "name")
+                 "_retain_grad", "_pooled_data", "_retain_data", "name")
 
     def __init__(
         self,
@@ -151,16 +237,20 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         array = np.asarray(data)
-        if array.dtype.kind == "f" and array.dtype != np.float64:
-            array = array.astype(np.float64)
+        if array.dtype.kind == "f":
+            target = policy_dtype()
+            if array.dtype != target:
+                array = array.astype(target)
         elif array.dtype.kind not in "fiub":
-            array = array.astype(np.float64)
+            array = array.astype(policy_dtype())
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad) and _GRAD_MODE.enabled
         self._backward: Optional[Callable[[], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._retain_grad: bool = False
+        self._pooled_data: bool = False
+        self._retain_data: bool = False
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -213,8 +303,24 @@ class Tensor:
         """
         self._retain_grad = True
 
+    def retain_data(self) -> None:
+        """Keep this tensor's ``.data`` through ``backward()``'s cleanup.
+
+        When forward pooling is active, intermediate outputs produced into
+        pooled buffers are reclaimed once backward finishes (nothing in the
+        graph reads them again).  Call this before ``backward()`` on any
+        intermediate whose payload must stay readable afterwards — e.g. a
+        synthesized batch that is re-used as data after the generator step.
+        """
+        self._retain_data = True
+
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but cut off from the graph."""
+        """Return a new tensor sharing data but cut off from the graph.
+
+        Detaching declares that the payload outlives the graph, so it also
+        pins a pooled forward output (see :meth:`retain_data`).
+        """
+        self._retain_data = True
         return Tensor(self.data, requires_grad=False)
 
     def copy(self) -> "Tensor":
@@ -271,12 +377,16 @@ class Tensor:
         buffers — must stay ``owned=False``.  When ``.grad`` already holds
         a buffer (persistent buffers via ``zero_grad(set_to_none=False)``,
         or a second accumulation) the addition happens in place; ``+=`` on
-        float64 arrays performs the identical IEEE-754 additions as the
+        float arrays performs the identical IEEE-754 additions as the
         allocating ``a = a + b``, so trajectories are bit-identical.
+
+        Gradients follow the owning tensor's dtype (the numeric policy's
+        job ends at construction time): a contribution arriving in another
+        dtype is cast once here.
         """
         array = np.asarray(grad)
-        if array.dtype != np.float64:
-            array = array.astype(np.float64)
+        if array.dtype != self.data.dtype:
+            array = array.astype(self.data.dtype)
             owned = True
         if array.shape != self.data.shape:
             # _unbroadcast always reduces (sum / reshape-of-sum), so the
@@ -310,8 +420,9 @@ class Tensor:
         """Accumulate a computed gradient contribution through pooled scratch.
 
         ``fill(buffer)`` must write the full contribution (shape ``shape``,
-        float64) into ``buffer``; ``fallback()`` must compute the identical
-        values the historical allocating way.  On the allocation-free path
+        in this tensor's dtype) into ``buffer``; ``fallback()`` must compute
+        the identical values the historical allocating way.  On the
+        allocation-free path
         the contribution lands either directly in a pooled buffer adopted as
         ``.grad`` (first accumulation), in pooled scratch added in place
         (subsequent accumulations), or in pooled scratch reduced by
@@ -325,19 +436,20 @@ class Tensor:
             self._accumulate(fallback(), owned=True)
             return
         shape = tuple(int(s) for s in shape)
+        dtype = self.data.dtype
         if shape != self.data.shape:
-            scratch = pool.acquire(shape)
+            scratch = pool.acquire(shape, dtype)
             fill(scratch)
             self._accumulate(_unbroadcast(scratch, self.data.shape), owned=True)
             pool.release(scratch)
             return
         buffer = self.grad
         if buffer is None:
-            out = pool.acquire(shape)
+            out = pool.acquire(shape, dtype)
             fill(out)
             self.grad = out
         else:
-            scratch = pool.acquire(shape)
+            scratch = pool.acquire(shape, dtype)
             fill(scratch)
             buffer += scratch
             pool.release(scratch)
@@ -369,10 +481,10 @@ class Tensor:
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
-            grad = np.ones_like(self.data, dtype=np.float64)
+            grad = np.ones_like(self.data)
             seed_owned = True
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
@@ -406,7 +518,10 @@ class Tensor:
         # the thread's scratch pool: once a node's closure has propagated its
         # gradient, nothing reads it again (leaves — parameters and probed
         # inputs — keep theirs; so does the seed tensor backward ran from,
-        # and any node marked with :meth:`retain_grad`).
+        # and any node marked with :meth:`retain_grad`).  Forward outputs
+        # produced into pooled buffers are reclaimed under the same rule —
+        # the graph was their only reader; :meth:`retain_data` (or
+        # :meth:`detach`) pins the ones that outlive backward.
         pool = scratch_pool()
         reclaim = _ALLOC_FREE and pool.enabled
         for node in topo:
@@ -414,6 +529,10 @@ class Tensor:
                 if reclaim and node.grad is not None and not node._retain_grad:
                     pool.release(node.grad)
                     node.grad = None
+                if reclaim and node._pooled_data and not node._retain_data:
+                    payload = node.data
+                    pool.release(payload if payload.base is None else payload.base)
+                    node._pooled_data = False
                 node._parents = ()
                 node._backward = None
 
@@ -433,7 +552,10 @@ class Tensor:
 
             return backward
 
-        return Tensor._make(a.data + b.data, (a, b), factory)
+        data, pooled = _binary_forward(np.add, a, b)
+        out = Tensor._make(data, (a, b), factory)
+        out._pooled_data = pooled and out._backward is not None
+        return out
 
     __radd__ = __add__
 
@@ -447,7 +569,15 @@ class Tensor:
 
             return backward
 
-        return Tensor._make(-a.data, (a,), factory)
+        buffer = _forward_buffer_like(a.data) if a.requires_grad else None
+        if buffer is None:
+            data, pooled = -a.data, False
+        else:
+            np.negative(a.data, out=buffer)
+            data, pooled = buffer, True
+        out = Tensor._make(data, (a,), factory)
+        out._pooled_data = pooled and out._backward is not None
+        return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
@@ -462,7 +592,10 @@ class Tensor:
 
             return backward
 
-        return Tensor._make(a.data - b.data, (a, b), factory)
+        data, pooled = _binary_forward(np.subtract, a, b)
+        out = Tensor._make(data, (a, b), factory)
+        out._pooled_data = pooled and out._backward is not None
+        return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) - self
@@ -480,7 +613,10 @@ class Tensor:
 
             return backward
 
-        return Tensor._make(a.data * b.data, (a, b), factory)
+        data, pooled = _binary_forward(np.multiply, a, b)
+        out = Tensor._make(data, (a, b), factory)
+        out._pooled_data = pooled and out._backward is not None
+        return out
 
     __rmul__ = __mul__
 
@@ -496,7 +632,7 @@ class Tensor:
                     def fill(buffer: np.ndarray) -> None:
                         # ((-g) * a) / b**2 — the literal op sequence of the
                         # fallback expression, written into pooled scratch.
-                        square = scratch_pool().acquire(b.data.shape)
+                        square = scratch_pool().acquire(b.data.shape, b.data.dtype)
                         np.power(b.data, 2, out=square)
                         np.negative(out.grad, out=buffer)
                         buffer *= a.data
@@ -509,7 +645,10 @@ class Tensor:
 
             return backward
 
-        return Tensor._make(a.data / b.data, (a, b), factory)
+        data, pooled = _binary_forward(np.divide, a, b)
+        out = Tensor._make(data, (a, b), factory)
+        out._pooled_data = pooled and out._backward is not None
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -581,7 +720,7 @@ class Tensor:
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values to ``[low, high]``; gradient is zero outside the range."""
         a = self
-        mask = ((a.data >= low) & (a.data <= high)).astype(np.float64)
+        mask = ((a.data >= low) & (a.data <= high)).astype(a.data.dtype)
 
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
@@ -603,7 +742,7 @@ class Tensor:
             def backward() -> None:
                 if not a.requires_grad:
                     return
-                g = np.asarray(out.grad, dtype=np.float64)
+                g = np.asarray(out.grad)
                 if axis is not None and not keepdims:
                     axes = (axis,) if isinstance(axis, int) else tuple(axis)
                     axes = tuple(ax % a.data.ndim for ax in axes)
@@ -632,14 +771,14 @@ class Tensor:
         a = self
         value = a.data.max(axis=axis, keepdims=keepdims)
         max_keep = a.data.max(axis=axis, keepdims=True)
-        mask = (a.data == max_keep).astype(np.float64)
+        mask = (a.data == max_keep).astype(a.data.dtype)
         mask /= mask.sum(axis=axis, keepdims=True)
 
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if not a.requires_grad:
                     return
-                g = np.asarray(out.grad, dtype=np.float64)
+                g = np.asarray(out.grad)
                 if axis is not None and not keepdims:
                     axes = (axis,) if isinstance(axis, int) else tuple(axis)
                     axes = tuple(ax % a.data.ndim for ax in axes)
@@ -698,7 +837,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    full = np.zeros(a.data.shape, dtype=np.float64)
+                    full = np.zeros(a.data.shape, dtype=a.data.dtype)
                     np.add.at(full, index, out.grad)
                     a._accumulate(full, owned=True)
 
@@ -735,7 +874,7 @@ class Tensor:
 
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
-                grad = np.asarray(out.grad, dtype=np.float64)
+                grad = np.asarray(out.grad)
                 if a.requires_grad:
                     _matmul_accumulate(a, grad, np.swapaxes(b.data, -1, -2))
                 if b.requires_grad:
@@ -743,7 +882,26 @@ class Tensor:
 
             return backward
 
-        return Tensor._make(a.data @ b.data, (a, b), factory)
+        # Training forwards write the product into a pooled buffer
+        # (``np.matmul(..., out=)`` runs the identical gufunc/BLAS kernel,
+        # so values are bit-identical); backward's cleanup reclaims it.
+        data = None
+        pooled = False
+        if (a.data.ndim >= 2 and b.data.ndim >= 2
+                and a.data.dtype == b.data.dtype
+                and (a.requires_grad or b.requires_grad)):
+            shape = np.broadcast_shapes(a.data.shape[:-2], b.data.shape[:-2]) \
+                + (a.data.shape[-2], b.data.shape[-1])
+            buffer = _forward_buffer(shape, a.data.dtype)
+            if buffer is not None:
+                np.matmul(a.data, b.data, out=buffer)
+                data = buffer
+                pooled = True
+        if data is None:
+            data = a.data @ b.data
+        out = Tensor._make(data, (a, b), factory)
+        out._pooled_data = pooled and out._backward is not None
+        return out
 
     __matmul__ = matmul
 
@@ -752,29 +910,30 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def relu(self) -> "Tensor":
         a = self
-        mask = (a.data > 0).astype(np.float64)
 
-        def factory(out: "Tensor") -> Callable[[], None]:
-            def backward() -> None:
-                if a.requires_grad:
-                    a._accumulate_ufunc(np.multiply, out.grad, mask)
+        def write_mask(buffer: np.ndarray) -> np.ndarray:
+            # bool comparison result casts exactly to 0.0 / 1.0
+            np.greater(a.data, 0, out=buffer)
+            return buffer
 
-            return backward
-
-        return Tensor._make(a.data * mask, (a,), factory)
+        return _masked_activation(
+            a, lambda: (a.data > 0).astype(a.data.dtype), write_mask)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         a = self
-        mask = np.where(a.data > 0, 1.0, negative_slope)
 
-        def factory(out: "Tensor") -> Callable[[], None]:
-            def backward() -> None:
-                if a.requires_grad:
-                    a._accumulate_ufunc(np.multiply, out.grad, mask)
+        def alloc_mask() -> np.ndarray:
+            return np.where(a.data > 0, 1.0,
+                            negative_slope).astype(a.data.dtype, copy=False)
 
-            return backward
+        def write_mask(buffer: np.ndarray) -> np.ndarray:
+            # fill + masked overwrite produces the same exact 1.0 / slope
+            # values np.where would
+            buffer.fill(negative_slope)
+            np.copyto(buffer, 1.0, where=a.data > 0)
+            return buffer
 
-        return Tensor._make(a.data * mask, (a,), factory)
+        return _masked_activation(a, alloc_mask, write_mask)
 
     def sigmoid(self) -> "Tensor":
         a = self
@@ -785,7 +944,7 @@ class Tensor:
                 if a.requires_grad:
                     def fill(buffer: np.ndarray) -> None:
                         np.multiply(out.grad, value, out=buffer)
-                        complement = scratch_pool().acquire(value.shape)
+                        complement = scratch_pool().acquire(value.shape, value.dtype)
                         np.subtract(1.0, value, out=complement)
                         buffer *= complement
                         scratch_pool().release(complement)
@@ -806,7 +965,7 @@ class Tensor:
             def backward() -> None:
                 if a.requires_grad:
                     def fill(buffer: np.ndarray) -> None:
-                        complement = scratch_pool().acquire(value.shape)
+                        complement = scratch_pool().acquire(value.shape, value.dtype)
                         np.power(value, 2, out=complement)
                         np.subtract(1.0, complement, out=complement)
                         np.multiply(out.grad, complement, out=buffer)
@@ -830,7 +989,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    grad = np.asarray(out.grad, dtype=np.float64)
+                    grad = np.asarray(out.grad)
 
                     def fill(buffer: np.ndarray) -> None:
                         np.multiply(grad, value, out=buffer)
@@ -859,7 +1018,7 @@ class Tensor:
         def factory(out: "Tensor") -> Callable[[], None]:
             def backward() -> None:
                 if a.requires_grad:
-                    grad = np.asarray(out.grad, dtype=np.float64)
+                    grad = np.asarray(out.grad)
 
                     def fill(buffer: np.ndarray) -> None:
                         total = grad.sum(axis=axis, keepdims=True)
@@ -875,6 +1034,53 @@ class Tensor:
         return Tensor._make(value, (a,), factory)
 
 
+def _masked_activation(a: "Tensor",
+                       alloc_mask: Callable[[], np.ndarray],
+                       write_mask: Callable[[np.ndarray], np.ndarray]) -> "Tensor":
+    """Shared ReLU/leaky-ReLU body: ``a * mask`` with pooled training forwards.
+
+    Both the mask and the output come from layout-matched pooled buffers
+    when available (``_forward_buffer_like`` guarantees the exact strides
+    the allocating path would produce, so values AND layout are
+    bit-identical).  The output is reclaimed by backward's cleanup like
+    every pooled forward; the mask — a closure capture, not a graph node —
+    is released by the backward closure itself once the gradient has been
+    accumulated through it.
+    """
+    mask = None
+    mask_pooled = False
+    if a.requires_grad:
+        mask_buffer = _forward_buffer_like(a.data)
+        if mask_buffer is not None:
+            mask = write_mask(mask_buffer)
+            mask_pooled = True
+    if mask is None:
+        mask = alloc_mask()
+
+    def factory(out: "Tensor") -> Callable[[], None]:
+        def backward() -> None:
+            if a.requires_grad:
+                a._accumulate_ufunc(np.multiply, out.grad, mask)
+            if mask_pooled:
+                scratch_pool().release(mask if mask.base is None else mask.base)
+
+        return backward
+
+    data = None
+    pooled = False
+    if a.requires_grad:
+        buffer = _forward_buffer_like(a.data)
+        if buffer is not None:
+            np.multiply(a.data, mask, out=buffer)
+            data = buffer
+            pooled = True
+    if data is None:
+        data = a.data * mask
+    out = Tensor._make(data, (a,), factory)
+    out._pooled_data = pooled and out._backward is not None
+    return out
+
+
 def _matmul_accumulate(target: "Tensor", left: np.ndarray, right: np.ndarray) -> None:
     """Accumulate ``left @ right`` into ``target.grad`` via pooled scratch.
 
@@ -886,11 +1092,12 @@ def _matmul_accumulate(target: "Tensor", left: np.ndarray, right: np.ndarray) ->
     ``.grad`` outright — ``backward()`` reclaims intermediate gradient
     buffers into the pool once their closures have run, so adopted buffers
     cycle instead of leaking.  Operand combinations the ``out=`` form
-    cannot take (1-D operands, non-float64 payloads) use the allocating
-    fallback.
+    cannot take (1-D operands, mixed or non-float payloads) use the
+    allocating fallback.
     """
     if _ALLOC_FREE and left.ndim >= 2 and right.ndim >= 2 \
-            and left.dtype == np.float64 and right.dtype == np.float64:
+            and left.dtype == right.dtype and left.dtype.kind == "f" \
+            and left.dtype == target.data.dtype:
         shape = np.broadcast_shapes(left.shape[:-2], right.shape[:-2]) \
             + (left.shape[-2], right.shape[-1])
         target._accumulate_pooled(shape,

@@ -1,0 +1,159 @@
+"""Numeric-policy tier: float64 stays the bit-identity default; float32 opts in.
+
+The policy is consulted at tensor-construction and state-loading time, so
+these tests pin the coercion points (``Tensor``, ``Module`` state,
+``BatchedModule`` stacking) and the policy plumbing itself (names, context
+manager restore, config/worker threading).  Determinism of float32 runs is
+covered end to end; bit-comparability with float64 is explicitly *not*
+claimed anywhere, matching the documented contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.federated import FederatedConfig
+from repro.models.simple import FullyConnected
+from repro.nn import Tensor
+from repro.nn.batched import BatchedModule, stack_states, unstack_states
+from repro.nn.policy import (
+    NUMERIC_POLICIES,
+    numeric_policy,
+    policy_dtype,
+    set_numeric_policy,
+    using_numeric_policy,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_policy():
+    previous = numeric_policy()
+    yield
+    set_numeric_policy(previous)
+
+
+class TestPolicyPlumbing:
+    def test_default_is_float64(self):
+        assert numeric_policy().name == "float64"
+        assert policy_dtype() == np.dtype(np.float64)
+
+    def test_set_returns_previous_and_activates(self):
+        previous = set_numeric_policy("float32")
+        assert previous.name == "float64"
+        assert policy_dtype() == np.dtype(np.float32)
+
+    def test_accepts_policy_objects(self):
+        set_numeric_policy(NUMERIC_POLICIES["float32"])
+        assert numeric_policy() is NUMERIC_POLICIES["float32"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="float16"):
+            set_numeric_policy("float16")
+
+    def test_non_policy_rejected(self):
+        with pytest.raises(TypeError):
+            set_numeric_policy(np.float32)
+
+    def test_context_manager_restores_on_exit_and_error(self):
+        with using_numeric_policy("float32") as active:
+            assert active.name == "float32"
+            assert policy_dtype() == np.dtype(np.float32)
+        assert policy_dtype() == np.dtype(np.float64)
+        with pytest.raises(RuntimeError):
+            with using_numeric_policy("float32"):
+                raise RuntimeError("boom")
+        assert policy_dtype() == np.dtype(np.float64)
+
+    def test_config_carries_policy_name(self):
+        config = FederatedConfig(num_devices=2, rounds=1,
+                                 numeric_policy="float32")
+        assert config.numeric_policy == "float32"
+
+
+class TestCoercionPoints:
+    def test_tensor_adopts_policy_dtype(self):
+        with using_numeric_policy("float32"):
+            tensor = Tensor(np.zeros((2, 3), dtype=np.float64))
+            assert tensor.data.dtype == np.float32
+        tensor = Tensor(np.zeros((2, 3), dtype=np.float32))
+        assert tensor.data.dtype == np.float64
+
+    def test_integer_payloads_stay_integer(self):
+        with using_numeric_policy("float32"):
+            assert np.issubdtype(Tensor(np.arange(4)).data.dtype, np.integer)
+
+    def test_model_parameters_follow_policy(self):
+        with using_numeric_policy("float32"):
+            model = FullyConnected((3, 4, 4), 2, hidden_sizes=(8,), seed=0)
+            dtypes = {p.data.dtype for p in model.parameters()}
+        assert dtypes == {np.dtype(np.float32)}
+
+    def test_float32_training_is_deterministic(self):
+        def run():
+            with using_numeric_policy("float32"):
+                model = FullyConnected((3, 4, 4), 2, hidden_sizes=(8,), seed=0)
+                rng = np.random.default_rng(7)
+                images = rng.normal(size=(4, 3, 4, 4)).astype(np.float32)
+                out = model(Tensor(images))
+                out.sum().backward()
+                return [p.grad.copy() for p in model.parameters()]
+        first, second = run(), run()
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+
+_F32_SHAPES = st.lists(st.integers(1, 4), min_size=0, max_size=3).map(tuple)
+
+
+@st.composite
+def _float32_cohorts(draw):
+    """A cohort of all-float32 state dicts sharing keys/shapes."""
+    batch = draw(st.integers(1, 4))
+    spec = {f"key{i}": draw(_F32_SHAPES)
+            for i in range(draw(st.integers(1, 3)))}
+    return [
+        {key: draw(arrays(dtype=np.float32, shape=shape,
+                          elements=st.floats(-100, 100, allow_nan=False,
+                                             width=32)))
+         for key, shape in spec.items()}
+        for _ in range(batch)
+    ]
+
+
+class TestFloat32StackRoundtrip:
+    @settings(max_examples=50, deadline=None)
+    @given(_float32_cohorts())
+    def test_roundtrip_is_exact_under_float32_policy(self, cohort):
+        # Stacking/unstacking under the float32 policy must neither coerce
+        # to float64 nor perturb a single bit of the payloads.
+        with using_numeric_policy("float32"):
+            recovered = unstack_states(stack_states(cohort))
+        assert len(recovered) == len(cohort)
+        for original, roundtripped in zip(cohort, recovered):
+            assert list(original) == list(roundtripped)
+            for key in original:
+                assert roundtripped[key].dtype == np.float32
+                assert (roundtripped[key].tobytes()
+                        == original[key].tobytes())
+
+    @settings(max_examples=25, deadline=None)
+    @given(_float32_cohorts())
+    def test_batched_module_stacks_float32_states(self, cohort):
+        stacked = stack_states(cohort)
+        for value in stacked.values():
+            assert value.dtype == np.float32
+
+
+class TestBatchedModulePolicy:
+    def test_stacked_parameters_follow_policy(self):
+        with using_numeric_policy("float32"):
+            template = FullyConnected((3, 4, 4), 2, hidden_sizes=(8,), seed=0)
+            states = [FullyConnected((3, 4, 4), 2, hidden_sizes=(8,),
+                                     seed=i).state_dict() for i in range(3)]
+            module = BatchedModule(template, states)
+            dtypes = {p.data.dtype for p in module.parameters()}
+        assert dtypes == {np.dtype(np.float32)}
